@@ -1,0 +1,71 @@
+// Ablation A1 — auxiliary-variable sharing inside the derived operators.
+//
+// Section 3.3: introducing ttu/uu/uuuu/vv inside op_ss "reduces the
+// computational complexity of the operator from twelve to eight elementary
+// operations, i.e., by one third"; op_sr similarly saves one op (5 -> 4).
+// This harness quantifies what that sharing buys for the rewritten
+// programs across block sizes on the machine model.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "colop/exec/sim_executor.h"
+#include "colop/ir/ir.h"
+#include "colop/rules/derived_ops.h"
+#include "colop/rules/rules.h"
+#include "colop/support/table.h"
+
+int main() {
+  using namespace colop;
+  using namespace colop::bench;
+
+  // SS-Scan RHS with the shared (8-op) operator, produced by the rule...
+  ir::Program lhs;
+  lhs.scan(ir::op_add()).scan(ir::op_add());
+  const ir::Program shared = rules::rule_ss_scan()->match(lhs, 0)->apply(lhs);
+
+  // ...and the naive variant: identical semantics, 12 elementary ops.
+  auto op12 = rules::make_op_ss(ir::op_add());
+  op12.name += "-unshared";
+  op12.ops_cost = 12;
+  ir::Program unshared;
+  unshared.map(ir::fn_quadruple()).scan_balanced(op12).map(ir::fn_proj1());
+
+  Table t("Ablation: op_ss subexpression sharing (12 -> 8 ops), p = 64",
+          {"m", "unshared (s)", "shared (s)", "saving %"});
+  bool ok = true;
+  for (double m : {64.0, 1024.0, 8192.0, 32000.0}) {
+    const auto mach = parsytec(64, m);
+    const double tu = seconds(exec::run_on_simnet(unshared, mach).time);
+    const double ts_ = seconds(exec::run_on_simnet(shared, mach).time);
+    ok &= ts_ <= tu;
+    t.add(m, tu, ts_, 100.0 * (tu - ts_) / tu);
+  }
+  t.print(std::cout);
+
+  // op_sr: 5 ops without the uu variable, 4 with it.
+  ir::Program lhs2;
+  lhs2.scan(ir::op_add()).reduce(ir::op_add());
+  const ir::Program sr_shared = rules::rule_sr_reduction()->match(lhs2, 0)->apply(lhs2);
+  auto op5 = rules::make_op_sr(ir::op_add());
+  op5.name += "-unshared";
+  op5.ops_cost = 5;
+  ir::Program sr_unshared;
+  sr_unshared.map(ir::fn_pair()).reduce_balanced(op5).map(ir::fn_proj1());
+
+  std::cout << "\n";
+  Table t2("Ablation: op_sr uu sharing (5 -> 4 ops), p = 64",
+           {"m", "unshared (s)", "shared (s)", "saving %"});
+  for (double m : {64.0, 1024.0, 8192.0, 32000.0}) {
+    const auto mach = parsytec(64, m);
+    const double tu = seconds(exec::run_on_simnet(sr_unshared, mach).time);
+    const double ts_ = seconds(exec::run_on_simnet(sr_shared, mach).time);
+    ok &= ts_ <= tu;
+    t2.add(m, tu, ts_, 100.0 * (tu - ts_) / tu);
+  }
+  t2.print(std::cout);
+
+  std::cout << "\nsharing never hurts and helps at large blocks: "
+            << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+#pragma once
+// Shared helpers for the benchmark harnesses.
+//
+// Machine calibration: the paper measured a Parsytec 64-processor network
+// with MPICH 1.0 (transputer-class nodes).  We model one elementary
+// operation as 1 microsecond (a few MFLOPS node), a message start-up of
+// ts = 1500 ops and a per-word transfer time of tw = 25 ops (~0.3 MB/s per
+// 8-byte word link) — chosen so the simulated absolute times land in the
+// paper's "seconds" range for 64 processors and 32*10^3-element blocks.
+// Only the SHAPE of the curves (who wins, where crossovers fall) is
+// claimed; see EXPERIMENTS.md.
+
+#include <string>
+
+#include "colop/model/machine.h"
+
+namespace colop::bench {
+
+inline constexpr double kUnitSeconds = 1e-6;  ///< one op = 1 microsecond
+inline constexpr double kTs = 1500;           ///< start-up (ops)
+inline constexpr double kTw = 25;             ///< per-word transfer (ops)
+
+inline model::Machine parsytec(int p, double m) {
+  return model::Machine{.p = p, .m = m, .ts = kTs, .tw = kTw};
+}
+
+inline double seconds(double ops) { return ops * kUnitSeconds; }
+
+}  // namespace colop::bench

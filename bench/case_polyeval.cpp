@@ -1,0 +1,67 @@
+// Case study (Section 5): polynomial evaluation, PolyEval_1 -> _2 -> _3.
+// Reports, across processor counts and block sizes: predicted time on the
+// machine model (simnet) and real message traffic on the thread runtime,
+// plus a correctness check against ground truth.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "colop/apps/polyeval.h"
+#include "colop/exec/sim_executor.h"
+#include "colop/exec/thread_executor.h"
+#include "colop/support/rng.h"
+#include "colop/support/table.h"
+
+int main() {
+  using namespace colop;
+  using namespace colop::bench;
+
+  bool ok = true;
+  Table t("Case study — polynomial evaluation on the machine model",
+          {"p", "m", "T(PolyEval_1) s", "T(PolyEval_3) s", "T(PolyEval_sr2) s",
+           "speedup", "msgs_1", "msgs_3", "correct"});
+
+  Rng rng(99);
+  for (int p : {4, 8, 16, 32, 64}) {
+    std::vector<double> coeffs(static_cast<std::size_t>(p));
+    for (auto& a : coeffs) a = rng.uniform01() * 2 - 1;
+
+    for (double m : {16.0, 256.0, 4096.0}) {
+      const auto p1 = apps::polyeval_1(coeffs);
+      const auto p3 = apps::polyeval_3(coeffs);
+      const auto popt = apps::polyeval_sr2(coeffs);
+      const auto mach = parsytec(p, m);
+      const double t1 = seconds(exec::run_on_simnet(p1, mach).time);
+      const double t3 = seconds(exec::run_on_simnet(p3, mach).time);
+      const double topt = seconds(exec::run_on_simnet(popt, mach).time);
+
+      // Thread-runtime traffic + correctness at a small block size.
+      std::vector<double> ys(8);
+      for (auto& y : ys) y = rng.uniform01() - 0.5;
+      const auto in = apps::polyeval_input(p, ys);
+      const auto r1 = exec::run_on_threads_instrumented(p1, in);
+      const auto r3 = exec::run_on_threads_instrumented(p3, in);
+      const auto expect = apps::polyeval_expected(coeffs, ys);
+      const auto got1 = apps::polyeval_result(r1.output);
+      const auto got3 = apps::polyeval_result(r3.output);
+      bool correct = true;
+      for (std::size_t j = 0; j < expect.size(); ++j) {
+        correct &= std::abs(got1[j] - expect[j]) < 1e-9;
+        correct &= std::abs(got3[j] - expect[j]) < 1e-9;
+      }
+      const auto gotopt =
+          apps::polyeval_result(exec::run_on_threads(popt, in));
+      for (std::size_t j = 0; j < expect.size(); ++j)
+        correct &= std::abs(gotopt[j] - expect[j]) < 1e-9;
+      ok &= correct && t3 < t1 && topt <= t1 &&
+            r3.traffic.messages < r1.traffic.messages;
+      t.add(p, m, t1, t3, topt, t1 / t3, r1.traffic.messages,
+            r3.traffic.messages, correct);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nPolyEval_3 faster + fewer messages + correct everywhere: "
+            << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Regenerates FIGURE 7 of the paper: run time of the three BS-Comcast
+// implementations vs the number of processors, at fixed block size
+// 32*10^3 — the paper's Parsytec-64/MPICH experiment, executed on the
+// simnet discrete-event model (see bench_common.h for the calibration).
+//
+//   bcast;scan    — the rule's LHS (two collective operations)
+//   comcast       — the cost-optimal doubling implementation (Section 3.4)
+//   bcast;repeat  — the rule's RHS (what all Comcast rules produce)
+//
+// Expected shape (paper): all three grow with log p; bcast;scan is the
+// slowest, bcast;repeat the fastest, comcast in between.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "colop/simnet/schedules.h"
+#include "colop/support/table.h"
+
+int main() {
+  using namespace colop;
+  using namespace colop::bench;
+
+  constexpr double kBlock = 32000;  // the paper's 32*10^3
+  const simnet::NetParams net{kTs, kTw};
+
+  Table fig7("Figure 7 — BS-Comcast: run time (s) vs processors, block size 32*10^3",
+             {"p", "bcast;scan", "comcast", "bcast;repeat"});
+
+  bool shape_ok = true;
+  for (int p = 2; p <= 64; p *= 2) {
+    simnet::SimMachine lhs(p, net);
+    simnet::bcast_butterfly(lhs, kBlock, 1);
+    simnet::scan_butterfly(lhs, kBlock, 1, 1);
+
+    simnet::SimMachine opt(p, net);
+    // Shared uu between o and e: 2 ops to advance, nothing extra to keep.
+    simnet::comcast_costopt(opt, kBlock, 2, 2, 0);
+
+    simnet::SimMachine rep(p, net);
+    simnet::comcast_repeat(rep, kBlock, 1, 2);
+
+    const double t_lhs = seconds(lhs.makespan());
+    const double t_opt = seconds(opt.makespan());
+    const double t_rep = seconds(rep.makespan());
+    fig7.add(p, t_lhs, t_opt, t_rep);
+    shape_ok &= (t_rep <= t_opt && t_opt <= t_lhs);
+  }
+  fig7.print(std::cout);
+  std::cout << "\nordering bcast;repeat <= comcast <= bcast;scan at every p: "
+            << (shape_ok ? "yes" : "NO") << "\n";
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Regenerates FIGURE 8 of the paper: run time of the three BS-Comcast
+// implementations vs block size, on 64 processors (simnet model, see
+// bench_common.h).
+//
+// Expected shape (paper): linear growth in the block size; near the origin
+// all variants cost about the start-up terms (bcast;scan pays 2*ts per
+// phase, the others ts); for every block size
+// bcast;repeat <= comcast <= bcast;scan.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "colop/simnet/schedules.h"
+#include "colop/support/table.h"
+
+int main() {
+  using namespace colop;
+  using namespace colop::bench;
+
+  constexpr int kProcs = 64;
+  const simnet::NetParams net{kTs, kTw};
+
+  Table fig8("Figure 8 — BS-Comcast: run time (s) vs block size, 64 processors",
+             {"block", "bcast;scan", "comcast", "bcast;repeat"});
+
+  bool shape_ok = true;
+  double prev_lhs = 0;
+  for (double m : {0.0, 2000.0, 4000.0, 8000.0, 12000.0, 16000.0, 20000.0,
+                   24000.0, 28000.0, 32000.0}) {
+    simnet::SimMachine lhs(kProcs, net);
+    simnet::bcast_butterfly(lhs, m, 1);
+    simnet::scan_butterfly(lhs, m, 1, 1);
+
+    simnet::SimMachine opt(kProcs, net);
+    simnet::comcast_costopt(opt, m, 2, 2, 0);
+
+    simnet::SimMachine rep(kProcs, net);
+    simnet::comcast_repeat(rep, m, 1, 2);
+
+    const double t_lhs = seconds(lhs.makespan());
+    const double t_opt = seconds(opt.makespan());
+    const double t_rep = seconds(rep.makespan());
+    fig8.add(m, t_lhs, t_opt, t_rep);
+    shape_ok &= (t_rep <= t_opt && t_opt <= t_lhs);  // ordering
+    shape_ok &= (t_lhs >= prev_lhs);                 // monotone in m
+    prev_lhs = t_lhs;
+  }
+  fig8.print(std::cout);
+  std::cout << "\nordering + monotone growth in block size: "
+            << (shape_ok ? "yes" : "NO") << "\n";
+  return shape_ok ? 0 : 1;
+}

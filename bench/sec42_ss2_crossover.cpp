@@ -1,0 +1,63 @@
+// Section 4.2 worked example: rule SS2-Scan pays off exactly when
+// ts > 2m.  This harness sweeps the start-up time around the predicted
+// crossover for several block sizes and locates the measured crossover on
+// the simnet simulator by bisection; predicted and measured must coincide.
+
+#include <cmath>
+#include <iostream>
+
+#include "colop/exec/sim_executor.h"
+#include "colop/ir/ir.h"
+#include "colop/model/cost.h"
+#include "colop/rules/rules.h"
+#include "colop/support/table.h"
+
+int main() {
+  using namespace colop;
+
+  ir::Program lhs;
+  lhs.scan(ir::op_mul()).scan(ir::op_add());
+  const ir::Program rhs = rules::rule_ss2_scan()->match(lhs, 0)->apply(lhs);
+
+  std::cout << "rule SS2-Scan: " << lhs.show() << "  ->  " << rhs.show()
+            << "\npaper (Section 4.2): pays off iff ts > 2m\n\n";
+
+  Table t("SS2-Scan crossover: predicted ts* = 2m vs measured on simnet (p=64, tw=2)",
+          {"m", "predicted ts*", "measured ts*", "rel err"});
+
+  bool ok = true;
+  for (double m : {8.0, 64.0, 256.0, 1024.0, 4096.0}) {
+    const double predicted = 2 * m;
+    // Bisect for the smallest ts where the rewritten program wins.
+    double lo = 0, hi = 8 * m + 100;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = (lo + hi) / 2;
+      const model::Machine mach{.p = 64, .m = m, .ts = mid, .tw = 2};
+      const bool improves = exec::run_on_simnet(rhs, mach).time <
+                            exec::run_on_simnet(lhs, mach).time;
+      (improves ? hi : lo) = mid;
+    }
+    const double measured = (lo + hi) / 2;
+    const double rel = std::abs(measured - predicted) / predicted;
+    ok &= rel < 1e-6;
+    t.add(m, predicted, measured, rel);
+  }
+  t.print(std::cout);
+
+  // The qualitative sweep the section describes: fixed m, rising ts.
+  std::cout << "\n";
+  Table sweep("fixed m = 256: time before/after as start-up grows",
+              {"ts", "scan;scan", "scan(op_sr2)", "winner"});
+  const double m = 256;
+  for (double ts : {64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0}) {
+    const model::Machine mach{.p = 64, .m = m, .ts = ts, .tw = 2};
+    const double tb = exec::run_on_simnet(lhs, mach).time;
+    const double ta = exec::run_on_simnet(rhs, mach).time;
+    sweep.add(ts, tb, ta, ta < tb ? "rewritten" : "original");
+  }
+  sweep.print(std::cout);
+
+  std::cout << "\nmeasured crossover matches ts = 2m for every m: "
+            << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+// Regenerates TABLE 1 of the paper: for every optimization rule, the
+// symbolic cost of the program before and after the rewrite (per log p)
+// and the condition under which the rule improves performance.  Nothing is
+// hard-coded: each row is obtained by costing the rule's actual LHS/RHS
+// programs with the cost calculus.
+//
+// A second table cross-checks the calculus against the simnet discrete-
+// event simulator (p = 64): the measured improvement verdict must agree
+// with the analytic condition on both sides of each rule's threshold.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "colop/exec/sim_executor.h"
+#include "colop/ir/ir.h"
+#include "colop/model/cost.h"
+#include "colop/rules/rules.h"
+#include "colop/support/table.h"
+
+namespace {
+
+using namespace colop;
+using ir::Program;
+
+struct Row {
+  rules::RulePtr rule;
+  Program lhs;
+};
+
+std::vector<Row> table1_rows() {
+  std::vector<Row> rows;
+  auto add = [&](rules::RulePtr r, Program p) { rows.push_back({std::move(r), std::move(p)}); };
+  Program p;
+
+  p = Program{};
+  p.scan(ir::op_mul()).reduce(ir::op_add());
+  add(rules::rule_sr2_reduction(), p);
+
+  p = Program{};
+  p.scan(ir::op_add()).reduce(ir::op_add());
+  add(rules::rule_sr_reduction(), p);
+
+  p = Program{};
+  p.scan(ir::op_mul()).scan(ir::op_add());
+  add(rules::rule_ss2_scan(), p);
+
+  p = Program{};
+  p.scan(ir::op_add()).scan(ir::op_add());
+  add(rules::rule_ss_scan(), p);
+
+  p = Program{};
+  p.bcast().scan(ir::op_add());
+  add(rules::rule_bs_comcast(), p);
+
+  p = Program{};
+  p.bcast().scan(ir::op_mul()).scan(ir::op_add());
+  add(rules::rule_bss2_comcast(), p);
+
+  p = Program{};
+  p.bcast().scan(ir::op_add()).scan(ir::op_add());
+  add(rules::rule_bss_comcast(), p);
+
+  p = Program{};
+  p.bcast().reduce(ir::op_add());
+  add(rules::rule_br_local(), p);
+
+  p = Program{};
+  p.bcast().scan(ir::op_mul()).reduce(ir::op_add());
+  add(rules::rule_bsr2_local(), p);
+
+  p = Program{};
+  p.bcast().scan(ir::op_add()).reduce(ir::op_add());
+  add(rules::rule_bsr_local(), p);
+
+  p = Program{};
+  p.bcast().allreduce(ir::op_add());
+  add(rules::rule_cr_alllocal(), p);
+
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  const auto rows = table1_rows();
+
+  Table analytic("Table 1 — performance estimates of optimization rules "
+                 "(times are per log p)",
+                 {"Rule name", "time before", "time after", "Improved if"});
+  for (const auto& row : rows) {
+    const auto m = row.rule->match(row.lhs, 0);
+    const model::Cost before = model::program_cost(row.lhs);
+    const model::Cost after = model::program_cost(m->apply(row.lhs));
+    analytic.add(row.rule->name(), before.show(), after.show(),
+                 model::improvement_condition(before, after));
+  }
+  analytic.print(std::cout);
+  std::cout << "\n";
+
+  // Cross-check: simnet-measured verdicts around each rule's threshold.
+  Table measured(
+      "simnet cross-check (p = 64): measured improvement vs analytic "
+      "condition at machine points on both sides of the threshold",
+      {"Rule name", "machine (m, ts, tw)", "t_before", "t_after", "measured",
+       "predicted", "agree"});
+  bool all_agree = true;
+  for (const auto& row : rows) {
+    const auto match = row.rule->match(row.lhs, 0);
+    const ir::Program rhs = match->apply(row.lhs);
+    const model::Cost cb = model::program_cost(row.lhs);
+    const model::Cost ca = model::program_cost(rhs);
+
+    // Machine points: around the ts-crossover for fixed m, tw (plus a
+    // far-out point when the rule "always" improves).
+    const double m = 64, tw = 2;
+    const double cross = model::ts_crossover(cb, ca, m, tw);
+    std::vector<double> ts_points;
+    if (std::isfinite(cross) && cross > 0) {
+      ts_points = {cross * 0.5, cross * 2};
+    } else {
+      ts_points = {10, 1000};
+    }
+    for (double ts : ts_points) {
+      const model::Machine mach{.p = 64, .m = m, .ts = ts, .tw = tw};
+      const double tb = exec::run_on_simnet(row.lhs, mach).time;
+      const double ta = exec::run_on_simnet(rhs, mach).time;
+      const bool measured_improves = ta < tb;
+      const bool predicted_improves =
+          model::program_time(rhs, mach) < model::program_time(row.lhs, mach);
+      all_agree &= (measured_improves == predicted_improves);
+      measured.add(row.rule->name(),
+                   "(" + Table::format_cell(m) + ", " + Table::format_cell(ts) +
+                       ", " + Table::format_cell(tw) + ")",
+                   tb, ta, measured_improves ? "improves" : "worse",
+                   predicted_improves ? "improves" : "worse",
+                   measured_improves == predicted_improves);
+    }
+  }
+  measured.print(std::cout);
+  std::cout << "\nall measured verdicts agree with the calculus: "
+            << (all_agree ? "yes" : "NO") << "\n";
+  return all_agree ? 0 : 1;
+}

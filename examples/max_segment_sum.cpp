@@ -1,0 +1,73 @@
+// Maximum segment sum with a USER-DEFINED collective operator.
+//
+// The paper's framework is open: base operators "may be either predefined
+// (addition, multiplication, etc.) or defined by the programmer"
+// (Section 2.2).  This example registers the classic MSS 4-tuple combine
+// (associative, not commutative), runs it as a reduction over a
+// distributed series, and uses the selfcheck API to demonstrate how
+// mis-declared operator properties are caught before they cause unsound
+// rewrites.
+//
+// Build & run:   ./build/examples/max_segment_sum
+
+#include <iostream>
+
+#include "colop/apps/mss.h"
+#include "colop/exec/thread_executor.h"
+#include "colop/ir/ir.h"
+#include "colop/rules/selfcheck.h"
+#include "colop/support/rng.h"
+#include "colop/support/table.h"
+
+int main() {
+  using namespace colop;
+
+  constexpr int kProcs = 16;
+  constexpr int kLanes = 3;  // independent series per block slot
+
+  Rng rng(41);
+  ir::Dist in(kProcs);
+  std::vector<std::vector<std::int64_t>> lanes(kLanes);
+  for (auto& block : in) {
+    block.resize(kLanes);
+    for (int l = 0; l < kLanes; ++l) {
+      const auto x = rng.uniform(-9, 9);
+      block[static_cast<std::size_t>(l)] = ir::Value(x);
+      lanes[static_cast<std::size_t>(l)].push_back(x);
+    }
+  }
+
+  const ir::Program prog = apps::mss_program();
+  std::cout << "program: " << prog.show() << "\n";
+  std::cout << "op_mss : associative="
+            << ir::check_associative(*apps::op_mss(),
+                                     [](Rng& r) {
+                                       return apps::fn_mss_tuple()(
+                                           ir::Value(r.uniform(-9, 9)));
+                                     })
+            << " (declared " << apps::op_mss()->associative() << "), "
+            << "commutative declared " << apps::op_mss()->commutative() << "\n\n";
+
+  const auto out = exec::run_on_threads(prog, in);
+  Table t("maximum segment sum per series (16 processors)",
+          {"series", "values (first 8)", "mss", "brute force"});
+  bool ok = true;
+  for (int l = 0; l < kLanes; ++l) {
+    std::string vals;
+    for (int r = 0; r < 8; ++r)
+      vals += (r ? "," : "") + std::to_string(lanes[static_cast<std::size_t>(l)][static_cast<std::size_t>(r)]);
+    const auto got = out[0][static_cast<std::size_t>(l)].as_int();
+    const auto expect = apps::mss_bruteforce(lanes[static_cast<std::size_t>(l)]);
+    ok &= got == expect;
+    t.add(l, vals + ",...", got, expect);
+  }
+  t.print(std::cout);
+
+  // Vet any would-be rewrites of this program (there are none — MSS is a
+  // single reduction — but the check is how users validate custom ops).
+  const auto check = rules::selfcheck_program(
+      prog, rules::all_rules(), ir::small_int_gen(-9, 9), 9, 2);
+  std::cout << "\nselfcheck of all candidate rewrites: "
+            << (check.ok ? "sound" : check.counterexample) << "\n";
+  return (ok && check.ok) ? 0 : 1;
+}

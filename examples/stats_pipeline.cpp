@@ -1,0 +1,63 @@
+// Domain scenario: staged-pipeline latency analysis.
+//
+// p processing stages each add a per-request-class latency (a block of m
+// classes per stage).  The analysis needs, for every class, the PEAK
+// cumulative latency reached anywhere along the pipeline:
+//
+//     scan(+) ;  allreduce(max)
+//
+// Because + distributes over max (the tropical semiring), rule
+// SR2-Reduction fuses the two collectives into a single allreduce over
+// pairs — found automatically by the optimizer.
+//
+// Build & run:   ./build/examples/stats_pipeline
+
+#include <iostream>
+
+#include "colop/exec/thread_executor.h"
+#include "colop/ir/ir.h"
+#include "colop/rules/optimizer.h"
+#include "colop/support/rng.h"
+#include "colop/support/table.h"
+
+int main() {
+  using namespace colop;
+
+  constexpr int kStages = 12;   // pipeline stages (processors)
+  constexpr int kClasses = 8;   // request classes (block size)
+
+  // Per-stage latency contributions.
+  Rng rng(7);
+  ir::Dist latencies(kStages);
+  for (auto& block : latencies) {
+    block.resize(kClasses);
+    for (auto& v : block) v = ir::Value(rng.uniform(1, 20));
+  }
+
+  ir::Program analysis;
+  analysis.scan(ir::op_add()).allreduce(ir::op_max());
+  std::cout << "analysis  : " << analysis.show() << "\n";
+
+  const model::Machine machine{.p = kStages, .m = kClasses, .ts = 250, .tw = 2};
+  const auto result = rules::Optimizer(machine).optimize(analysis);
+  std::cout << "optimized : " << result.program.show() << "\n";
+  std::cout << "rule(s)   : ";
+  for (const auto& a : result.log) std::cout << a.rule << " {" << a.note << "} ";
+  std::cout << "\npredicted speedup: " << result.speedup() << "x\n\n";
+
+  const auto before = exec::run_on_threads_instrumented(analysis, latencies);
+  const auto after = exec::run_on_threads_instrumented(result.program, latencies);
+
+  Table t("peak cumulative latency per request class (identical on all stages)",
+          {"class", "peak latency"});
+  for (int j = 0; j < kClasses; ++j)
+    t.add(j, before.output[0][static_cast<std::size_t>(j)].as_int());
+  t.print(std::cout);
+
+  std::cout << "\nmessages: " << before.traffic.messages << " -> "
+            << after.traffic.messages << "\n";
+  const bool same = before.output == after.output;
+  std::cout << "fused pipeline agrees on every stage: " << (same ? "yes" : "NO")
+            << "\n";
+  return same ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+#pragma once
+// First-order linear recurrences via scan — the paper's Section 6 points
+// to map/broadcast/reduction/scan as "basic building blocks for linear
+// recursions on lists" [20]; this app is that classic construction:
+//
+//     x_i = a_i * x_{i-1} + b_i          (i = 1..p, x_0 given)
+//
+// Processor i holds the affine map (a_i, b_i); composing maps is
+// associative but NOT commutative, so scan parallelizes the recurrence in
+// log p phases:   scan(op_affine) ; then x_i = A_i * x_0 + B_i locally.
+//
+// Arithmetic is exact (mod M) so the butterfly's re-association is
+// observable-equivalence-preserving in tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "colop/ir/binop.h"
+#include "colop/ir/program.h"
+
+namespace colop::apps {
+
+/// Composition of affine maps mod M on pairs (a, b):
+///   (a1,b1) . (a2,b2) = (a2*a1, a2*b1 + b2)   — "apply map 1, then map 2".
+[[nodiscard]] ir::BinOpPtr op_affine(std::int64_t modulus);
+
+/// scan(op_affine) over distributed (a_i, b_i) pairs.
+[[nodiscard]] ir::Program linrec_program(std::int64_t modulus);
+
+/// Build the distributed input: processor i holds (a[i], b[i]).
+[[nodiscard]] ir::Dist linrec_input(const std::vector<std::int64_t>& a,
+                                    const std::vector<std::int64_t>& b);
+
+/// Apply a composed map (A, B) to x0: A*x0 + B (mod M).
+[[nodiscard]] std::int64_t linrec_apply(const ir::Value& composed,
+                                        std::int64_t x0, std::int64_t modulus);
+
+/// Sequential ground truth: x_1..x_p.
+[[nodiscard]] std::vector<std::int64_t> linrec_expected(
+    const std::vector<std::int64_t>& a, const std::vector<std::int64_t>& b,
+    std::int64_t x0, std::int64_t modulus);
+
+}  // namespace colop::apps

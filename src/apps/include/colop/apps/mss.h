@@ -1,0 +1,35 @@
+#pragma once
+// Maximum segment sum — the classic example of programming with a
+// user-DEFINED collective operator (the paper's op registry is open:
+// "an associative base operator, which may be either predefined ... or
+// defined by the programmer", Section 2.2).
+//
+// Each processor holds one value per lane (block slot); the program
+//   map(mss_tuple) ; reduce(op_mss)
+// computes, for every lane, the maximum sum over contiguous processor
+// segments (empty segment allowed: result >= 0).  The 4-tuple is
+// (mss, max-prefix, max-suffix, total); op_mss is associative but not
+// commutative — exactly the class of operators the framework supports.
+
+#include <cstdint>
+#include <vector>
+
+#include "colop/ir/binop.h"
+#include "colop/ir/elemfn.h"
+#include "colop/ir/program.h"
+
+namespace colop::apps {
+
+/// The associative, non-commutative MSS combine on 4-tuples.
+[[nodiscard]] ir::BinOpPtr op_mss();
+
+/// Element embedding: x -> (x+, x+, x+, x) with x+ = max(x, 0).
+[[nodiscard]] ir::ElemFn fn_mss_tuple();
+
+/// map(mss_tuple) ; reduce(op_mss) ; map(pi1): lane results at the root.
+[[nodiscard]] ir::Program mss_program();
+
+/// Brute-force ground truth over one sequence (empty segment counts as 0).
+[[nodiscard]] std::int64_t mss_bruteforce(const std::vector<std::int64_t>& xs);
+
+}  // namespace colop::apps

@@ -1,0 +1,58 @@
+#pragma once
+// The paper's case study (Section 5): evaluating the polynomial
+//     a_1*x + a_2*x^2 + ... + a_n*x^n
+// on m points y_1..y_m, with coefficient a_i on processor i and the point
+// block ys on the first processor.
+//
+// Three program versions, exactly as derived in the paper:
+//   PolyEval_1 = bcast ; scan(*) ; map2(*) as ; reduce(+)      (Eq 18)
+//   PolyEval_2 = bcast ; map#(op_poly) ; map2(*) as ; reduce(+) (Eq 19,
+//                 PolyEval_1 after rule BS-Comcast)
+//   PolyEval_3 = bcast ; map2#(op_new as) ; reduce(+)           (Eq 20,
+//                 PolyEval_2 after local-stage fusion)
+//
+// Programs use real (double) arithmetic; coefficients are captured in the
+// map2 stage (processor i applies a_i to its block).
+
+#include <vector>
+
+#include "colop/ir/program.h"
+
+namespace colop::apps {
+
+/// PolyEval_1 (Eq 18): the obvious four-stage specification.
+[[nodiscard]] ir::Program polyeval_1(const std::vector<double>& coeffs);
+
+/// PolyEval_2 (Eq 19): PolyEval_1 after rule BS-Comcast.  Built by
+/// actually applying the rule, not by hand.
+[[nodiscard]] ir::Program polyeval_2(const std::vector<double>& coeffs);
+
+/// PolyEval_3 (Eq 20): PolyEval_2 after fusing the two local stages.
+[[nodiscard]] ir::Program polyeval_3(const std::vector<double>& coeffs);
+
+/// The ALTERNATIVE derivation route via SR2-Reduction (the technique the
+/// paper cites from [8]): processor k seeds the op_sr2 pair (a_k * y, y) —
+/// the Horner-style segment summary of its single term — and ONE reduction
+/// with op_sr2 (combine s1 + r1*s2) yields the polynomial value:
+///
+///   PolyEval_sr2 = bcast ; map#(seed) ; reduce(op_sr2[f*,f+]) ; map(pi1)
+///
+/// Like PolyEval_3 it needs only two collective phases and never
+/// materializes O(p) powers; unlike PolyEval_3 its reduction carries
+/// 2-word pairs, so the cost calculus ranks it strictly better than
+/// PolyEval_1 (one start-up saved per phase) but behind PolyEval_3 by
+/// m*tw per phase — two derivation routes from one specification, ranked
+/// by the calculus exactly as Section 4 intends.
+[[nodiscard]] ir::Program polyeval_sr2(const std::vector<double>& coeffs);
+
+/// Input distributed list: block ys on processor 0, placeholders elsewhere.
+[[nodiscard]] ir::Dist polyeval_input(int p, const std::vector<double>& ys);
+
+/// Sequential ground truth: value of the polynomial at each point.
+[[nodiscard]] std::vector<double> polyeval_expected(
+    const std::vector<double>& coeffs, const std::vector<double>& ys);
+
+/// Extract the result block (on processor 0) as doubles.
+[[nodiscard]] std::vector<double> polyeval_result(const ir::Dist& out);
+
+}  // namespace colop::apps

@@ -1,0 +1,50 @@
+#pragma once
+// Streaming statistics (count / mean / variance) with a user-defined
+// FLOATING-POINT operator — the parallel moments merge of Chan, Golub &
+// LeVeque on (n, mean, M2) triples.  The operator is associative and
+// commutative up to floating-point rounding; the parallel schedules
+// legitimately re-associate, so comparisons use relative tolerances
+// (ir::approx_equal / selfcheck's rel_tol).
+//
+// The pipeline scenario:
+//   map(embed) ; scan(op_stats) ; allreduce(op_stats)
+// gives every stage its cumulative telemetry AND the global summary; the
+// two collectives share the operator, so rule SR-Reduction fuses them.
+
+#include <vector>
+
+#include "colop/ir/binop.h"
+#include "colop/ir/elemfn.h"
+#include "colop/ir/program.h"
+
+namespace colop::apps {
+
+/// Moments merge on (n, mean, M2):
+///   n = n1+n2;  d = mean2-mean1;  mean = mean1 + d*n2/n;
+///   M2 = M21 + M22 + d^2*n1*n2/n.
+[[nodiscard]] ir::BinOpPtr op_stats();
+
+/// Embed one sample: x -> (1, x, 0).
+[[nodiscard]] ir::ElemFn fn_stats_embed();
+
+/// map(embed) ; allreduce(op_stats): global moments on every processor.
+[[nodiscard]] ir::Program stats_summary_program();
+
+/// map(embed) ; scan(op_stats) ; allreduce(op_stats): per-stage cumulative
+/// telemetry followed by an aggregate over the prefixes.  The two
+/// collectives share the (commutative) operator, so rule SR-Reduction
+/// fuses them.
+[[nodiscard]] ir::Program stats_pipeline_program();
+
+struct Moments {
+  double n = 0, mean = 0, m2 = 0;
+  [[nodiscard]] double variance() const { return n > 1 ? m2 / n : 0; }
+};
+
+/// Decode a (n, mean, M2) triple Value.
+[[nodiscard]] Moments moments_of(const ir::Value& v);
+
+/// Sequential ground truth over a sample set.
+[[nodiscard]] Moments moments_sequential(const std::vector<double>& xs);
+
+}  // namespace colop::apps

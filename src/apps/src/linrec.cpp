@@ -1,0 +1,67 @@
+#include "colop/apps/linrec.h"
+
+#include "colop/support/error.h"
+
+namespace colop::apps {
+
+using ir::Tuple;
+using ir::Value;
+
+namespace {
+std::int64_t norm(std::int64_t v, std::int64_t m) { return ((v % m) + m) % m; }
+}  // namespace
+
+ir::BinOpPtr op_affine(std::int64_t modulus) {
+  return ir::BinOp::make({
+      .name = "affine_mod" + std::to_string(modulus),
+      .fn =
+          [modulus](const Value& f1, const Value& f2) {
+            const auto& x = f1.as_tuple();
+            const auto& y = f2.as_tuple();
+            const std::int64_t a1 = x[0].as_int(), b1 = x[1].as_int();
+            const std::int64_t a2 = y[0].as_int(), b2 = y[1].as_int();
+            return Value(Tuple{Value(norm(a2 * a1, modulus)),
+                               Value(norm(a2 * b1 + b2, modulus))});
+          },
+      .associative = true,
+      .commutative = false,
+      .ops_cost = 3.0,
+  });
+}
+
+ir::Program linrec_program(std::int64_t modulus) {
+  ir::Program p;
+  p.scan(op_affine(modulus), 2);
+  return p;
+}
+
+ir::Dist linrec_input(const std::vector<std::int64_t>& a,
+                      const std::vector<std::int64_t>& b) {
+  COLOP_REQUIRE(a.size() == b.size(), "linrec: need one (a, b) per processor");
+  ir::Dist d(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    d[i] = {Value(Tuple{Value(a[i]), Value(b[i])})};
+  return d;
+}
+
+std::int64_t linrec_apply(const Value& composed, std::int64_t x0,
+                          std::int64_t modulus) {
+  const auto& t = composed.as_tuple();
+  return norm(t[0].as_int() * x0 + t[1].as_int(), modulus);
+}
+
+std::vector<std::int64_t> linrec_expected(const std::vector<std::int64_t>& a,
+                                          const std::vector<std::int64_t>& b,
+                                          std::int64_t x0,
+                                          std::int64_t modulus) {
+  std::vector<std::int64_t> xs;
+  xs.reserve(a.size());
+  std::int64_t x = x0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    x = norm(a[i] * x + b[i], modulus);
+    xs.push_back(x);
+  }
+  return xs;
+}
+
+}  // namespace colop::apps

@@ -1,0 +1,66 @@
+#include "colop/apps/mss.h"
+
+#include <algorithm>
+
+namespace colop::apps {
+
+using ir::Shape;
+using ir::Tuple;
+using ir::Value;
+
+ir::BinOpPtr op_mss() {
+  static const ir::BinOpPtr op = ir::BinOp::make({
+      .name = "op_mss",
+      .fn =
+          [](const Value& a, const Value& b) {
+            const auto& x = a.as_tuple();
+            const auto& y = b.as_tuple();
+            const auto g = [](const Tuple& t, int i) {
+              return t[static_cast<std::size_t>(i)].as_int();
+            };
+            const std::int64_t m1 = g(x, 0), p1 = g(x, 1), t1 = g(x, 2), s1 = g(x, 3);
+            const std::int64_t m2 = g(y, 0), p2 = g(y, 1), t2 = g(y, 2), s2 = g(y, 3);
+            return Value(Tuple{
+                Value(std::max({m1, m2, t1 + p2})),  // best segment anywhere
+                Value(std::max(p1, s1 + p2)),        // best prefix
+                Value(std::max(t2, t1 + s2)),        // best suffix
+                Value(s1 + s2),                      // total
+            });
+          },
+      .associative = true,
+      .commutative = false,
+      .ops_cost = 8.0,
+  });
+  return op;
+}
+
+ir::ElemFn fn_mss_tuple() {
+  return {"mss_tuple",
+          [](const Value& v) {
+            const std::int64_t x = v.as_int();
+            const std::int64_t xp = std::max<std::int64_t>(x, 0);
+            return Value(Tuple{Value(xp), Value(xp), Value(xp), Value(x)});
+          },
+          2.0,
+          [](const Shape& s) { return Shape::replicate(s, 4); }};
+}
+
+ir::Program mss_program() {
+  ir::Program p;
+  p.map(fn_mss_tuple()).reduce(op_mss(), 0, 4).map(ir::fn_proj1());
+  return p;
+}
+
+std::int64_t mss_bruteforce(const std::vector<std::int64_t>& xs) {
+  std::int64_t best = 0;  // empty segment
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::int64_t run = 0;
+    for (std::size_t j = i; j < xs.size(); ++j) {
+      run += xs[j];
+      best = std::max(best, run);
+    }
+  }
+  return best;
+}
+
+}  // namespace colop::apps

@@ -1,0 +1,100 @@
+#include "colop/apps/polyeval.h"
+
+#include "colop/rules/derived_ops.h"
+#include "colop/rules/fuse.h"
+#include "colop/rules/rules.h"
+#include "colop/support/error.h"
+
+namespace colop::apps {
+namespace {
+
+using ir::Program;
+using ir::Value;
+
+// map2(*) as: processor i multiplies every element of its block (y^i
+// powers) by its coefficient a_i.
+ir::ElemIdxFn coeff_stage(const std::vector<double>& coeffs) {
+  return {"mul_coeff",
+          [coeffs](int k, const Value& v) {
+            COLOP_REQUIRE(k < static_cast<int>(coeffs.size()),
+                          "polyeval: more processors than coefficients");
+            return v.is_undefined()
+                       ? Value::undefined()
+                       : Value(coeffs[static_cast<std::size_t>(k)] * v.number());
+          },
+          1.0};
+}
+
+}  // namespace
+
+Program polyeval_1(const std::vector<double>& coeffs) {
+  Program p;
+  p.bcast().scan(ir::op_fmul()).map_indexed(coeff_stage(coeffs)).reduce(ir::op_fadd());
+  return p;
+}
+
+Program polyeval_2(const std::vector<double>& coeffs) {
+  const Program p1 = polyeval_1(coeffs);
+  const auto m = rules::rule_bs_comcast()->match(p1, 0);
+  COLOP_ASSERT(m.has_value(), "BS-Comcast must match PolyEval_1");
+  return m->apply(p1);
+}
+
+Program polyeval_3(const std::vector<double>& coeffs) {
+  return rules::fuse_local_stages(polyeval_2(coeffs));
+}
+
+Program polyeval_sr2(const std::vector<double>& coeffs) {
+  // seed: y -> (a_k * y, y): the op_sr2 summary of the one-term segment
+  // a_k * y^1 (local exponent), with r = y carrying the power across
+  // segment boundaries: op_sr2 combine (s1 + r1*s2, r1*r2).
+  ir::ElemIdxFn seed;
+  seed.name = "horner_seed";
+  seed.fn = [coeffs](int k, const Value& v) {
+    COLOP_REQUIRE(k < static_cast<int>(coeffs.size()),
+                  "polyeval: more processors than coefficients");
+    if (v.is_undefined()) return Value::undefined();
+    return Value(ir::Tuple{Value(coeffs[static_cast<std::size_t>(k)] * v.number()), v});
+  };
+  seed.ops_cost = 1.0;
+  seed.shape_fn = [](const ir::Shape& s) { return ir::Shape::replicate(s, 2); };
+
+  Program p;
+  p.bcast()
+      .map_indexed(std::move(seed))
+      .reduce(rules::make_op_sr2(ir::op_fmul(), ir::op_fadd()), 0, 2)
+      .map(ir::fn_proj1());
+  return p;
+}
+
+ir::Dist polyeval_input(int p, const std::vector<double>& ys) {
+  ir::Dist d(static_cast<std::size_t>(p));
+  for (auto& block : d) {
+    block.resize(ys.size());
+    for (std::size_t j = 0; j < ys.size(); ++j) block[j] = Value(0.0);
+  }
+  for (std::size_t j = 0; j < ys.size(); ++j) d[0][j] = Value(ys[j]);
+  return d;
+}
+
+std::vector<double> polyeval_expected(const std::vector<double>& coeffs,
+                                      const std::vector<double>& ys) {
+  std::vector<double> out(ys.size(), 0.0);
+  for (std::size_t j = 0; j < ys.size(); ++j) {
+    double pow = 1.0;
+    for (double a : coeffs) {
+      pow *= ys[j];
+      out[j] += a * pow;
+    }
+  }
+  return out;
+}
+
+std::vector<double> polyeval_result(const ir::Dist& out) {
+  std::vector<double> r;
+  r.reserve(out[0].size());
+  for (const auto& v : out[0]) r.push_back(v.number());
+  return r;
+}
+
+}  // namespace colop::apps

@@ -1,0 +1,73 @@
+#include "colop/apps/stats.h"
+
+namespace colop::apps {
+
+using ir::Shape;
+using ir::Tuple;
+using ir::Value;
+
+ir::BinOpPtr op_stats() {
+  static const ir::BinOpPtr op = ir::BinOp::make({
+      .name = "op_stats",
+      .fn =
+          [](const Value& a, const Value& b) {
+            const auto& x = a.as_tuple();
+            const auto& y = b.as_tuple();
+            const double n1 = x[0].number(), mean1 = x[1].number(),
+                         m21 = x[2].number();
+            const double n2 = y[0].number(), mean2 = y[1].number(),
+                         m22 = y[2].number();
+            const double n = n1 + n2;
+            if (n == 0) return Value(Tuple{Value(0.0), Value(0.0), Value(0.0)});
+            const double d = mean2 - mean1;
+            return Value(Tuple{
+                Value(n),
+                Value(mean1 + d * n2 / n),
+                Value(m21 + m22 + d * d * n1 * n2 / n),
+            });
+          },
+      .associative = true,   // up to floating-point rounding
+      .commutative = true,   // up to floating-point rounding
+      .ops_cost = 10.0,
+  });
+  return op;
+}
+
+ir::ElemFn fn_stats_embed() {
+  return {"stats_embed",
+          [](const Value& v) {
+            return Value(Tuple{Value(1.0), Value(v.number()), Value(0.0)});
+          },
+          1.0,
+          [](const Shape& s) { return Shape::replicate(s, 3); }};
+}
+
+ir::Program stats_summary_program() {
+  ir::Program p;
+  p.map(fn_stats_embed()).allreduce(op_stats(), 3);
+  return p;
+}
+
+ir::Program stats_pipeline_program() {
+  ir::Program p;
+  p.map(fn_stats_embed()).scan(op_stats(), 3).allreduce(op_stats(), 3);
+  return p;
+}
+
+Moments moments_of(const Value& v) {
+  const auto& t = v.as_tuple();
+  return {t[0].number(), t[1].number(), t[2].number()};
+}
+
+Moments moments_sequential(const std::vector<double>& xs) {
+  Moments m;
+  for (double x : xs) {
+    m.n += 1;
+    const double d = x - m.mean;
+    m.mean += d / m.n;
+    m.m2 += d * (x - m.mean);
+  }
+  return m;
+}
+
+}  // namespace colop::apps

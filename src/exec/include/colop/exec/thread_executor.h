@@ -1,0 +1,32 @@
+#pragma once
+// Thread executor: run an ir::Program on the mpsim SPMD runtime, one
+// thread per processor, with blocks of Values as rank-local state and the
+// real collective schedules moving data.  This is the "MPI execution" of
+// a program; tests use it to confirm that every optimization rule is a
+// semantic equality on the wire, not just in the reference semantics.
+
+#include <chrono>
+
+#include "colop/ir/program.h"
+#include "colop/mpsim/mpsim.h"
+
+namespace colop::exec {
+
+/// Execute `prog` with input.size() ranks; element i of the result is the
+/// final block held by processor i.
+[[nodiscard]] ir::Dist run_on_threads(const ir::Program& prog, ir::Dist input);
+
+struct ThreadRunResult {
+  ir::Dist output;
+  mpsim::TrafficCounters traffic;  ///< messages/bytes actually sent
+  double wall_seconds = 0;
+};
+
+/// As run_on_threads, plus traffic counters and wall-clock time.
+[[nodiscard]] ThreadRunResult run_on_threads_instrumented(const ir::Program& prog,
+                                                          ir::Dist input);
+
+/// Execute a single stage on one rank (exposed for custom SPMD drivers).
+void exec_stage(const ir::Stage& stage, mpsim::Comm& comm, ir::Block& block);
+
+}  // namespace colop::exec

@@ -1,0 +1,43 @@
+#pragma once
+// Per-processor stage timelines on the simulated machine — the executable
+// counterpart of the paper's Figures 1 and 3 (control flows of the
+// processors through local and collective stages; "time saved" after a
+// rule application is directly visible).
+
+#include <string>
+#include <vector>
+
+#include "colop/exec/sim_executor.h"
+#include "colop/ir/program.h"
+#include "colop/model/machine.h"
+
+namespace colop::exec {
+
+/// One stage's execution interval on every processor.
+struct StageSpan {
+  std::string label;
+  std::vector<double> start;  ///< per-processor start time
+  std::vector<double> end;    ///< per-processor completion time
+};
+
+struct SimTrace {
+  std::vector<StageSpan> spans;
+  double makespan = 0;
+  int procs = 0;
+};
+
+/// Execute stage by stage on a fresh SimMachine, snapshotting the clocks
+/// around every stage.
+[[nodiscard]] SimTrace trace_on_simnet(const ir::Program& prog,
+                                       const model::Machine& mach,
+                                       SimSchedules sched = {});
+
+/// ASCII Gantt chart: one row per processor, letters identify stages, '.'
+/// is idle/waiting time; a legend follows.  `width` is the number of time
+/// buckets; `scale_to` (0 = this trace's makespan) lets two renderings
+/// share one time axis so "time saved" shows as trailing idle space.
+[[nodiscard]] std::string render_timeline(const SimTrace& trace,
+                                          int width = 72,
+                                          double scale_to = 0);
+
+}  // namespace colop::exec

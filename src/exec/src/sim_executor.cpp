@@ -1,0 +1,129 @@
+#include "colop/exec/sim_executor.h"
+
+#include "colop/simnet/schedules.h"
+#include "colop/support/bits.h"
+
+namespace colop::exec {
+
+void run_on_simnet(const ir::Program& prog, simnet::SimMachine& mach, double m,
+                   SimSchedules sched) {
+  using Kind = ir::Stage::Kind;
+  const int p = mach.size();
+  for (const auto& stage : prog.stages()) {
+    switch (stage->kind()) {
+      case Kind::Map: {
+        const auto& s = static_cast<const ir::MapStage&>(*stage);
+        simnet::local_map(mach, m, s.fn.ops_cost);
+        break;
+      }
+      case Kind::MapIndexed: {
+        const auto& s = static_cast<const ir::MapIndexedStage&>(*stage);
+        for (int r = 0; r < p; ++r) {
+          const double levels =
+              static_cast<double>(binary_digits(static_cast<std::uint64_t>(r)));
+          const double ops = s.fn.ops_cost + s.fn.ops_per_logp * levels;
+          if (ops > 0) mach.compute(r, m * ops);
+        }
+        break;
+      }
+      case Kind::Scan: {
+        const auto& s = static_cast<const ir::ScanStage&>(*stage);
+        simnet::scan_butterfly(mach, m, s.words, s.op->ops_cost());
+        break;
+      }
+      case Kind::Reduce: {
+        const auto& s = static_cast<const ir::ReduceStage&>(*stage);
+        if (sched.reduce == SimSchedules::Reduce::binomial)
+          simnet::reduce_binomial(mach, m, s.words, s.op->ops_cost());
+        else if (sched.reduce == SimSchedules::Reduce::vdg)
+          simnet::allreduce_vdg(mach, m, s.words, s.op->ops_cost());
+        else
+          simnet::allreduce_butterfly(mach, m, s.words, s.op->ops_cost());
+        break;
+      }
+      case Kind::AllReduce: {
+        const auto& s = static_cast<const ir::AllReduceStage&>(*stage);
+        if (sched.reduce == SimSchedules::Reduce::vdg)
+          simnet::allreduce_vdg(mach, m, s.words, s.op->ops_cost());
+        else
+          simnet::allreduce_butterfly(mach, m, s.words, s.op->ops_cost());
+        break;
+      }
+      case Kind::Bcast: {
+        const auto& s = static_cast<const ir::BcastStage&>(*stage);
+        switch (sched.bcast) {
+          case SimSchedules::Bcast::butterfly:
+            simnet::bcast_butterfly(mach, m, s.words, s.root);
+            break;
+          case SimSchedules::Bcast::binomial:
+            simnet::bcast_binomial(mach, m, s.words, s.root);
+            break;
+          case SimSchedules::Bcast::vdg:
+            simnet::bcast_vdg(mach, m, s.words);
+            break;
+          case SimSchedules::Bcast::pipelined:
+            simnet::bcast_pipelined(
+                mach, m, s.words,
+                simnet::optimal_segments(p, m * s.words, mach.net().ts,
+                                         mach.net().tw));
+            break;
+        }
+        break;
+      }
+      case Kind::ScanBalanced: {
+        const auto& s = static_cast<const ir::ScanBalancedStage&>(*stage);
+        simnet::scan_balanced(mach, m, s.op2.words, s.op2.ops_cost);
+        break;
+      }
+      case Kind::ReduceBalanced: {
+        const auto& s = static_cast<const ir::ReduceBalancedStage&>(*stage);
+        simnet::reduce_balanced(mach, m, s.op.words, s.op.ops_cost);
+        break;
+      }
+      case Kind::AllReduceBalanced: {
+        const auto& s = static_cast<const ir::AllReduceBalancedStage&>(*stage);
+        simnet::allreduce_balanced(mach, m, s.op.words, s.op.ops_cost);
+        break;
+      }
+      case Kind::Iter: {
+        const auto& s = static_cast<const ir::IterStage&>(*stage);
+        // 2^k processors: exactly log2(p) doubling steps.  Otherwise the
+        // generalized square-and-multiply costs at most 2 applications per
+        // binary digit of p.
+        const double levels =
+            is_pow2(static_cast<std::uint64_t>(p))
+                ? static_cast<double>(log2_floor(static_cast<std::uint64_t>(p)))
+                : 2.0 * static_cast<double>(
+                            binary_digits(static_cast<std::uint64_t>(p)));
+        simnet::local_iter(mach, m, s.step.ops_cost, levels);
+        break;
+      }
+    }
+  }
+}
+
+std::pair<SimSchedules::Bcast, double> best_bcast_schedule(
+    const model::Machine& mach) {
+  ir::Program prog;
+  prog.bcast();
+  SimSchedules::Bcast best = SimSchedules::Bcast::butterfly;
+  double best_time = run_on_simnet(prog, mach, {.bcast = best}).time;
+  for (auto cand : {SimSchedules::Bcast::binomial, SimSchedules::Bcast::vdg,
+                    SimSchedules::Bcast::pipelined}) {
+    const double t = run_on_simnet(prog, mach, {.bcast = cand}).time;
+    if (t < best_time) {
+      best = cand;
+      best_time = t;
+    }
+  }
+  return {best, best_time};
+}
+
+SimRunResult run_on_simnet(const ir::Program& prog, const model::Machine& mach,
+                           SimSchedules sched) {
+  simnet::SimMachine sim(mach.p, simnet::NetParams{mach.ts, mach.tw});
+  run_on_simnet(prog, sim, mach.m, sched);
+  return {sim.makespan(), sim.messages(), sim.words_sent()};
+}
+
+}  // namespace colop::exec

@@ -1,0 +1,142 @@
+#include "colop/exec/thread_executor.h"
+
+#include <utility>
+
+#include "colop/support/error.h"
+
+namespace colop::exec {
+namespace {
+
+using ir::Block;
+using ir::Value;
+
+// Lift a Value binary operator to blocks (MPI count semantics: collectives
+// combine blocks elementwise).
+template <typename F>
+auto lift2(F f) {
+  return [f = std::move(f)](const Block& a, const Block& b) {
+    COLOP_ASSERT(a.size() == b.size(), "block size mismatch in collective");
+    Block out(a.size());
+    for (std::size_t j = 0; j < a.size(); ++j) out[j] = f(a[j], b[j]);
+    return out;
+  };
+}
+
+template <typename F>
+auto lift1(F f) {
+  return [f = std::move(f)](const Block& a) {
+    Block out(a.size());
+    for (std::size_t j = 0; j < a.size(); ++j) out[j] = f(a[j]);
+    return out;
+  };
+}
+
+}  // namespace
+
+void exec_stage(const ir::Stage& stage, mpsim::Comm& comm, Block& block) {
+  using Kind = ir::Stage::Kind;
+  switch (stage.kind()) {
+    case Kind::Map: {
+      const auto& s = static_cast<const ir::MapStage&>(stage);
+      for (auto& v : block) v = s.fn(v);
+      return;
+    }
+    case Kind::MapIndexed: {
+      const auto& s = static_cast<const ir::MapIndexedStage&>(stage);
+      for (auto& v : block) v = s.fn(comm.rank(), v);
+      return;
+    }
+    case Kind::Scan: {
+      const auto& s = static_cast<const ir::ScanStage&>(stage);
+      block = mpsim::scan(comm, std::move(block),
+                          lift2([op = s.op](const Value& a, const Value& b) {
+                            return (*op)(a, b);
+                          }));
+      return;
+    }
+    case Kind::Reduce: {
+      const auto& s = static_cast<const ir::ReduceStage&>(stage);
+      block = mpsim::reduce(comm, std::move(block),
+                            lift2([op = s.op](const Value& a, const Value& b) {
+                              return (*op)(a, b);
+                            }),
+                            s.root);
+      return;
+    }
+    case Kind::AllReduce: {
+      const auto& s = static_cast<const ir::AllReduceStage&>(stage);
+      block = mpsim::allreduce(comm, std::move(block),
+                               lift2([op = s.op](const Value& a, const Value& b) {
+                                 return (*op)(a, b);
+                               }));
+      return;
+    }
+    case Kind::Bcast: {
+      const auto& s = static_cast<const ir::BcastStage&>(stage);
+      block = mpsim::bcast(comm, std::move(block), s.root);
+      return;
+    }
+    case Kind::ScanBalanced: {
+      const auto& s = static_cast<const ir::ScanBalancedStage&>(stage);
+      auto combine2 = [&s](const Block& a, const Block& b) {
+        COLOP_ASSERT(a.size() == b.size(), "block size mismatch in scan_balanced");
+        Block lo(a.size()), hi(a.size());
+        for (std::size_t j = 0; j < a.size(); ++j) {
+          auto [l, h] = s.op2.combine2(a[j], b[j]);
+          lo[j] = std::move(l);
+          hi[j] = std::move(h);
+        }
+        return std::make_pair(std::move(lo), std::move(hi));
+      };
+      block = mpsim::scan_balanced(comm, std::move(block), combine2,
+                                   lift1(s.op2.degrade), lift1(s.op2.strip));
+      return;
+    }
+    case Kind::ReduceBalanced: {
+      const auto& s = static_cast<const ir::ReduceBalancedStage&>(stage);
+      block = mpsim::reduce_balanced(comm, std::move(block),
+                                     lift2(s.op.combine), lift1(s.op.unit_case),
+                                     s.root);
+      return;
+    }
+    case Kind::AllReduceBalanced: {
+      const auto& s = static_cast<const ir::AllReduceBalancedStage&>(stage);
+      block = mpsim::allreduce_balanced(comm, std::move(block),
+                                        lift2(s.op.combine),
+                                        lift1(s.op.unit_case));
+      return;
+    }
+    case Kind::Iter: {
+      const auto& s = static_cast<const ir::IterStage&>(stage);
+      if (comm.rank() == 0) {
+        for (auto& v : block) v = s.apply_local(comm.size(), v);
+      } else {
+        for (auto& v : block) v = Value::undefined();
+      }
+      return;
+    }
+  }
+  COLOP_ASSERT(false, "unhandled stage kind");
+}
+
+ir::Dist run_on_threads(const ir::Program& prog, ir::Dist input) {
+  return run_on_threads_instrumented(prog, std::move(input)).output;
+}
+
+ThreadRunResult run_on_threads_instrumented(const ir::Program& prog,
+                                            ir::Dist input) {
+  COLOP_REQUIRE(!input.empty(), "run_on_threads: empty input");
+  const auto p = static_cast<int>(input.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  auto [output, traffic] = mpsim::run_spmd_collect_traffic<Block>(
+      p, [&](mpsim::Comm& comm) {
+        Block block = input[static_cast<std::size_t>(comm.rank())];
+        for (const auto& stage : prog.stages()) exec_stage(*stage, comm, block);
+        return block;
+      });
+  const auto t1 = std::chrono::steady_clock::now();
+  return {std::move(output), traffic,
+          std::chrono::duration<double>(t1 - t0).count()};
+}
+
+}  // namespace colop::exec

@@ -1,0 +1,64 @@
+#pragma once
+// Element-level functions used by map / map# stages, plus the auxiliary-
+// variable builders of Section 2.3 (pair, triple, quadruple, pi_1).
+
+#include <functional>
+#include <string>
+
+#include "colop/ir/shape.h"
+#include "colop/ir/value.h"
+
+namespace colop::ir {
+
+/// How a map stage transforms the element shape.  nullptr means
+/// shape-preserving (the default for user computations like f, g).
+using ShapeFn = std::function<Shape(const Shape&)>;
+
+/// Unary element function for `map f` — applied to every block element.
+struct ElemFn {
+  std::string name;
+  std::function<Value(const Value&)> fn;
+  /// Elementary operations per application (cost-model unit); tupling and
+  /// projections are free in the paper's estimates ("a small additive
+  /// constant ... which we ignore", Section 4.2).
+  double ops_cost = 0.0;
+  /// Element-shape transformer (nullptr = preserves the shape).
+  ShapeFn shape_fn;
+
+  Value operator()(const Value& v) const { return fn(v); }
+  [[nodiscard]] Shape apply_shape(const Shape& in) const {
+    return shape_fn ? shape_fn(in) : in;
+  }
+};
+
+/// Rank-indexed element function for `map# f` (Eq 13): f k x.
+struct ElemIdxFn {
+  std::string name;
+  std::function<Value(int, const Value&)> fn;
+  double ops_cost = 0.0;       ///< fixed ops per application
+  double ops_per_logp = 0.0;   ///< ops per application per log2(p) level
+                               ///< (the repeat schema's per-digit cost)
+  ShapeFn shape_fn;            ///< nullptr = preserves the shape
+
+  Value operator()(int k, const Value& v) const { return fn(k, v); }
+  [[nodiscard]] Shape apply_shape(const Shape& in) const {
+    return shape_fn ? shape_fn(in) : in;
+  }
+};
+
+// --- auxiliary-variable builders (Section 2.3) --------------------------
+
+/// pair a = (a, a)
+[[nodiscard]] ElemFn fn_pair();
+/// triple a = (a, a, a)
+[[nodiscard]] ElemFn fn_triple();
+/// quadruple a = (a, a, a, a)
+[[nodiscard]] ElemFn fn_quadruple();
+/// pi_1 (a, b, ...) = a   (Eq 12)
+[[nodiscard]] ElemFn fn_proj1();
+/// Identity.
+[[nodiscard]] ElemFn fn_id();
+/// Forward composition f ; g at the element level.
+[[nodiscard]] ElemFn fn_compose(ElemFn f, ElemFn g);
+
+}  // namespace colop::ir

@@ -1,0 +1,12 @@
+#pragma once
+// colop::ir — the paper's formal framework (Section 2): values, base
+// operators with algebraic properties, stages, programs, and the
+// sequential reference semantics.
+
+#include "colop/ir/binop.h"    // IWYU pragma: export
+#include "colop/ir/elemfn.h"   // IWYU pragma: export
+#include "colop/ir/program.h"  // IWYU pragma: export
+#include "colop/ir/shape.h"    // IWYU pragma: export
+#include "colop/ir/shapes.h"   // IWYU pragma: export
+#include "colop/ir/stage.h"    // IWYU pragma: export
+#include "colop/ir/value.h"    // IWYU pragma: export

@@ -1,0 +1,32 @@
+#pragma once
+// Textual program syntax — the MPI-flavoured surface language:
+//
+//   program   := stage ( ';' stage )*
+//   stage     := 'map' '(' mapfn ')'
+//              | 'scan' '(' op ')'
+//              | 'reduce' '(' op [ ',' 'root' '=' INT ] ')'
+//              | 'allreduce' '(' op ')'
+//              | 'bcast' [ '(' 'root' '=' INT ')' ]
+//   mapfn     := 'pair' | 'triple' | 'quadruple' | 'pi1' | 'id'
+//   op        := '+' | '*' | 'max' | 'min' | 'band' | 'bor' | 'gcd'
+//              | '+mod' INT | '*mod' INT | 'f+' | 'f*' | 'mat2' | 'first'
+//
+// This is exactly the sub-language Program::show() prints for source
+// programs (rewritten programs additionally contain derived operators,
+// which are not parseable — they exist only as compiled closures).
+// Whitespace is insignificant.  Used by the `colopt` command-line driver
+// and handy in tests.
+
+#include <string>
+
+#include "colop/ir/program.h"
+
+namespace colop::ir {
+
+/// Parse a program; throws colop::Error with position info on bad input.
+[[nodiscard]] Program parse_program(const std::string& text);
+
+/// Look up a standard operator by its surface name; throws on unknown.
+[[nodiscard]] BinOpPtr parse_op(const std::string& name);
+
+}  // namespace colop::ir

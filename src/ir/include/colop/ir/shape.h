@@ -1,0 +1,76 @@
+#pragma once
+// Shape: the static structure of one list element — a scalar or a tuple of
+// shapes.  Programs built from the paper's auxiliary-variable machinery
+// (pair/triple/quadruple, pi_1, derived operators) transform shapes in a
+// statically known way, so the element shape at every stage can be
+// inferred (shapes.h).  This powers
+//   * validation: collective stages' `words` metadata must equal the
+//     transmitted element width (the cost calculus depends on it);
+//   * enabling rewrites that need the width at a program point (MB-Swap).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "colop/support/error.h"
+
+namespace colop::ir {
+
+class Shape {
+ public:
+  /// A scalar (one machine word in the cost model).
+  Shape() = default;
+
+  [[nodiscard]] static Shape scalar() { return Shape(); }
+  [[nodiscard]] static Shape tuple_of(std::vector<Shape> components) {
+    Shape s;
+    s.components_ = std::make_shared<const std::vector<Shape>>(std::move(components));
+    return s;
+  }
+  /// Tuple of `n` copies of `component` (pair/triple/quadruple).
+  [[nodiscard]] static Shape replicate(const Shape& component, int n) {
+    return tuple_of(std::vector<Shape>(static_cast<std::size_t>(n), component));
+  }
+
+  [[nodiscard]] bool is_scalar() const { return components_ == nullptr; }
+  [[nodiscard]] bool is_tuple() const { return components_ != nullptr; }
+  [[nodiscard]] const std::vector<Shape>& components() const {
+    COLOP_REQUIRE(is_tuple(), "Shape: not a tuple");
+    return *components_;
+  }
+
+  /// Words per element in the cost model: scalars count one, tuples the
+  /// sum of their components.
+  [[nodiscard]] int words() const {
+    if (is_scalar()) return 1;
+    int n = 0;
+    for (const auto& c : *components_) n += c.words();
+    return n;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_scalar()) return "w";
+    std::string s = "(";
+    for (std::size_t i = 0; i < components_->size(); ++i) {
+      if (i) s += ",";
+      s += (*components_)[i].to_string();
+    }
+    return s + ")";
+  }
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    if (a.is_scalar() != b.is_scalar()) return false;
+    if (a.is_scalar()) return true;
+    const auto& x = *a.components_;
+    const auto& y = *b.components_;
+    if (x.size() != y.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      if (!(x[i] == y[i])) return false;
+    return true;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<Shape>> components_;
+};
+
+}  // namespace colop::ir

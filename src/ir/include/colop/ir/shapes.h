@@ -1,0 +1,35 @@
+#pragma once
+// Static shape inference over programs.
+//
+// Starting from the input element shape (scalar by default — one value per
+// block slot, the usual entry state), every stage transforms or preserves
+// the shape deterministically.  Inference simultaneously VALIDATES the
+// cost-model metadata: a collective stage declaring `words = w` must
+// actually transmit w words per element, otherwise the Table-1 style
+// estimates would be silently wrong.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "colop/ir/program.h"
+#include "colop/ir/shape.h"
+
+namespace colop::ir {
+
+/// Shape after each stage (result[i] = shape after stage i).  Throws
+/// colop::Error on any inconsistency (projection of a scalar, collective
+/// words metadata not matching the transmitted width, ...).
+[[nodiscard]] std::vector<Shape> infer_shapes(const Program& prog,
+                                              const Shape& input = Shape::scalar());
+
+/// Non-throwing validation: nullopt if consistent, else the error message.
+[[nodiscard]] std::optional<std::string> check_shapes(
+    const Program& prog, const Shape& input = Shape::scalar());
+
+/// Shape BEFORE stage `at` (convenience for rewrites that need the width
+/// at a program point).
+[[nodiscard]] Shape shape_before(const Program& prog, std::size_t at,
+                                 const Shape& input = Shape::scalar());
+
+}  // namespace colop::ir

@@ -1,0 +1,113 @@
+#pragma once
+// Value: the runtime representation of one list element in the formal
+// framework (Section 2.2 of the paper).
+//
+// A Value is an integer, a real, a tuple of Values (the paper's auxiliary
+// pair/triple/quadruple variables, Section 2.3), or UNDEFINED — the paper's
+// `_`: data whose content is irrelevant ("the data of the other processors
+// are not relevant", Eq 8) or genuinely unavailable (missing butterfly
+// partners in scan_balanced).  Undefined participates in structural
+// equality and costs zero transmitted words.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "colop/support/error.h"
+
+namespace colop::ir {
+
+class Value;
+using Tuple = std::vector<Value>;
+
+class Value {
+ public:
+  struct Undefined {
+    friend bool operator==(const Undefined&, const Undefined&) { return true; }
+  };
+
+  Value() : v_(Undefined{}) {}
+  Value(std::int64_t i) : v_(i) {}               // NOLINT(google-explicit-constructor)
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(double d) : v_(d) {}                     // NOLINT
+  Value(Tuple t) : v_(std::move(t)) {}           // NOLINT
+
+  [[nodiscard]] static Value undefined() { return Value(); }
+  [[nodiscard]] static Value tuple_of(std::initializer_list<Value> vs) {
+    return Value(Tuple(vs));
+  }
+
+  [[nodiscard]] bool is_undefined() const { return std::holds_alternative<Undefined>(v_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  [[nodiscard]] bool is_real() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_tuple() const { return std::holds_alternative<Tuple>(v_); }
+  [[nodiscard]] bool is_number() const { return is_int() || is_real(); }
+
+  [[nodiscard]] std::int64_t as_int() const {
+    COLOP_REQUIRE(is_int(), "Value: not an integer: " + to_string());
+    return std::get<std::int64_t>(v_);
+  }
+  [[nodiscard]] double as_real() const {
+    COLOP_REQUIRE(is_real(), "Value: not a real: " + to_string());
+    return std::get<double>(v_);
+  }
+  /// Numeric content as double (int widens).
+  [[nodiscard]] double number() const {
+    if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+    return as_real();
+  }
+  [[nodiscard]] const Tuple& as_tuple() const {
+    COLOP_REQUIRE(is_tuple(), "Value: not a tuple: " + to_string());
+    return std::get<Tuple>(v_);
+  }
+  [[nodiscard]] Tuple& as_tuple() {
+    COLOP_REQUIRE(is_tuple(), "Value: not a tuple: " + to_string());
+    return std::get<Tuple>(v_);
+  }
+
+  /// Tuple component access (the paper's pi projections, 0-based).
+  [[nodiscard]] const Value& at(std::size_t i) const {
+    const auto& t = as_tuple();
+    COLOP_REQUIRE(i < t.size(), "Value: tuple index out of range");
+    return t[i];
+  }
+
+  /// Structural equality; undefined == undefined.
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Transmitted words: numbers cost one word, tuples the sum of their
+  /// components, undefined costs nothing (it is never sent meaningfully).
+  [[nodiscard]] std::size_t words() const;
+
+ private:
+  std::variant<Undefined, std::int64_t, double, Tuple> v_;
+};
+
+/// Wire-size accounting hook for the mpsim runtime (found by ADL): one
+/// 8-byte word per defined numeric component.
+[[nodiscard]] std::size_t payload_bytes(const Value& v);
+[[nodiscard]] std::size_t payload_bytes(const Tuple& t);
+
+/// A block: the m elements held by one processor (MPI's count).
+using Block = std::vector<Value>;
+/// A distributed list: one block per processor — the paper's [x1, ..., xn].
+using Dist = std::vector<Block>;
+
+/// Approximate structural equality for floating-point programs: numeric
+/// leaves compare with relative tolerance `rel_tol` (plus the same value
+/// as an absolute floor near zero); tuples recurse; undefined matches
+/// undefined.  With rel_tol = 0 this is exact equality.
+[[nodiscard]] bool approx_equal(const Value& a, const Value& b, double rel_tol);
+[[nodiscard]] bool approx_equal(const Block& a, const Block& b, double rel_tol);
+[[nodiscard]] bool approx_equal(const Dist& a, const Dist& b, double rel_tol);
+
+/// Convenience constructors for tests/examples.
+[[nodiscard]] Block block_of_ints(const std::vector<std::int64_t>& xs);
+[[nodiscard]] Dist dist_of_ints(const std::vector<std::int64_t>& xs);
+[[nodiscard]] std::string to_string(const Block& b);
+[[nodiscard]] std::string to_string(const Dist& d);
+
+}  // namespace colop::ir

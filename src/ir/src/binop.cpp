@@ -1,0 +1,262 @@
+#include "colop/ir/binop.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace colop::ir {
+namespace {
+
+// Arithmetic lifted over int/real Values (ints stay ints, reals stay reals;
+// mixing widens to real).
+template <typename IntFn, typename RealFn>
+Value numeric(const Value& a, const Value& b, IntFn fi, RealFn fr) {
+  if (a.is_int() && b.is_int()) return Value(fi(a.as_int(), b.as_int()));
+  return Value(fr(a.number(), b.number()));
+}
+
+}  // namespace
+
+BinOpPtr op_add() {
+  static const BinOpPtr op = BinOp::make({
+      .name = "+",
+      .fn =
+          [](const Value& a, const Value& b) {
+            return numeric(
+                a, b, [](auto x, auto y) { return x + y; },
+                [](double x, double y) { return x + y; });
+          },
+      .associative = true,
+      .commutative = true,
+      .distributes_over = {"max", "min"},
+      .ops_cost = 1.0,
+      .unit = Value(std::int64_t{0}),
+  });
+  return op;
+}
+
+BinOpPtr op_mul() {
+  static const BinOpPtr op = BinOp::make({
+      .name = "*",
+      .fn =
+          [](const Value& a, const Value& b) {
+            return numeric(
+                a, b, [](auto x, auto y) { return x * y; },
+                [](double x, double y) { return x * y; });
+          },
+      .associative = true,
+      .commutative = true,
+      .distributes_over = {"+"},
+      .ops_cost = 1.0,
+      .unit = Value(std::int64_t{1}),
+  });
+  return op;
+}
+
+BinOpPtr op_max() {
+  static const BinOpPtr op = BinOp::make({
+      .name = "max",
+      .fn =
+          [](const Value& a, const Value& b) {
+            return numeric(
+                a, b, [](auto x, auto y) { return std::max(x, y); },
+                [](double x, double y) { return std::max(x, y); });
+          },
+      .associative = true,
+      .commutative = true,
+      .distributes_over = {"min", "max"},
+      .ops_cost = 1.0,
+  });
+  return op;
+}
+
+BinOpPtr op_min() {
+  static const BinOpPtr op = BinOp::make({
+      .name = "min",
+      .fn =
+          [](const Value& a, const Value& b) {
+            return numeric(
+                a, b, [](auto x, auto y) { return std::min(x, y); },
+                [](double x, double y) { return std::min(x, y); });
+          },
+      .associative = true,
+      .commutative = true,
+      .distributes_over = {"max", "min"},
+      .ops_cost = 1.0,
+  });
+  return op;
+}
+
+BinOpPtr op_band() {
+  static const BinOpPtr op = BinOp::make({
+      .name = "band",
+      .fn = [](const Value& a, const Value& b) { return Value(a.as_int() & b.as_int()); },
+      .associative = true,
+      .commutative = true,
+      .distributes_over = {"bor", "band"},
+      .ops_cost = 1.0,
+      .unit = Value(std::int64_t{-1}),
+  });
+  return op;
+}
+
+BinOpPtr op_bor() {
+  static const BinOpPtr op = BinOp::make({
+      .name = "bor",
+      .fn = [](const Value& a, const Value& b) { return Value(a.as_int() | b.as_int()); },
+      .associative = true,
+      .commutative = true,
+      .distributes_over = {"band", "bor"},
+      .ops_cost = 1.0,
+      .unit = Value(std::int64_t{0}),
+  });
+  return op;
+}
+
+BinOpPtr op_gcd() {
+  static const BinOpPtr op = BinOp::make({
+      .name = "gcd",
+      .fn =
+          [](const Value& a, const Value& b) {
+            return Value(std::gcd(a.as_int(), b.as_int()));
+          },
+      .associative = true,
+      .commutative = true,
+      .distributes_over = {"gcd"},
+      .ops_cost = 1.0,
+      .unit = Value(std::int64_t{0}),
+  });
+  return op;
+}
+
+BinOpPtr op_modadd(std::int64_t m) {
+  return BinOp::make({
+      .name = "+mod" + std::to_string(m),
+      .fn =
+          [m](const Value& a, const Value& b) {
+            return Value((((a.as_int() + b.as_int()) % m) + m) % m);
+          },
+      .associative = true,
+      .commutative = true,
+      .ops_cost = 1.0,
+      .unit = Value(std::int64_t{0}),
+  });
+}
+
+BinOpPtr op_modmul(std::int64_t m) {
+  return BinOp::make({
+      .name = "*mod" + std::to_string(m),
+      .fn =
+          [m](const Value& a, const Value& b) {
+            return Value((((a.as_int() * b.as_int()) % m) + m) % m);
+          },
+      .associative = true,
+      .commutative = true,
+      .distributes_over = {"+mod" + std::to_string(m)},
+      .ops_cost = 1.0,
+      .unit = Value(std::int64_t{1}),
+  });
+}
+
+BinOpPtr op_fadd() {
+  static const BinOpPtr op = BinOp::make({
+      .name = "f+",
+      .fn = [](const Value& a, const Value& b) { return Value(a.number() + b.number()); },
+      .associative = true,
+      .commutative = true,
+      .ops_cost = 1.0,
+      .unit = Value(0.0),
+  });
+  return op;
+}
+
+BinOpPtr op_fmul() {
+  static const BinOpPtr op = BinOp::make({
+      .name = "f*",
+      .fn = [](const Value& a, const Value& b) { return Value(a.number() * b.number()); },
+      .associative = true,
+      .commutative = true,
+      .distributes_over = {"f+"},
+      .ops_cost = 1.0,
+      .unit = Value(1.0),
+  });
+  return op;
+}
+
+BinOpPtr op_mat2() {
+  static const BinOpPtr op = BinOp::make({
+      .name = "mat2",
+      .fn =
+          [](const Value& a, const Value& b) {
+            const auto& x = a.as_tuple();
+            const auto& y = b.as_tuple();
+            COLOP_REQUIRE(x.size() == 4 && y.size() == 4, "mat2: need 4-tuples");
+            const auto e = [](const Tuple& t, int i) { return t[static_cast<std::size_t>(i)].as_int(); };
+            return Value(Tuple{
+                Value(e(x, 0) * e(y, 0) + e(x, 1) * e(y, 2)),
+                Value(e(x, 0) * e(y, 1) + e(x, 1) * e(y, 3)),
+                Value(e(x, 2) * e(y, 0) + e(x, 3) * e(y, 2)),
+                Value(e(x, 2) * e(y, 1) + e(x, 3) * e(y, 3)),
+            });
+          },
+      .associative = true,
+      .commutative = false,
+      .ops_cost = 12.0,
+      .unit = Value(Tuple{Value(1), Value(0), Value(0), Value(1)}),
+  });
+  return op;
+}
+
+BinOpPtr op_first() {
+  static const BinOpPtr op = BinOp::make({
+      .name = "first",
+      .fn = [](const Value& a, const Value&) { return a; },
+      .associative = true,
+      .commutative = false,
+      .ops_cost = 0.0,
+  });
+  return op;
+}
+
+// --- property checkers ---------------------------------------------------
+
+bool check_distributes_over(const BinOp& times, const BinOp& plus,
+                            const std::function<Value(Rng&)>& gen, int trials,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < trials; ++i) {
+    const Value a = gen(rng), b = gen(rng), c = gen(rng);
+    const Value lhs_l = times(a, plus(b, c));
+    const Value rhs_l = plus(times(a, b), times(a, c));
+    if (!(lhs_l == rhs_l)) return false;
+    const Value lhs_r = times(plus(b, c), a);
+    const Value rhs_r = plus(times(b, a), times(c, a));
+    if (!(lhs_r == rhs_r)) return false;
+  }
+  return true;
+}
+
+bool check_associative(const BinOp& op, const std::function<Value(Rng&)>& gen,
+                       int trials, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < trials; ++i) {
+    const Value a = gen(rng), b = gen(rng), c = gen(rng);
+    if (!(op(op(a, b), c) == op(a, op(b, c)))) return false;
+  }
+  return true;
+}
+
+bool check_commutative(const BinOp& op, const std::function<Value(Rng&)>& gen,
+                       int trials, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < trials; ++i) {
+    const Value a = gen(rng), b = gen(rng);
+    if (!(op(a, b) == op(b, a))) return false;
+  }
+  return true;
+}
+
+std::function<Value(Rng&)> small_int_gen(std::int64_t lo, std::int64_t hi) {
+  return [lo, hi](Rng& rng) { return Value(rng.uniform(lo, hi)); };
+}
+
+}  // namespace colop::ir

@@ -1,0 +1,51 @@
+#include "colop/ir/elemfn.h"
+
+namespace colop::ir {
+
+ElemFn fn_pair() {
+  return {"pair", [](const Value& v) { return Value(Tuple{v, v}); }, 0.0,
+          [](const Shape& s) { return Shape::replicate(s, 2); }};
+}
+
+ElemFn fn_triple() {
+  return {"triple", [](const Value& v) { return Value(Tuple{v, v, v}); }, 0.0,
+          [](const Shape& s) { return Shape::replicate(s, 3); }};
+}
+
+ElemFn fn_quadruple() {
+  return {"quadruple",
+          [](const Value& v) { return Value(Tuple{v, v, v, v}); }, 0.0,
+          [](const Shape& s) { return Shape::replicate(s, 4); }};
+}
+
+ElemFn fn_proj1() {
+  // pi_1 of an undefined value is undefined: after `iter`, non-root blocks
+  // are the paper's `_` and the projection must pass that through.
+  return {"pi1",
+          [](const Value& v) {
+            return v.is_undefined() ? Value::undefined() : v.at(0);
+          },
+          0.0,
+          [](const Shape& s) { return s.components().at(0); }};
+}
+
+ElemFn fn_id() {
+  return {"id", [](const Value& v) { return v; }, 0.0, nullptr};
+}
+
+ElemFn fn_compose(ElemFn f, ElemFn g) {
+  ShapeFn shape;
+  if (f.shape_fn || g.shape_fn) {
+    shape = [fs = f.shape_fn, gs = g.shape_fn](const Shape& s) {
+      const Shape mid = fs ? fs(s) : s;
+      return gs ? gs(mid) : mid;
+    };
+  }
+  return {f.name + ";" + g.name,
+          [f = std::move(f.fn), g = std::move(g.fn)](const Value& v) {
+            return g(f(v));
+          },
+          f.ops_cost + g.ops_cost, std::move(shape)};
+}
+
+}  // namespace colop::ir

@@ -1,0 +1,109 @@
+#include "colop/ir/value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace colop::ir {
+
+std::string Value::to_string() const {
+  if (is_undefined()) return "_";
+  if (is_int()) return std::to_string(std::get<std::int64_t>(v_));
+  if (is_real()) {
+    std::ostringstream os;
+    os << std::get<double>(v_);
+    return os.str();
+  }
+  std::string s = "(";
+  const auto& t = std::get<Tuple>(v_);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i) s += ",";
+    s += t[i].to_string();
+  }
+  return s + ")";
+}
+
+std::size_t Value::words() const {
+  if (is_undefined()) return 0;
+  if (is_number()) return 1;
+  std::size_t n = 0;
+  for (const auto& v : as_tuple()) n += v.words();
+  return n;
+}
+
+std::size_t payload_bytes(const Value& v) { return 8 * v.words(); }
+
+std::size_t payload_bytes(const Tuple& t) {
+  std::size_t n = 0;
+  for (const auto& v : t) n += payload_bytes(v);
+  return n;
+}
+
+bool approx_equal(const Value& a, const Value& b, double rel_tol) {
+  if (rel_tol <= 0) return a == b;
+  if (a.is_undefined() || b.is_undefined())
+    return a.is_undefined() == b.is_undefined();
+  if (a.is_tuple() || b.is_tuple()) {
+    if (!a.is_tuple() || !b.is_tuple()) return false;
+    const auto& x = a.as_tuple();
+    const auto& y = b.as_tuple();
+    if (x.size() != y.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      if (!approx_equal(x[i], y[i], rel_tol)) return false;
+    return true;
+  }
+  // Numeric leaves: int==int stays exact; anything involving a real uses
+  // the tolerance.
+  if (a.is_int() && b.is_int()) return a == b;
+  const double u = a.number(), v = b.number();
+  const double scale = std::max({std::abs(u), std::abs(v), 1.0});
+  return std::abs(u - v) <= rel_tol * scale;
+}
+
+bool approx_equal(const Block& a, const Block& b, double rel_tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!approx_equal(a[i], b[i], rel_tol)) return false;
+  return true;
+}
+
+bool approx_equal(const Dist& a, const Dist& b, double rel_tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!approx_equal(a[i], b[i], rel_tol)) return false;
+  return true;
+}
+
+Block block_of_ints(const std::vector<std::int64_t>& xs) {
+  Block b;
+  b.reserve(xs.size());
+  for (auto x : xs) b.emplace_back(x);
+  return b;
+}
+
+Dist dist_of_ints(const std::vector<std::int64_t>& xs) {
+  Dist d;
+  d.reserve(xs.size());
+  for (auto x : xs) d.push_back(Block{Value(x)});
+  return d;
+}
+
+std::string to_string(const Block& b) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (i) s += ",";
+    s += b[i].to_string();
+  }
+  return s + "]";
+}
+
+std::string to_string(const Dist& d) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i) s += "; ";
+    s += to_string(d[i]);
+  }
+  return s + "]";
+}
+
+}  // namespace colop::ir

@@ -1,0 +1,77 @@
+#pragma once
+// The cost calculus of Section 4: symbolic per-stage costs of the form
+//
+//   T = log p * (A*ts + B*m*tw + C*m)  +  D*m  +  E
+//
+// where A counts start-ups per butterfly phase, B transmitted words per
+// element per phase, C computation per element per phase, D flat local
+// computation per element, and E flat constants.  Table 1 of the paper is
+// exactly the (A, B, C) triples of rule LHS/RHS programs; keeping the
+// terms symbolic lets the benchmarks print the paper's closed forms and
+// derive the "Improved if" conditions instead of hard-coding them.
+
+#include <string>
+
+#include "colop/ir/program.h"
+#include "colop/model/machine.h"
+
+namespace colop::model {
+
+struct Cost {
+  double logp_ts = 0;   ///< A: coefficient of log2(p) * ts
+  double logp_mtw = 0;  ///< B: coefficient of log2(p) * m * tw
+  double logp_m = 0;    ///< C: coefficient of log2(p) * m
+  double flat_m = 0;    ///< D: coefficient of m (no log p factor)
+  double flat = 0;      ///< E: constants
+
+  [[nodiscard]] double eval(const Machine& mach) const;
+
+  /// The paper's Table-1 style rendering of the per-log-p part, e.g.
+  /// "2ts + m*(2tw + 3)"; flat parts are appended when non-zero.
+  [[nodiscard]] std::string show() const;
+
+  friend Cost operator+(Cost a, const Cost& b) {
+    a.logp_ts += b.logp_ts;
+    a.logp_mtw += b.logp_mtw;
+    a.logp_m += b.logp_m;
+    a.flat_m += b.flat_m;
+    a.flat += b.flat;
+    return a;
+  }
+  friend Cost operator-(Cost a, const Cost& b) {
+    a.logp_ts -= b.logp_ts;
+    a.logp_mtw -= b.logp_mtw;
+    a.logp_m -= b.logp_m;
+    a.flat_m -= b.flat_m;
+    a.flat -= b.flat;
+    return a;
+  }
+  friend bool operator==(const Cost&, const Cost&) = default;
+};
+
+/// Symbolic cost of one stage under the butterfly implementation model
+/// (Eqs 15-17 generalized to w-word elements and op-cost metadata).
+[[nodiscard]] Cost stage_cost(const ir::Stage& stage);
+
+/// Sum of stage costs.
+[[nodiscard]] Cost program_cost(const ir::Program& prog);
+
+/// Numeric program cost on a machine.
+[[nodiscard]] double program_time(const ir::Program& prog, const Machine& mach);
+
+// --- closed forms of Section 4.1 (for tests and the simnet cross-check) --
+[[nodiscard]] double t_bcast(const Machine& mach);   ///< Eq 15
+[[nodiscard]] double t_reduce(const Machine& mach);  ///< Eq 16
+[[nodiscard]] double t_scan(const Machine& mach);    ///< Eq 17
+
+/// "Improved if": render the condition (before - after) > 0, simplified to
+/// the paper's style, e.g. "ts > 2m", "always", or "never".
+[[nodiscard]] std::string improvement_condition(const Cost& before,
+                                                const Cost& after);
+
+/// Smallest ts (for fixed m, tw) at which `after` beats `before`; negative
+/// or zero means "always improves" (for the given m, tw).
+[[nodiscard]] double ts_crossover(const Cost& before, const Cost& after,
+                                  double m, double tw);
+
+}  // namespace colop::model

@@ -1,0 +1,16 @@
+#pragma once
+// The paper's machine model (Section 4.1): a virtual, fully connected
+// system with bidirectional links.  Two processors exchange blocks of m
+// words in Tsend_recv = ts + m*tw; one computation operation costs one
+// time unit.
+
+namespace colop::model {
+
+struct Machine {
+  int p = 64;        ///< number of processors
+  double m = 1024;   ///< block size (elements per processor)
+  double ts = 100;   ///< communication start-up time (in op units)
+  double tw = 2;     ///< per-word transfer time (in op units)
+};
+
+}  // namespace colop::model

@@ -1,0 +1,21 @@
+#pragma once
+// Memory consumption of a program (Section 4.2: "for large blocks, rule
+// SS2-Scan may become impractical because of the additional memory
+// consumption").
+//
+// The auxiliary-variable technique multiplies the per-element footprint:
+// map(pair) doubles it, map(quadruple) quadruples it.  The peak is read
+// off the inferred element shapes: a program whose widest element shape
+// holds w words needs w * m words per processor for the data alone.
+
+#include "colop/ir/program.h"
+#include "colop/ir/shapes.h"
+
+namespace colop::model {
+
+/// Peak element width (words) over all program points, including the
+/// input.  Peak memory per processor = peak_elem_words * m words.
+[[nodiscard]] int peak_elem_words(const ir::Program& prog,
+                                  const ir::Shape& input = ir::Shape::scalar());
+
+}  // namespace colop::model

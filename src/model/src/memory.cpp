@@ -1,0 +1,14 @@
+#include "colop/model/memory.h"
+
+#include <algorithm>
+
+namespace colop::model {
+
+int peak_elem_words(const ir::Program& prog, const ir::Shape& input) {
+  int peak = input.words();
+  for (const auto& shape : ir::infer_shapes(prog, input))
+    peak = std::max(peak, shape.words());
+  return peak;
+}
+
+}  // namespace colop::model

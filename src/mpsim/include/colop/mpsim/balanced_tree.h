@@ -1,0 +1,60 @@
+#pragma once
+// The paper's balanced combining tree (Section 3.2).
+//
+// For n leaves the tree is defined by two conditions:
+//   1. all leaves have the same depth (= ceil(log2 n));
+//   2. the right subtree of a node must be complete if the node has a
+//      non-empty left subtree.
+// These conditions determine a unique tree for every n.  Nodes with an
+// empty left subtree ("unit nodes") apply the operator's unit case
+// op((), x) instead of op(left, right).
+//
+// Leaf i is processor i; an internal node is computed on the rank of the
+// first leaf of its span (the right child's owner sends to it).
+
+#include <vector>
+
+namespace colop::mpsim {
+
+struct BalancedNode {
+  int first = 0;   ///< first leaf (= rank) of this node's span
+  int count = 0;   ///< number of leaves in the span
+  int height = 0;  ///< distance to the leaves (leaf = 0)
+  int left = -1;   ///< child node index, -1 if absent (leaf or unit node)
+  int right = -1;  ///< child node index, -1 for leaves
+
+  [[nodiscard]] bool is_leaf() const noexcept { return right == -1; }
+  /// Unit node: internal node whose left subtree is empty.
+  [[nodiscard]] bool is_unit() const noexcept { return !is_leaf() && left == -1; }
+  /// Rank that computes (owns) this node's value.
+  [[nodiscard]] int owner() const noexcept { return first; }
+};
+
+class BalancedTree {
+ public:
+  /// Build the unique balanced tree over `n` >= 1 leaves.
+  static BalancedTree build(int n);
+
+  [[nodiscard]] const std::vector<BalancedNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const BalancedNode& node(int i) const { return nodes_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int root() const noexcept { return root_; }
+  [[nodiscard]] int leaf_count() const noexcept { return leaves_; }
+  /// Tree height = ceil(log2 n); every leaf sits at this depth.
+  [[nodiscard]] unsigned height() const noexcept { return height_; }
+
+  /// Internal (non-leaf) node indices ordered by increasing height; this is
+  /// the communication schedule: height level h is combining phase h.
+  [[nodiscard]] std::vector<int> internal_by_height() const;
+
+ private:
+  int build_rec(int first, int count, int height);
+
+  std::vector<BalancedNode> nodes_;
+  int root_ = -1;
+  int leaves_ = 0;
+  unsigned height_ = 0;
+};
+
+}  // namespace colop::mpsim

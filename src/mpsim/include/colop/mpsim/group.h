@@ -1,0 +1,71 @@
+#pragma once
+// Shared state of one process group: mailboxes, barrier, traffic counters,
+// abort flag, and coordination state for communicator splits.
+//
+// A Group is the moral equivalent of an MPI communicator's shared side.
+// Ranks interact with it through Comm handles (comm.h).
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "colop/mpsim/mailbox.h"
+#include "colop/mpsim/stats.h"
+
+namespace colop::mpsim {
+
+class Group {
+ public:
+  explicit Group(int size);
+
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] Mailbox& mailbox(int rank);
+  [[nodiscard]] TrafficStats& stats() noexcept { return stats_; }
+
+  /// Block until all `size()` ranks have entered; reusable (generational).
+  /// Throws colop::Error if the group is aborted while waiting.
+  void barrier();
+
+  /// Mark the group as aborted and wake every blocked rank.  Used when one
+  /// SPMD thread throws so the others do not deadlock in recv/barrier.
+  void abort();
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  // --- split coordination (used by Comm::split) -------------------------
+  // All ranks of the group must call these collectively, in program order.
+
+  /// Phase 1: publish (color, key) for `rank`, then wait for everyone.
+  void split_publish(int rank, int color, int key);
+  /// Phase 2: read everyone's (color, key); valid after split_publish.
+  [[nodiscard]] std::vector<std::pair<int, int>> split_slots() const;
+  /// Phase 3: obtain (creating once) the shared subgroup for `color` with
+  /// `members` ranks; then wait for everyone before the epoch advances.
+  std::shared_ptr<Group> split_retrieve(int color, int members);
+  /// Phase 4: leave the split epoch (final barrier + epoch cleanup).
+  void split_finish(int rank);
+
+ private:
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  TrafficStats stats_;
+  std::atomic<bool> aborted_{false};
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  std::mutex split_mutex_;
+  std::vector<std::pair<int, int>> split_slots_;
+  std::map<int, std::shared_ptr<Group>> split_groups_;  // color -> subgroup
+};
+
+}  // namespace colop::mpsim

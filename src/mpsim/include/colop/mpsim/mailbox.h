@@ -1,0 +1,60 @@
+#pragma once
+// Per-rank mailbox with (source, tag) matching.
+//
+// Semantics follow MPI's eager protocol on an infinite buffer: send never
+// blocks, recv blocks until a matching message is available.  Messages from
+// the same (source, tag) are delivered FIFO, which the collectives rely on
+// to separate successive phases that reuse one tag.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "colop/mpsim/message.h"
+
+namespace colop::mpsim {
+
+class Mailbox {
+ public:
+  /// Deposit a message; wakes any blocked receiver.  Never blocks.
+  void put(Message msg);
+
+  /// Block until a message from (source, tag) is available and remove it.
+  /// Throws colop::Error if the group is aborted while waiting.
+  Message take(int source, int tag);
+
+  /// Non-blocking probe: true iff a matching message is queued.
+  [[nodiscard]] bool probe(int source, int tag) const;
+
+  /// Number of queued messages across all (source, tag) keys.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Wake all blocked receivers so they can observe an abort.
+  void notify_abort();
+
+  /// Install the group's abort flag (set once at group construction).
+  void set_abort_flag(const std::atomic<bool>* aborted) { aborted_ = aborted; }
+
+ private:
+  struct Key {
+    int source;
+    int tag;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.source)) << 32) |
+          static_cast<std::uint32_t>(k.tag));
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<Key, std::deque<Message>, KeyHash> queues_;
+  const std::atomic<bool>* aborted_ = nullptr;
+};
+
+}  // namespace colop::mpsim

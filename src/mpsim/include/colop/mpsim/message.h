@@ -1,0 +1,104 @@
+#pragma once
+// Message representation and payload size accounting.
+//
+// mpsim is an intra-process message-passing runtime: payloads are moved
+// (never serialized) between threads via std::any.  For traffic statistics
+// we still account a wire size for every payload, computed by
+// payload_bytes().  User types can participate by providing an ADL-visible
+// overload `std::size_t payload_bytes(const T&)`.
+
+#include <any>
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace colop::mpsim {
+
+/// One in-flight message.  `payload` owns the (moved-in) value.
+struct Message {
+  std::any payload;
+  std::size_t bytes = 0;  ///< accounted wire size of the payload
+  int source = -1;
+  int tag = 0;
+};
+
+// --- payload_bytes: wire-size accounting -------------------------------
+// Forward declarations first: the containers recurse into each other
+// (vector<pair<...>>, pair<vector<...>, ...>) and std types get no ADL help
+// from this namespace, so every overload must be visible to every other.
+
+template <typename T>
+  requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+[[nodiscard]] constexpr std::size_t payload_bytes(const T&) noexcept;
+[[nodiscard]] inline std::size_t payload_bytes(const std::string& s) noexcept;
+template <typename T>
+[[nodiscard]] std::size_t payload_bytes(const std::vector<T>& v);
+template <typename T, std::size_t N>
+[[nodiscard]] std::size_t payload_bytes(const std::array<T, N>& v);
+template <typename A, typename B>
+[[nodiscard]] std::size_t payload_bytes(const std::pair<A, B>& p);
+template <typename... Ts>
+[[nodiscard]] std::size_t payload_bytes(const std::tuple<Ts...>& t);
+template <typename T>
+[[nodiscard]] std::size_t payload_bytes(const std::optional<T>& o);
+
+template <typename T>
+  requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+[[nodiscard]] constexpr std::size_t payload_bytes(const T&) noexcept {
+  return sizeof(T);
+}
+
+[[nodiscard]] inline std::size_t payload_bytes(const std::string& s) noexcept {
+  return s.size();
+}
+
+template <typename T>
+[[nodiscard]] std::size_t payload_bytes(const std::vector<T>& v) {
+  if constexpr (std::is_arithmetic_v<T>) {
+    return v.size() * sizeof(T);
+  } else {
+    std::size_t total = 0;
+    for (const auto& e : v) total += payload_bytes(e);
+    return total;
+  }
+}
+
+template <typename T, std::size_t N>
+[[nodiscard]] std::size_t payload_bytes(const std::array<T, N>& v) {
+  if constexpr (std::is_arithmetic_v<T>) {
+    return N * sizeof(T);
+  } else {
+    std::size_t total = 0;
+    for (const auto& e : v) total += payload_bytes(e);
+    return total;
+  }
+}
+
+template <typename A, typename B>
+[[nodiscard]] std::size_t payload_bytes(const std::pair<A, B>& p) {
+  return payload_bytes(p.first) + payload_bytes(p.second);
+}
+
+template <typename... Ts>
+[[nodiscard]] std::size_t payload_bytes(const std::tuple<Ts...>& t) {
+  return std::apply(
+      [](const Ts&... es) { return (std::size_t{0} + ... + payload_bytes(es)); }, t);
+}
+
+template <typename T>
+[[nodiscard]] std::size_t payload_bytes(const std::optional<T>& o) {
+  return o ? payload_bytes(*o) : 0;
+}
+
+/// Dispatch helper that finds overloads via ADL as well as the ones above.
+template <typename T>
+[[nodiscard]] std::size_t wire_size(const T& v) {
+  return payload_bytes(v);
+}
+
+}  // namespace colop::mpsim

@@ -1,0 +1,62 @@
+#pragma once
+// Non-blocking receive handles (MPI_Irecv / MPI_Wait analogue).
+//
+// mpsim's send is already asynchronous-eager (never blocks), so MPI_Isend
+// is just Comm::send.  RecvRequest defers the matching: it can be polled
+// with ready() and resolved with wait(), letting user code overlap local
+// computation with in-flight messages.
+
+#include <utility>
+#include <vector>
+
+#include "colop/mpsim/comm.h"
+
+namespace colop::mpsim {
+
+template <typename T>
+class RecvRequest {
+ public:
+  RecvRequest(const Comm& comm, int source, int tag)
+      : comm_(&comm), source_(source), tag_(tag) {}
+
+  /// True iff wait() would return without blocking.
+  [[nodiscard]] bool ready() const {
+    COLOP_REQUIRE(!done_, "mpsim: request already completed");
+    return comm_->probe(source_, tag_);
+  }
+
+  /// Block until the message arrives and return it.  Single-shot.
+  [[nodiscard]] T wait() {
+    COLOP_REQUIRE(!done_, "mpsim: request already completed");
+    done_ = true;
+    return comm_->recv<T>(source_, tag_);
+  }
+
+  [[nodiscard]] int source() const noexcept { return source_; }
+  [[nodiscard]] int tag() const noexcept { return tag_; }
+
+ private:
+  const Comm* comm_;
+  int source_;
+  int tag_;
+  bool done_ = false;
+};
+
+/// Post a non-blocking receive.
+template <typename T>
+[[nodiscard]] RecvRequest<T> irecv(const Comm& comm, int source, int tag = 0) {
+  COLOP_REQUIRE(tag >= 0 && tag < kCollectiveTagBase,
+                "mpsim: user tag out of range");
+  return RecvRequest<T>(comm, source, tag);
+}
+
+/// Complete a batch of requests, returning the payloads in request order.
+template <typename T>
+[[nodiscard]] std::vector<T> wait_all(std::vector<RecvRequest<T>>& requests) {
+  std::vector<T> out;
+  out.reserve(requests.size());
+  for (auto& r : requests) out.push_back(r.wait());
+  return out;
+}
+
+}  // namespace colop::mpsim

@@ -1,0 +1,111 @@
+#pragma once
+// SPMD launcher: run one function body on p ranks (one std::thread each),
+// exactly like `mpirun -np p` over a shared-memory transport.
+//
+// Exception safety: if any rank throws, the group is aborted so that ranks
+// blocked in recv/barrier wake up and unwind; the first "real" exception is
+// rethrown to the caller after all threads joined.
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "colop/mpsim/comm.h"
+#include "colop/support/error.h"
+
+namespace colop::mpsim {
+
+namespace detail {
+
+template <typename Body>
+void run_spmd_impl(int nprocs, Body&& body,
+                   const std::shared_ptr<Group>& group) {
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs));
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(nprocs));
+    for (int r = 0; r < nprocs; ++r) {
+      threads.emplace_back([&, r] {
+        Comm comm(group, r);
+        try {
+          body(comm);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          group->abort();
+        }
+      });
+    }
+  }  // join
+
+  // Prefer the originating exception over secondary "group aborted" ones.
+  std::exception_ptr first;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    if (!first) first = e;
+    try {
+      std::rethrow_exception(e);
+    } catch (const Error& err) {
+      const std::string what = err.what();
+      if (what.find("group aborted") == std::string::npos) {
+        first = e;
+        break;
+      }
+    } catch (...) {
+      first = e;
+      break;
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace detail
+
+/// Run `body(Comm&)` on `nprocs` ranks and wait for completion.
+template <typename Body>
+void run_spmd(int nprocs, Body&& body) {
+  COLOP_REQUIRE(nprocs >= 1, "mpsim: need at least one rank");
+  auto group = std::make_shared<Group>(nprocs);
+  detail::run_spmd_impl(nprocs, std::forward<Body>(body), group);
+}
+
+/// Run `body(Comm&) -> R` on `nprocs` ranks; returns the per-rank results
+/// indexed by rank.  This is the main entry point used by tests: the result
+/// vector is exactly the paper's distributed list [x1, ..., xn].
+template <typename R, typename Body>
+[[nodiscard]] std::vector<R> run_spmd_collect(int nprocs, Body&& body) {
+  COLOP_REQUIRE(nprocs >= 1, "mpsim: need at least one rank");
+  auto group = std::make_shared<Group>(nprocs);
+  std::vector<R> results(static_cast<std::size_t>(nprocs));
+  detail::run_spmd_impl(
+      nprocs,
+      [&](Comm& comm) { results[static_cast<std::size_t>(comm.rank())] = body(comm); },
+      group);
+  return results;
+}
+
+/// As run_spmd_collect, but also returns the group's traffic counters.
+template <typename R, typename Body>
+[[nodiscard]] std::pair<std::vector<R>, TrafficCounters> run_spmd_collect_traffic(
+    int nprocs, Body&& body) {
+  COLOP_REQUIRE(nprocs >= 1, "mpsim: need at least one rank");
+  auto group = std::make_shared<Group>(nprocs);
+  std::vector<R> results(static_cast<std::size_t>(nprocs));
+  detail::run_spmd_impl(
+      nprocs,
+      [&](Comm& comm) { results[static_cast<std::size_t>(comm.rank())] = body(comm); },
+      group);
+  return {std::move(results), group->stats().snapshot()};
+}
+
+/// As run_spmd, but also returns the group's traffic counters.
+template <typename Body>
+[[nodiscard]] TrafficCounters run_spmd_traffic(int nprocs, Body&& body) {
+  COLOP_REQUIRE(nprocs >= 1, "mpsim: need at least one rank");
+  auto group = std::make_shared<Group>(nprocs);
+  detail::run_spmd_impl(nprocs, std::forward<Body>(body), group);
+  return group->stats().snapshot();
+}
+
+}  // namespace colop::mpsim

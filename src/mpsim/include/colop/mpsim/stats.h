@@ -1,0 +1,46 @@
+#pragma once
+// Traffic statistics for a process group.  Used by tests and benchmarks to
+// demonstrate the communication savings of the optimization rules (the
+// rules trade messages for local arithmetic, so message/byte counts are the
+// direct observable).
+
+#include <atomic>
+#include <cstdint>
+
+namespace colop::mpsim {
+
+/// A snapshot of traffic counters.
+struct TrafficCounters {
+  std::uint64_t messages = 0;  ///< point-to-point messages sent
+  std::uint64_t bytes = 0;     ///< accounted payload bytes sent
+
+  friend TrafficCounters operator-(TrafficCounters a, TrafficCounters b) {
+    return {a.messages - b.messages, a.bytes - b.bytes};
+  }
+  friend bool operator==(const TrafficCounters&, const TrafficCounters&) = default;
+};
+
+/// Thread-safe accumulating counters shared by all ranks of a group.
+class TrafficStats {
+ public:
+  void record_send(std::size_t bytes) noexcept {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] TrafficCounters snapshot() const noexcept {
+    return {messages_.load(std::memory_order_relaxed),
+            bytes_.load(std::memory_order_relaxed)};
+  }
+
+  void reset() noexcept {
+    messages_.store(0, std::memory_order_relaxed);
+    bytes_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace colop::mpsim

@@ -1,0 +1,53 @@
+#include "colop/mpsim/balanced_tree.h"
+
+#include <algorithm>
+
+#include "colop/support/bits.h"
+#include "colop/support/error.h"
+
+namespace colop::mpsim {
+
+BalancedTree BalancedTree::build(int n) {
+  COLOP_REQUIRE(n >= 1, "balanced tree needs at least one leaf");
+  BalancedTree t;
+  t.leaves_ = n;
+  t.height_ = log2_ceil(static_cast<std::uint64_t>(n));
+  t.root_ = t.build_rec(0, n, static_cast<int>(t.height_));
+  return t;
+}
+
+int BalancedTree::build_rec(int first, int count, int height) {
+  COLOP_ASSERT(count >= 1 && count <= (1 << height), "bad balanced-tree span");
+  const int idx = static_cast<int>(nodes_.size());
+  nodes_.push_back(BalancedNode{first, count, height, -1, -1});
+  if (height == 0) {
+    COLOP_ASSERT(count == 1, "leaf must span exactly one rank");
+    return idx;
+  }
+  const int half = 1 << (height - 1);
+  if (count > half) {
+    // Left subtree takes the first (count - half) leaves, right subtree is
+    // the complete tree over the last `half` leaves (paper condition 2).
+    const int l = build_rec(first, count - half, height - 1);
+    const int r = build_rec(first + count - half, half, height - 1);
+    nodes_[static_cast<std::size_t>(idx)].left = l;
+    nodes_[static_cast<std::size_t>(idx)].right = r;
+  } else {
+    // Unit node: empty left subtree, right subtree holds everything.
+    const int r = build_rec(first, count, height - 1);
+    nodes_[static_cast<std::size_t>(idx)].right = r;
+  }
+  return idx;
+}
+
+std::vector<int> BalancedTree::internal_by_height() const {
+  std::vector<int> internal;
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i)
+    if (!nodes_[static_cast<std::size_t>(i)].is_leaf()) internal.push_back(i);
+  std::stable_sort(internal.begin(), internal.end(), [&](int a, int b) {
+    return nodes_[static_cast<std::size_t>(a)].height < nodes_[static_cast<std::size_t>(b)].height;
+  });
+  return internal;
+}
+
+}  // namespace colop::mpsim

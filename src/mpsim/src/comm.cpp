@@ -1,0 +1,33 @@
+#include "colop/mpsim/comm.h"
+
+#include <algorithm>
+
+namespace colop::mpsim {
+
+Comm Comm::split(int color, int key) const {
+  COLOP_REQUIRE(valid(), "mpsim: split on invalid communicator");
+  group_->split_publish(rank_, color, key);
+  const auto slots = group_->split_slots();
+
+  Comm result;
+  if (color >= 0) {
+    // Members of my color, ordered by (key, old rank).
+    std::vector<std::pair<std::pair<int, int>, int>> members;
+    for (int r = 0; r < size(); ++r)
+      if (slots[static_cast<std::size_t>(r)].first == color)
+        members.push_back({{slots[static_cast<std::size_t>(r)].second, r}, r});
+    std::sort(members.begin(), members.end());
+
+    int new_rank = -1;
+    for (std::size_t i = 0; i < members.size(); ++i)
+      if (members[i].second == rank_) new_rank = static_cast<int>(i);
+    COLOP_ASSERT(new_rank >= 0, "split: calling rank not found in its color");
+
+    auto sub = group_->split_retrieve(color, static_cast<int>(members.size()));
+    result = Comm(std::move(sub), new_rank);
+  }
+  group_->split_finish(rank_);
+  return result;
+}
+
+}  // namespace colop::mpsim

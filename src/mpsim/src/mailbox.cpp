@@ -1,0 +1,51 @@
+#include "colop/mpsim/mailbox.h"
+
+#include <atomic>
+
+#include "colop/support/error.h"
+
+namespace colop::mpsim {
+
+void Mailbox::put(Message msg) {
+  {
+    std::lock_guard lk(mutex_);
+    queues_[Key{msg.source, msg.tag}].push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::take(int source, int tag) {
+  std::unique_lock lk(mutex_);
+  const Key key{source, tag};
+  cv_.wait(lk, [&] {
+    if (aborted_ && aborted_->load(std::memory_order_acquire)) return true;
+    auto it = queues_.find(key);
+    return it != queues_.end() && !it->second.empty();
+  });
+  if (aborted_ && aborted_->load(std::memory_order_acquire)) {
+    auto it = queues_.find(key);
+    if (it == queues_.end() || it->second.empty())
+      throw Error("mpsim: group aborted while waiting in recv");
+  }
+  auto& q = queues_[key];
+  Message msg = std::move(q.front());
+  q.pop_front();
+  return msg;
+}
+
+bool Mailbox::probe(int source, int tag) const {
+  std::lock_guard lk(mutex_);
+  auto it = queues_.find(Key{source, tag});
+  return it != queues_.end() && !it->second.empty();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lk(mutex_);
+  std::size_t n = 0;
+  for (const auto& [k, q] : queues_) n += q.size();
+  return n;
+}
+
+void Mailbox::notify_abort() { cv_.notify_all(); }
+
+}  // namespace colop::mpsim

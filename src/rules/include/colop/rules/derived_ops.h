@@ -1,0 +1,87 @@
+#pragma once
+// Derived operators: the auxiliary-variable machinery of Section 3.
+//
+// Every optimization rule replaces collective operations by (a) tupling
+// adjustments (pair/triple/quadruple, pi_1 — see colop/ir/elemfn.h) and
+// (b) a DERIVED operator built from the base operator(s):
+//
+//   op_sr2  (SR2-Reduction, SS2-Scan, BSR2-Local via powering)
+//   op_sr   (SR-Reduction; non-associative -> reduce_balanced)
+//   op_ss   (SS-Scan;      non-associative -> scan_balanced)
+//   op_comp (BS/BSS2/BSS-Comcast; the repeat(e,o) schema over rank digits)
+//   op_br / op_bsr2 / op_bsr (Local rules; iter doubling steps)
+//
+// The `make_general_*` functions provide the EXACT local evaluation for
+// arbitrary processor counts (square-and-multiply over the binary digits
+// of p) — an extension over the paper, whose iter is exact only for
+// p = 2^k.  See DESIGN.md §6.
+
+#include <cstdint>
+#include <functional>
+
+#include "colop/ir/binop.h"
+#include "colop/ir/elemfn.h"
+#include "colop/ir/stage.h"
+
+namespace colop::rules {
+
+using ir::BinOpPtr;
+using ir::Value;
+
+/// b combined with itself n >= 1 times under an associative op:
+/// pow_assoc(op, b, n) = b op b op ... op b  (square-and-multiply).
+[[nodiscard]] Value pow_assoc(const ir::BinOp& op, const Value& base,
+                              std::uint64_t n);
+
+/// op_sr2 on pairs (s, r):
+///   op_sr2((s1,r1),(s2,r2)) = (s1 + (r1 * s2), r1 * r2)
+/// Associative whenever * distributes over + (both associative).
+[[nodiscard]] BinOpPtr make_op_sr2(BinOpPtr otimes, BinOpPtr oplus);
+
+/// op_sr on pairs (t, u) for commutative +:
+///   op_sr((t1,u1),(t2,u2)) = (t1+t2+u1, uu+uu),  uu = u1+u2
+///   op_sr((), (t,u))       = (t, u+u)
+/// Not associative: usable only with reduce_balanced.
+/// `elem_words` = width of one base element (1 for scalars); the pair
+/// transmits twice that.
+[[nodiscard]] ir::BalancedOp make_op_sr(BinOpPtr oplus, int elem_words = 1);
+
+/// op_ss on quadruples (s, t, u, v) for commutative + (rule SS-Scan);
+/// one exchange yields both partners' results; s is never transmitted.
+/// The scan component stays local: 3 * elem_words words travel.
+[[nodiscard]] ir::BalancedOp2 make_op_ss(BinOpPtr oplus, int elem_words = 1);
+
+// --- comcast: op_comp k = <tupling> ; repeat(e,o) k ; pi_1 ---------------
+
+/// BS-Comcast: pair (t,u); e(t,u) = (t, u+u); o(t,u) = (t+u, u+u).
+[[nodiscard]] ir::ElemIdxFn make_op_comp_bs(BinOpPtr oplus);
+
+/// BSS2-Comcast: triple (s,t,u) with * distributing over +:
+///   e(s,t,u) = (s, t+(t*u), u*u); o(s,t,u) = (t+(s*u), t+(t*u), u*u).
+[[nodiscard]] ir::ElemIdxFn make_op_comp_bss2(BinOpPtr otimes, BinOpPtr oplus);
+
+/// BSS-Comcast: quadruple (s,t,u,v), commutative +:
+///   e = (s, t+t+u, uu+uu, v+v); o = (s+t+v, t+t+u, uu+uu, uu+v+v).
+[[nodiscard]] ir::ElemIdxFn make_op_comp_bss(BinOpPtr oplus);
+
+// --- local rules: iter steps + generalized folds -------------------------
+
+/// op_br s = s + s (BR-Local / CR-Alllocal doubling step).
+[[nodiscard]] ir::ElemFn make_op_br(BinOpPtr oplus);
+/// Exact local result for any p: b -> b^(+p).
+[[nodiscard]] std::function<Value(int, const Value&)> make_general_br(
+    BinOpPtr oplus);
+
+/// op_bsr2 (s,t) = (s + (s*t), t*t) on pairs.
+[[nodiscard]] ir::ElemFn make_op_bsr2(BinOpPtr otimes, BinOpPtr oplus);
+/// Exact for any p: op_sr2 powering of (b, b).
+[[nodiscard]] std::function<Value(int, const Value&)> make_general_bsr2(
+    BinOpPtr otimes, BinOpPtr oplus);
+
+/// op_bsr (t,u) = (t+t+u, uu+uu), uu = u+u, on pairs.
+[[nodiscard]] ir::ElemFn make_op_bsr(BinOpPtr oplus);
+/// Exact for any p: first component is b^(+ p(p+1)/2).
+[[nodiscard]] std::function<Value(int, const Value&)> make_general_bsr(
+    BinOpPtr oplus);
+
+}  // namespace colop::rules

@@ -1,0 +1,18 @@
+#pragma once
+// Local-stage fusion: adjacent map/map# stages compose into one local
+// stage.  This is the step PolyEval_2 -> PolyEval_3 in the paper's case
+// study (Section 5.1): "two local stages are executed in sequence ... we
+// can fuse them into one local stage".  Fusion never changes semantics
+// (forward composition of rank-local functions) and never changes the cost
+// model's prediction (costs add), but it reduces sweeps over the block in
+// the real executor.
+
+#include "colop/ir/program.h"
+
+namespace colop::rules {
+
+/// Repeatedly merge adjacent Map/Map, Map/Map#, Map#/Map and Map#/Map#
+/// stages until none remain adjacent.
+[[nodiscard]] ir::Program fuse_local_stages(const ir::Program& prog);
+
+}  // namespace colop::rules

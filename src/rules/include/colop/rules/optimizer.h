@@ -1,0 +1,101 @@
+#pragma once
+// The Optimizer: performance-directed application of the rewrite rules
+// (the paper's design method of Sections 4-5, mechanized).
+//
+// Strategy `greedy`: repeatedly enumerate all rule matches, keep those that
+// the cost calculus predicts to improve the target machine, apply the best
+// one, until fixpoint.  Strategy `exhaustive`: breadth-first search over
+// all rule-application sequences (deduplicated), returning the cheapest
+// reachable program — feasible because programs are short.
+
+#include <string>
+#include <vector>
+
+#include "colop/ir/program.h"
+#include "colop/model/cost.h"
+#include "colop/model/machine.h"
+#include "colop/rules/rules.h"
+
+namespace colop::rules {
+
+/// When may a root_only rewrite (plain-reduce targets, Local rules) be
+/// applied?  Full-equivalence matches, and root_only matches PROVEN
+/// harmless by masked_by_bcast, are always admissible.
+enum class EquivalencePolicy {
+  /// Nothing more: the rewritten program is extensionally identical.
+  strict,
+  /// Additionally allow root_only matches whose window is the program
+  /// suffix — safe under the natural contract that a reduce-terminated
+  /// program's result is read at the reduce's root.  (Default.)
+  root_result,
+  /// Allow root_only matches anywhere — the paper's implicit mode, where
+  /// the programmer asserts the continuation only consumes the root.
+  paper,
+};
+
+struct OptimizerOptions {
+  EquivalencePolicy policy = EquivalencePolicy::root_result;
+  /// Only apply matches whose predicted cost strictly improves (Section 4).
+  /// When false, rules are applied unconditionally (useful for tests).
+  bool require_cost_improvement = true;
+  /// Node budget for exhaustive search.
+  std::size_t max_search_nodes = 20000;
+  /// Memory budget: reject matches whose rewritten program's peak element
+  /// width (model::peak_elem_words) exceeds this many words.  0 = no limit.
+  /// Implements Section 4.2's caveat that the auxiliary-variable rules can
+  /// be impractical for large blocks due to memory consumption.
+  int max_elem_words = 0;
+};
+
+struct AppliedRule {
+  std::string rule;
+  std::size_t position = 0;
+  std::string note;
+  double cost_before = 0;  ///< predicted program time before this step
+  double cost_after = 0;   ///< predicted program time after this step
+  std::string program_after;
+};
+
+struct OptimizeResult {
+  ir::Program program;
+  std::vector<AppliedRule> log;
+  double cost_initial = 0;
+  double cost_final = 0;
+
+  [[nodiscard]] double speedup() const {
+    return cost_final > 0 ? cost_initial / cost_final : 1.0;
+  }
+  /// Human-readable derivation transcript.
+  [[nodiscard]] std::string report() const;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(model::Machine machine,
+                     std::vector<RulePtr> rules = all_rules(),
+                     OptimizerOptions options = {});
+
+  /// All admissible matches (options applied) with their predicted times.
+  [[nodiscard]] std::vector<RuleMatch> admissible_matches(
+      const ir::Program& prog) const;
+
+  /// Greedy cost-directed rewriting to a fixpoint.
+  [[nodiscard]] OptimizeResult optimize(const ir::Program& prog) const;
+
+  /// Exhaustive search for the cheapest reachable program.
+  [[nodiscard]] OptimizeResult optimize_exhaustive(const ir::Program& prog) const;
+
+  [[nodiscard]] const model::Machine& machine() const { return machine_; }
+
+ private:
+  [[nodiscard]] bool equivalence_ok(const ir::Program& prog,
+                                    const RuleMatch& m) const;
+  [[nodiscard]] bool admissible(const ir::Program& prog,
+                                const RuleMatch& m) const;
+
+  model::Machine machine_;
+  std::vector<RulePtr> rules_;
+  OptimizerOptions options_;
+};
+
+}  // namespace colop::rules

@@ -1,0 +1,223 @@
+#include "colop/rules/derived_ops.h"
+
+#include <optional>
+#include <utility>
+
+#include "colop/support/error.h"
+
+namespace colop::rules {
+
+using ir::Tuple;
+
+Value pow_assoc(const ir::BinOp& op, const Value& base, std::uint64_t n) {
+  COLOP_REQUIRE(n >= 1, "pow_assoc: exponent must be >= 1");
+  std::optional<Value> acc;
+  Value pw = base;
+  while (n != 0) {
+    if (n & 1u) acc = acc ? op(*acc, pw) : pw;
+    n >>= 1u;
+    if (n != 0) pw = op(pw, pw);
+  }
+  return *acc;
+}
+
+BinOpPtr make_op_sr2(BinOpPtr otimes, BinOpPtr oplus) {
+  COLOP_REQUIRE(otimes->distributes_over(*oplus),
+                "op_sr2 requires " + otimes->name() + " to distribute over " +
+                    oplus->name());
+  const double ops = 2 * otimes->ops_cost() + oplus->ops_cost();
+  return ir::BinOp::make({
+      .name = "op_sr2[" + otimes->name() + "," + oplus->name() + "]",
+      .fn =
+          [ot = otimes, op = oplus](const Value& a, const Value& b) {
+            const auto& x = a.as_tuple();
+            const auto& y = b.as_tuple();
+            return Value(Tuple{(*op)(x[0], (*ot)(x[1], y[0])),
+                               (*ot)(x[1], y[1])});
+          },
+      .associative = true,
+      .commutative = false,
+      .ops_cost = ops,
+  });
+}
+
+ir::BalancedOp make_op_sr(BinOpPtr oplus, int elem_words) {
+  COLOP_REQUIRE(oplus->commutative(),
+                "op_sr requires a commutative base operator");
+  ir::BalancedOp op;
+  op.name = "op_sr[" + oplus->name() + "]";
+  op.combine = [o = oplus](const Value& a, const Value& b) {
+    const auto& x = a.as_tuple();
+    const auto& y = b.as_tuple();
+    const Value uu = (*o)(x[1], y[1]);
+    return Value(Tuple{(*o)((*o)(x[0], y[0]), x[1]), (*o)(uu, uu)});
+  };
+  op.unit_case = [o = oplus](const Value& v) {
+    const auto& x = v.as_tuple();
+    return Value(Tuple{x[0], (*o)(x[1], x[1])});
+  };
+  op.ops_cost = 4 * oplus->ops_cost();
+  op.words = 2 * elem_words;
+  return op;
+}
+
+ir::BalancedOp2 make_op_ss(BinOpPtr oplus, int elem_words) {
+  COLOP_REQUIRE(oplus->commutative(),
+                "op_ss requires a commutative base operator");
+  ir::BalancedOp2 op;
+  op.name = "op_ss[" + oplus->name() + "]";
+  op.combine2 = [o = oplus](const Value& a, const Value& b) {
+    const auto& x = a.as_tuple();  // lower partner (s1,t1,u1,v1)
+    const auto& y = b.as_tuple();  // upper partner (s2,t2,u2,v2)
+    const Value ttu = (*o)((*o)(x[1], y[1]), x[2]);
+    const Value uu = (*o)(x[2], y[2]);
+    const Value uuuu = (*o)(uu, uu);
+    const Value vv = (*o)(x[3], y[3]);
+    Value lo(Tuple{x[0], ttu, uuuu, vv});
+    Value hi(Tuple{(*o)((*o)(y[0], x[1]), x[3]), ttu, uuuu, (*o)(uu, vv)});
+    return std::make_pair(std::move(lo), std::move(hi));
+  };
+  op.degrade = [](const Value& v) {
+    const auto& x = v.as_tuple();
+    return Value(Tuple{x[0], Value::undefined(), Value::undefined(),
+                       Value::undefined()});
+  };
+  // The scan component s stays local: only (t,u,v) travel (3 words).
+  op.strip = [](const Value& v) {
+    const auto& x = v.as_tuple();
+    return Value(Tuple{Value::undefined(), x[1], x[2], x[3]});
+  };
+  op.ops_cost = 8 * oplus->ops_cost();
+  op.words = 3 * elem_words;
+  return op;
+}
+
+ir::ElemIdxFn make_op_comp_bs(BinOpPtr oplus) {
+  ir::ElemIdxFn f;
+  f.name = "op_comp_bs[" + oplus->name() + "]";
+  f.fn = [o = oplus](int k, const Value& b) {
+    // pair; repeat(e,o) k; pi_1  with e(t,u)=(t,u+u), o(t,u)=(t+u,u+u)
+    Value t = b, u = b;
+    auto kk = static_cast<unsigned>(k);
+    while (kk != 0) {
+      if (kk & 1u) t = (*o)(t, u);
+      u = (*o)(u, u);
+      kk >>= 1u;
+    }
+    return t;
+  };
+  f.ops_per_logp = 2 * oplus->ops_cost();
+  return f;
+}
+
+ir::ElemIdxFn make_op_comp_bss2(BinOpPtr otimes, BinOpPtr oplus) {
+  COLOP_REQUIRE(otimes->distributes_over(*oplus),
+                "op_comp_bss2 requires " + otimes->name() +
+                    " to distribute over " + oplus->name());
+  ir::ElemIdxFn f;
+  f.name = "op_comp_bss2[" + otimes->name() + "," + oplus->name() + "]";
+  f.fn = [ot = otimes, op = oplus](int k, const Value& b) {
+    // triple; repeat(e,o) k; pi_1 with
+    //   e(s,t,u) = (s,          t+(t*u), u*u)
+    //   o(s,t,u) = (t+(s*u),    t+(t*u), u*u)
+    Value s = b, t = b, u = b;
+    auto kk = static_cast<unsigned>(k);
+    while (kk != 0) {
+      const Value t_new = (*op)(t, (*ot)(t, u));
+      if (kk & 1u) s = (*op)(t, (*ot)(s, u));
+      t = t_new;
+      u = (*ot)(u, u);
+      kk >>= 1u;
+    }
+    return s;
+  };
+  f.ops_per_logp = 3 * otimes->ops_cost() + 2 * oplus->ops_cost();
+  return f;
+}
+
+ir::ElemIdxFn make_op_comp_bss(BinOpPtr oplus) {
+  COLOP_REQUIRE(oplus->commutative(),
+                "op_comp_bss requires a commutative base operator");
+  ir::ElemIdxFn f;
+  f.name = "op_comp_bss[" + oplus->name() + "]";
+  f.fn = [o = oplus](int k, const Value& b) {
+    // quadruple; repeat(e,o) k; pi_1 with (uu = u+u)
+    //   e(s,t,u,v) = (s,       t+t+u, uu+uu, v+v)
+    //   o(s,t,u,v) = (s+t+v,   t+t+u, uu+uu, uu+v+v)
+    Value s = b, t = b, u = b, v = b;
+    auto kk = static_cast<unsigned>(k);
+    while (kk != 0) {
+      const Value uu = (*o)(u, u);
+      const Value t_new = (*o)((*o)(t, t), u);
+      const Value u_new = (*o)(uu, uu);
+      const Value v_new = (kk & 1u) ? (*o)((*o)(uu, v), v) : (*o)(v, v);
+      if (kk & 1u) s = (*o)((*o)(s, t), v);
+      t = t_new;
+      u = u_new;
+      v = v_new;
+      kk >>= 1u;
+    }
+    return s;
+  };
+  f.ops_per_logp = 8 * oplus->ops_cost();
+  return f;
+}
+
+ir::ElemFn make_op_br(BinOpPtr oplus) {
+  return {"op_br[" + oplus->name() + "]",
+          [o = oplus](const Value& s) { return (*o)(s, s); },
+          oplus->ops_cost()};
+}
+
+std::function<Value(int, const Value&)> make_general_br(BinOpPtr oplus) {
+  return [o = oplus](int p, const Value& b) {
+    return pow_assoc(*o, b, static_cast<std::uint64_t>(p));
+  };
+}
+
+ir::ElemFn make_op_bsr2(BinOpPtr otimes, BinOpPtr oplus) {
+  COLOP_REQUIRE(otimes->distributes_over(*oplus),
+                "op_bsr2 requires " + otimes->name() + " to distribute over " +
+                    oplus->name());
+  return {"op_bsr2[" + otimes->name() + "," + oplus->name() + "]",
+          [ot = otimes, op = oplus](const Value& v) {
+            const auto& x = v.as_tuple();  // (s, t)
+            return Value(Tuple{(*op)(x[0], (*ot)(x[0], x[1])),
+                               (*ot)(x[1], x[1])});
+          },
+          2 * otimes->ops_cost() + oplus->ops_cost()};
+}
+
+std::function<Value(int, const Value&)> make_general_bsr2(BinOpPtr otimes,
+                                                          BinOpPtr oplus) {
+  // (b,b) is the op_sr2 image of a one-element segment; its p-th op_sr2
+  // power is (scan-reduce over p copies, product over p copies).
+  auto sr2 = make_op_sr2(std::move(otimes), std::move(oplus));
+  return [sr2](int p, const Value& x) {
+    return pow_assoc(*sr2, x, static_cast<std::uint64_t>(p));
+  };
+}
+
+ir::ElemFn make_op_bsr(BinOpPtr oplus) {
+  COLOP_REQUIRE(oplus->commutative(),
+                "op_bsr requires a commutative base operator");
+  return {"op_bsr[" + oplus->name() + "]",
+          [o = oplus](const Value& v) {
+            const auto& x = v.as_tuple();  // (t, u)
+            const Value uu = (*o)(x[1], x[1]);
+            return Value(Tuple{(*o)((*o)(x[0], x[0]), x[1]), (*o)(uu, uu)});
+          },
+          4 * oplus->ops_cost()};
+}
+
+std::function<Value(int, const Value&)> make_general_bsr(BinOpPtr oplus) {
+  // reduce(+) . scan(+) over p copies of b is b^(+ p(p+1)/2); the second
+  // pair component is never used afterwards (pi_1 follows).
+  return [o = oplus](int p, const Value& x) {
+    const auto n = static_cast<std::uint64_t>(p);
+    const Value& b = x.at(0);
+    return Value(Tuple{pow_assoc(*o, b, n * (n + 1) / 2), Value::undefined()});
+  };
+}
+
+}  // namespace colop::rules

@@ -1,0 +1,70 @@
+#include "colop/rules/fuse.h"
+
+#include <memory>
+
+namespace colop::rules {
+namespace {
+
+using ir::ElemFn;
+using ir::ElemIdxFn;
+using ir::Stage;
+using ir::StagePtr;
+using ir::Value;
+
+bool is_map(const StagePtr& s) { return s->kind() == Stage::Kind::Map; }
+bool is_mapidx(const StagePtr& s) {
+  return s->kind() == Stage::Kind::MapIndexed;
+}
+
+StagePtr fuse_pair(const StagePtr& a, const StagePtr& b) {
+  if (is_map(a) && is_map(b)) {
+    const auto& fa = static_cast<const ir::MapStage&>(*a).fn;
+    const auto& fb = static_cast<const ir::MapStage&>(*b).fn;
+    return std::make_shared<ir::MapStage>(ir::fn_compose(fa, fb));
+  }
+  if (is_map(a) && is_mapidx(b)) {
+    const auto& fa = static_cast<const ir::MapStage&>(*a).fn;
+    const auto& fb = static_cast<const ir::MapIndexedStage&>(*b).fn;
+    ElemIdxFn fn;
+    fn.name = fa.name + ";" + fb.name;
+    fn.fn = [f = fa.fn, g = fb.fn](int k, const Value& v) { return g(k, f(v)); };
+    fn.ops_cost = fa.ops_cost + fb.ops_cost;
+    fn.ops_per_logp = fb.ops_per_logp;
+    return std::make_shared<ir::MapIndexedStage>(std::move(fn));
+  }
+  if (is_mapidx(a) && is_map(b)) {
+    const auto& fa = static_cast<const ir::MapIndexedStage&>(*a).fn;
+    const auto& fb = static_cast<const ir::MapStage&>(*b).fn;
+    ElemIdxFn fn;
+    fn.name = fa.name + ";" + fb.name;
+    fn.fn = [f = fa.fn, g = fb.fn](int k, const Value& v) { return g(f(k, v)); };
+    fn.ops_cost = fa.ops_cost + fb.ops_cost;
+    fn.ops_per_logp = fa.ops_per_logp;
+    return std::make_shared<ir::MapIndexedStage>(std::move(fn));
+  }
+  const auto& fa = static_cast<const ir::MapIndexedStage&>(*a).fn;
+  const auto& fb = static_cast<const ir::MapIndexedStage&>(*b).fn;
+  ElemIdxFn fn;
+  fn.name = fa.name + ";" + fb.name;
+  fn.fn = [f = fa.fn, g = fb.fn](int k, const Value& v) { return g(k, f(k, v)); };
+  fn.ops_cost = fa.ops_cost + fb.ops_cost;
+  fn.ops_per_logp = fa.ops_per_logp + fb.ops_per_logp;
+  return std::make_shared<ir::MapIndexedStage>(std::move(fn));
+}
+
+}  // namespace
+
+ir::Program fuse_local_stages(const ir::Program& prog) {
+  std::vector<StagePtr> out;
+  for (const auto& s : prog.stages()) {
+    const bool fusable = is_map(s) || is_mapidx(s);
+    if (fusable && !out.empty() && (is_map(out.back()) || is_mapidx(out.back()))) {
+      out.back() = fuse_pair(out.back(), s);
+    } else {
+      out.push_back(s);
+    }
+  }
+  return ir::Program(std::move(out));
+}
+
+}  // namespace colop::rules

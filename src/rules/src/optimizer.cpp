@@ -1,0 +1,151 @@
+#include "colop/rules/optimizer.h"
+
+#include "colop/model/memory.h"
+
+#include <deque>
+#include <set>
+#include <sstream>
+
+namespace colop::rules {
+
+std::string OptimizeResult::report() const {
+  std::ostringstream os;
+  os << "initial cost " << cost_initial << "\n";
+  for (const auto& a : log) {
+    os << "  apply " << a.rule << " @" << a.position;
+    if (!a.note.empty()) os << " {" << a.note << "}";
+    os << ": " << a.cost_before << " -> " << a.cost_after << "\n";
+    os << "    = " << a.program_after << "\n";
+  }
+  os << "final cost " << cost_final;
+  return os.str();
+}
+
+Optimizer::Optimizer(model::Machine machine, std::vector<RulePtr> rules,
+                     OptimizerOptions options)
+    : machine_(machine), rules_(std::move(rules)), options_(options) {}
+
+bool Optimizer::equivalence_ok(const ir::Program& prog,
+                               const RuleMatch& m) const {
+  if (m.equivalence == Equivalence::full) return true;
+  if (masked_by_bcast(prog, m.first + m.count, m.root)) return true;
+  switch (options_.policy) {
+    case EquivalencePolicy::strict:
+      return false;
+    case EquivalencePolicy::root_result:
+      return m.first + m.count == prog.size();
+    case EquivalencePolicy::paper:
+      return true;
+  }
+  return false;
+}
+
+bool Optimizer::admissible(const ir::Program& prog, const RuleMatch& m) const {
+  if (!equivalence_ok(prog, m)) return false;
+  if (options_.max_elem_words > 0) {
+    try {
+      if (model::peak_elem_words(m.apply(prog)) > options_.max_elem_words)
+        return false;
+    } catch (const Error&) {
+      return false;  // shape-inconsistent rewrite: never admissible
+    }
+  }
+  if (options_.require_cost_improvement) {
+    const double before = model::program_time(prog, machine_);
+    const double after = model::program_time(m.apply(prog), machine_);
+    if (!(after < before)) return false;
+  }
+  return true;
+}
+
+std::vector<RuleMatch> Optimizer::admissible_matches(
+    const ir::Program& prog) const {
+  std::vector<RuleMatch> out;
+  for (const auto& rule : rules_)
+    for (auto& m : rule->matches(prog))
+      if (admissible(prog, m)) out.push_back(std::move(m));
+  return out;
+}
+
+OptimizeResult Optimizer::optimize(const ir::Program& prog) const {
+  OptimizeResult result;
+  result.program = prog;
+  result.cost_initial = model::program_time(prog, machine_);
+
+  for (;;) {
+    auto candidates = admissible_matches(result.program);
+    if (candidates.empty()) break;
+
+    // Pick the match with the lowest resulting predicted time.
+    const RuleMatch* best = nullptr;
+    ir::Program best_prog;
+    double best_time = model::program_time(result.program, machine_);
+    const double current = best_time;
+    for (const auto& m : candidates) {
+      ir::Program candidate = m.apply(result.program);
+      const double t = model::program_time(candidate, machine_);
+      if (t < best_time) {
+        best_time = t;
+        best = &m;
+        best_prog = std::move(candidate);
+      }
+    }
+    if (!best) break;  // no strict improvement available
+
+    result.log.push_back(AppliedRule{best->rule_name, best->first, best->note,
+                                     current, best_time, best_prog.show()});
+    result.program = std::move(best_prog);
+  }
+  result.cost_final = model::program_time(result.program, machine_);
+  return result;
+}
+
+OptimizeResult Optimizer::optimize_exhaustive(const ir::Program& prog) const {
+  struct Node {
+    ir::Program program;
+    std::vector<AppliedRule> log;
+  };
+
+  OptimizeResult best;
+  best.program = prog;
+  best.cost_initial = model::program_time(prog, machine_);
+  best.cost_final = best.cost_initial;
+
+  std::set<std::string> seen{prog.show()};
+  std::deque<Node> queue;
+  queue.push_back({prog, {}});
+  std::size_t visited = 0;
+
+  while (!queue.empty() && visited < options_.max_search_nodes) {
+    Node node = std::move(queue.front());
+    queue.pop_front();
+    ++visited;
+
+    for (const auto& rule : rules_) {
+      for (auto& m : rule->matches(node.program)) {
+        // Exhaustive search explores even locally non-improving steps (a
+        // worse intermediate can enable a better final program), but still
+        // respects the equivalence gate.
+        if (!equivalence_ok(node.program, m)) continue;
+        ir::Program next = m.apply(node.program);
+        const std::string key = next.show();
+        if (!seen.insert(key).second) continue;
+
+        const double t = model::program_time(next, machine_);
+        Node child{next, node.log};
+        child.log.push_back(
+            AppliedRule{m.rule_name, m.first, m.note,
+                        model::program_time(node.program, machine_), t, key});
+        if (t < best.cost_final) {
+          best.cost_final = t;
+          best.program = next;
+          best.log = child.log;
+        }
+        queue.push_back(std::move(child));
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace colop::rules

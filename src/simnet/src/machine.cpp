@@ -1,0 +1,102 @@
+#include "colop/simnet/machine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace colop::simnet {
+
+SimMachine::SimMachine(int p, NetParams net)
+    : p_(p), net_(net), clock_(static_cast<std::size_t>(p), 0.0) {
+  COLOP_REQUIRE(p >= 1, "simnet: need at least one processor");
+}
+
+void SimMachine::compute(int proc, double ops) {
+  check(proc);
+  clock_[static_cast<std::size_t>(proc)] += ops;
+}
+
+int topology_hops(Topology topo, int p, int a, int b) {
+  if (a == b) return 0;
+  switch (topo) {
+    case Topology::fully_connected:
+      return 1;
+    case Topology::hypercube: {
+      unsigned x = static_cast<unsigned>(a) ^ static_cast<unsigned>(b);
+      int hops = 0;
+      while (x != 0) {
+        hops += static_cast<int>(x & 1u);
+        x >>= 1u;
+      }
+      return hops;
+    }
+    case Topology::mesh2d: {
+      int cols = 1;
+      while (cols * cols < p) ++cols;  // near-square grid, row-major ranks
+      const int ra = a / cols, ca = a % cols, rb = b / cols, cb = b % cols;
+      return std::abs(ra - rb) + std::abs(ca - cb);
+    }
+  }
+  return 1;
+}
+
+double SimMachine::transfer_time(int from, int to, double words) const {
+  const int hops = topology_hops(net_.topology, p_, from, to);
+  return net_.ts + words * net_.tw + net_.th * std::max(0, hops - 1);
+}
+
+void SimMachine::send(int from, int to, double words) {
+  check(from);
+  check(to);
+  auto& c = clock_[static_cast<std::size_t>(from)];
+  c += transfer_time(from, to, words);
+  inflight_[{from, to}].push_back(c);
+  ++messages_;
+  words_ += words;
+}
+
+void SimMachine::recv(int at, int from) {
+  check(at);
+  check(from);
+  auto it = inflight_.find({from, at});
+  COLOP_REQUIRE(it != inflight_.end() && !it->second.empty(),
+                "simnet: recv with no matching message (schedule bug)");
+  const double arrival = it->second.front();
+  it->second.pop_front();
+  auto& c = clock_[static_cast<std::size_t>(at)];
+  c = std::max(c, arrival);
+}
+
+void SimMachine::exchange(int a, int b, double words) {
+  check(a);
+  check(b);
+  const double t0 = std::max(clock_[static_cast<std::size_t>(a)],
+                             clock_[static_cast<std::size_t>(b)]);
+  const double t1 = t0 + transfer_time(a, b, words);
+  clock_[static_cast<std::size_t>(a)] = t1;
+  clock_[static_cast<std::size_t>(b)] = t1;
+  messages_ += 2;
+  words_ += 2 * words;
+}
+
+double SimMachine::makespan() const {
+  return *std::max_element(clock_.begin(), clock_.end());
+}
+
+double SimMachine::clock(int proc) const {
+  check(proc);
+  return clock_[static_cast<std::size_t>(proc)];
+}
+
+void SimMachine::barrier() {
+  const double t = makespan();
+  std::fill(clock_.begin(), clock_.end(), t);
+}
+
+void SimMachine::reset() {
+  std::fill(clock_.begin(), clock_.end(), 0.0);
+  inflight_.clear();
+  messages_ = 0;
+  words_ = 0;
+}
+
+}  // namespace colop::simnet

@@ -1,0 +1,46 @@
+#pragma once
+// Small integer/bit helpers shared across the library.
+//
+// The collective schedules in this project (butterfly, binomial tree,
+// balanced tree) are all driven by the binary structure of processor ranks,
+// so these helpers are used pervasively.
+
+#include <bit>
+#include <cstdint>
+
+namespace colop {
+
+/// True iff @p x is a power of two (x > 0).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)) for x >= 1. log2_floor(1) == 0.
+[[nodiscard]] constexpr unsigned log2_floor(std::uint64_t x) noexcept {
+  return x == 0 ? 0 : 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)) for x >= 1. This is the number of butterfly phases needed
+/// for x processors; log2_ceil(1) == 0.
+[[nodiscard]] constexpr unsigned log2_ceil(std::uint64_t x) noexcept {
+  return x <= 1 ? 0 : log2_floor(x - 1) + 1;
+}
+
+/// Smallest power of two >= x (x >= 1).
+[[nodiscard]] constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  return x <= 1 ? 1 : std::uint64_t{1} << log2_ceil(x);
+}
+
+/// Number of set bits.
+[[nodiscard]] constexpr unsigned popcount(std::uint64_t x) noexcept {
+  return static_cast<unsigned>(std::popcount(x));
+}
+
+/// Number of binary digits of k (digits(0) == 0, digits(1) == 1,
+/// digits(5) == 3).  This is the iteration count of the paper's `repeat`
+/// schema (Section 3.4): traversing the digits of the processor number.
+[[nodiscard]] constexpr unsigned binary_digits(std::uint64_t k) noexcept {
+  return k == 0 ? 0 : log2_floor(k) + 1;
+}
+
+}  // namespace colop

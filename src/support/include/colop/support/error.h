@@ -1,0 +1,37 @@
+#pragma once
+// Error handling.  The library throws colop::Error for user-facing failures
+// (malformed programs, inapplicable rules, invalid runtime configuration)
+// and uses COLOP_ASSERT for internal invariants.
+
+#include <stdexcept>
+#include <string>
+
+namespace colop {
+
+/// Exception type for all user-facing library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+[[noreturn]] void throw_error(const std::string& msg);
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace colop
+
+/// Check a user-facing precondition; throws colop::Error on failure.
+#define COLOP_REQUIRE(cond, msg)             \
+  do {                                       \
+    if (!(cond)) ::colop::throw_error(msg);  \
+  } while (false)
+
+/// Check an internal invariant; throws colop::Error with file/line context.
+#define COLOP_ASSERT(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::colop::detail::assert_fail(#cond, __FILE__, __LINE__, (msg));  \
+  } while (false)

@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic, seedable random number generation for tests, property
+// checks and workload generators.  We deliberately avoid std::mt19937's
+// large state and use SplitMix64 (Steele et al.), which is fast, tiny and
+// reproducible across platforms.
+
+#include <cstdint>
+#include <limits>
+
+namespace colop {
+
+/// SplitMix64 PRNG.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept
+      : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  constexpr std::int64_t uniform(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>((*this)() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Derive an independent child stream (e.g. one per processor).
+  constexpr Rng split(std::uint64_t salt) noexcept {
+    return Rng(state_ ^ (0x632be59bd9b4e019ULL * (salt + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace colop

@@ -1,0 +1,51 @@
+#pragma once
+// Plain-text table and CSV emission used by the benchmark harnesses to
+// print the rows/series of the paper's Table 1 and Figures 7/8.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace colop {
+
+/// A simple column-aligned text table with an optional title.
+///
+/// Usage:
+///   Table t{"Figure 7", {"p", "bcast;scan", "comcast", "bcast;repeat"}};
+///   t.add_row({"2", "1.23", "0.98", "0.71"});
+///   t.print(std::cout);
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format arbitrary streamable cells.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(long long v);
+  static std::string format_cell(unsigned long long v);
+  static std::string format_cell(int v) { return format_cell(static_cast<long long>(v)); }
+  static std::string format_cell(long v) { return format_cell(static_cast<long long>(v)); }
+  static std::string format_cell(unsigned v) { return format_cell(static_cast<unsigned long long>(v)); }
+  static std::string format_cell(std::size_t v) { return format_cell(static_cast<unsigned long long>(v)); }
+  static std::string format_cell(bool v) { return v ? "yes" : "no"; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace colop

@@ -1,0 +1,21 @@
+#include "colop/support/error.h"
+
+#include <sstream>
+
+namespace colop {
+
+void throw_error(const std::string& msg) { throw Error(msg); }
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace colop

@@ -1,0 +1,65 @@
+#include "colop/support/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "colop/support/error.h"
+
+namespace colop {
+
+Table::Table(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  COLOP_REQUIRE(cells.size() == header_.size(),
+                "Table row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(double v) {
+  std::ostringstream os;
+  os << std::setprecision(6) << v;
+  return os.str();
+}
+
+std::string Table::format_cell(long long v) { return std::to_string(v); }
+std::string Table::format_cell(unsigned long long v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left << std::setw(static_cast<int>(width[c]))
+         << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::string rule;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < header_.size(); ++c) total += width[c] + (c ? 2 : 0);
+  rule.assign(total, '-');
+  os << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+  os.flush();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << row[c];
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  os.flush();
+}
+
+}  // namespace colop

@@ -1,0 +1,163 @@
+// The paper's case study (Section 5) and local-stage fusion: PolyEval_1/2/3
+// agree with ground truth on the reference evaluator AND on the thread
+// runtime, the derivation steps are produced by the actual rule/fusion
+// machinery, and Figure 6's comcast values are reproduced.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "colop/apps/polyeval.h"
+#include "colop/exec/thread_executor.h"
+#include "colop/model/cost.h"
+#include "colop/ir/ir.h"
+#include "colop/rules/fuse.h"
+#include "colop/rules/rules.h"
+#include "colop/support/rng.h"
+
+namespace colop::apps {
+namespace {
+
+using ir::Program;
+using ir::Value;
+
+std::vector<double> random_coeffs(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> as(static_cast<std::size_t>(n));
+  for (auto& a : as) a = rng.uniform01() * 2 - 1;
+  return as;
+}
+
+class PolyEvalP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyEvalP,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16),
+                         [](const auto& pinfo) {
+                           return "n" + std::to_string(pinfo.param);
+                         });
+
+TEST_P(PolyEvalP, AllThreeVersionsMatchGroundTruthOnReference) {
+  const int p = GetParam();
+  const auto as = random_coeffs(p, 5);
+  const std::vector<double> ys{0.5, -1.25, 2.0, 0.0, 1.0};
+  const auto expect = polyeval_expected(as, ys);
+  for (const auto& prog :
+       {polyeval_1(as), polyeval_2(as), polyeval_3(as), polyeval_sr2(as)}) {
+    const auto got = polyeval_result(prog.eval_reference(polyeval_input(p, ys)));
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t j = 0; j < expect.size(); ++j)
+      EXPECT_NEAR(got[j], expect[j], 1e-9 + 1e-9 * std::abs(expect[j]))
+          << prog.show();
+  }
+}
+
+TEST_P(PolyEvalP, AllThreeVersionsMatchOnThreads) {
+  const int p = GetParam();
+  const auto as = random_coeffs(p, 6);
+  const std::vector<double> ys{1.5, -0.5, 0.25};
+  const auto expect = polyeval_expected(as, ys);
+  for (const auto& prog :
+       {polyeval_1(as), polyeval_2(as), polyeval_3(as), polyeval_sr2(as)}) {
+    const auto got =
+        polyeval_result(exec::run_on_threads(prog, polyeval_input(p, ys)));
+    for (std::size_t j = 0; j < expect.size(); ++j)
+      EXPECT_NEAR(got[j], expect[j], 1e-9 + 1e-9 * std::abs(expect[j]))
+          << prog.show();
+  }
+}
+
+TEST(PolyEval, DerivationShapesMatchThePaper) {
+  const auto as = random_coeffs(8, 7);
+  // Eq 18: four stages, two of them collective communications + reduce.
+  EXPECT_EQ(polyeval_1(as).size(), 4u);
+  EXPECT_EQ(polyeval_1(as).collective_count(), 3u);
+  // Eq 19: BS-Comcast removed the scan.
+  EXPECT_EQ(polyeval_2(as).collective_count(), 2u);
+  EXPECT_EQ(polyeval_2(as).size(), 4u);
+  // Eq 20: the two local stages fused into map2#(op_new).
+  EXPECT_EQ(polyeval_3(as).size(), 3u);
+  EXPECT_EQ(polyeval_3(as).collective_count(), 2u);
+  // The optimal variant ([8]): bcast + ONE reduction, no scan.
+  EXPECT_EQ(polyeval_sr2(as).collective_count(), 2u);
+  EXPECT_FALSE(ir::check_shapes(polyeval_sr2(as)).has_value());
+}
+
+TEST(PolyEval, CalculusRanksTheTwoDerivationRoutes) {
+  // The SR2 route beats the specification (one start-up saved per phase),
+  // but the comcast route wins overall (1-word vs 2-word reduce payload).
+  const auto as = random_coeffs(16, 9);
+  const model::Machine mach{.p = 16, .m = 256, .ts = 400, .tw = 2};
+  const double t1 = model::program_time(polyeval_1(as), mach);
+  const double t3 = model::program_time(polyeval_3(as), mach);
+  const double tsr2 = model::program_time(polyeval_sr2(as), mach);
+  EXPECT_LT(tsr2, t1);
+  EXPECT_LT(t3, tsr2);
+}
+
+TEST(PolyEval, RewritingSavesMessages) {
+  const int p = 8;
+  const auto as = random_coeffs(p, 8);
+  const std::vector<double> ys{1.0, 2.0};
+  const auto t1 =
+      exec::run_on_threads_instrumented(polyeval_1(as), polyeval_input(p, ys));
+  const auto t3 =
+      exec::run_on_threads_instrumented(polyeval_3(as), polyeval_input(p, ys));
+  EXPECT_LT(t3.traffic.messages, t1.traffic.messages);
+}
+
+TEST(Fusion, FusesAdjacentLocalStages) {
+  Program p;
+  p.map({"inc", [](const Value& v) { return Value(v.as_int() + 1); }, 1})
+      .map({"dbl", [](const Value& v) { return Value(2 * v.as_int()); }, 1})
+      .scan(ir::op_add())
+      .map({"dec", [](const Value& v) { return Value(v.as_int() - 1); }, 1})
+      .map_indexed({"addk",
+                    [](int k, const Value& v) { return Value(v.as_int() + k); },
+                    1});
+  const Program fused = rules::fuse_local_stages(p);
+  EXPECT_EQ(fused.size(), 3u);  // (inc;dbl) ; scan ; (dec;addk)
+  const ir::Dist in = ir::dist_of_ints({1, 2, 3, 4, 5});
+  EXPECT_EQ(p.eval_reference(in), fused.eval_reference(in));
+}
+
+TEST(Fusion, PreservesCostModelTotals) {
+  Program p;
+  p.map({"a", [](const Value& v) { return v; }, 2})
+      .map({"b", [](const Value& v) { return v; }, 3});
+  const Program fused = rules::fuse_local_stages(p);
+  ASSERT_EQ(fused.size(), 1u);
+  const auto& fn = static_cast<const ir::MapStage&>(fused.stage(0)).fn;
+  EXPECT_DOUBLE_EQ(fn.ops_cost, 5.0);
+}
+
+TEST(Fusion, FusesIndexedWithIndexed) {
+  Program p;
+  p.map_indexed({"f", [](int k, const Value& v) { return Value(v.as_int() + k); }, 0, 2})
+      .map_indexed({"g", [](int k, const Value& v) { return Value(v.as_int() * (k + 1)); }, 0, 3});
+  const Program fused = rules::fuse_local_stages(p);
+  ASSERT_EQ(fused.size(), 1u);
+  const auto& fn = static_cast<const ir::MapIndexedStage&>(fused.stage(0)).fn;
+  EXPECT_DOUBLE_EQ(fn.ops_per_logp, 5.0);
+  const ir::Dist in = ir::dist_of_ints({3, 3, 3});
+  EXPECT_EQ(p.eval_reference(in), fused.eval_reference(in));
+}
+
+TEST(Fusion, LeavesCollectiveBoundariesAlone) {
+  Program p;
+  p.scan(ir::op_add()).reduce(ir::op_add());
+  EXPECT_EQ(rules::fuse_local_stages(p).size(), 2u);
+}
+
+TEST(PaperFigure6, ComcastValuesOnSixProcessors) {
+  // Figure 6: b = 2, + ; processor k ends with 2*(k+1).
+  Program prog;
+  prog.bcast().scan(ir::op_add());
+  const Program rewritten = rules::rule_bs_comcast()->match(prog, 0)->apply(prog);
+  ir::Dist in(6, ir::Block{Value(0)});
+  in[0][0] = Value(2);
+  const auto out = rewritten.eval_reference(in);
+  for (int k = 0; k < 6; ++k)
+    EXPECT_EQ(out[static_cast<std::size_t>(k)][0].as_int(), 2 * (k + 1));
+}
+
+}  // namespace
+}  // namespace colop::apps

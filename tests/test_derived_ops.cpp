@@ -1,0 +1,209 @@
+// Direct unit tests of the derived-operator algebra — the paper's lemmas
+// as executable checks:
+//   * op_sr2 is associative whenever x distributes over + (the fact that
+//     makes SR2-Reduction/SS2-Scan ordinary collectives);
+//   * op_sr/op_ss are NOT associative (why reduce_/scan_balanced exist);
+//   * the repeat/e/o schemas compute the closed forms of Section 3.4;
+//   * pow_assoc and the generalized local folds are exact.
+
+#include <gtest/gtest.h>
+
+#include "colop/ir/ir.h"
+#include "colop/rules/derived_ops.h"
+#include "colop/support/rng.h"
+
+namespace colop::rules {
+namespace {
+
+using ir::Tuple;
+using ir::Value;
+
+std::function<Value(Rng&)> pair_gen(std::int64_t lo, std::int64_t hi) {
+  return [lo, hi](Rng& rng) {
+    return Value(Tuple{Value(rng.uniform(lo, hi)), Value(rng.uniform(lo, hi))});
+  };
+}
+
+TEST(OpSr2, AssociativeForEveryDistributivePair) {
+  const std::vector<std::pair<ir::BinOpPtr, ir::BinOpPtr>> pairs = {
+      {ir::op_modmul(97), ir::op_modadd(97)},
+      {ir::op_add(), ir::op_max()},
+      {ir::op_add(), ir::op_min()},
+      {ir::op_max(), ir::op_min()},
+      {ir::op_band(), ir::op_bor()},
+      {ir::op_gcd(), ir::op_gcd()},
+  };
+  for (const auto& [ot, op] : pairs) {
+    const auto sr2 = make_op_sr2(ot, op);
+    EXPECT_TRUE(ir::check_associative(*sr2, pair_gen(-15, 15), 300))
+        << sr2->name();
+  }
+}
+
+TEST(OpSr2, RequiresDeclaredDistributivity) {
+  EXPECT_THROW((void)make_op_sr2(ir::op_add(), ir::op_mul()), Error);
+  EXPECT_THROW((void)make_op_comp_bss2(ir::op_add(), ir::op_mul()), Error);
+  EXPECT_THROW((void)make_op_bsr2(ir::op_add(), ir::op_mul()), Error);
+}
+
+TEST(OpSr2, MatchesTheRulesDefinition) {
+  // op_sr2((s1,r1),(s2,r2)) = (s1 + (r1 * s2), r1 * r2)
+  const auto sr2 = make_op_sr2(ir::op_mul(), ir::op_add());
+  const Value a(Tuple{Value(3), Value(4)});
+  const Value b(Tuple{Value(5), Value(6)});
+  const Value c = (*sr2)(a, b);
+  EXPECT_EQ(c.at(0).as_int(), 3 + 4 * 5);
+  EXPECT_EQ(c.at(1).as_int(), 4 * 6);
+}
+
+TEST(OpSr, NotAssociativeButBalancedInvariantHolds) {
+  const auto sr = make_op_sr(ir::op_add());
+  // Non-associativity witness (why reduce_balanced is needed):
+  const auto t = [](std::int64_t a, std::int64_t b) {
+    return Value(Tuple{Value(a), Value(b)});
+  };
+  const Value left = sr.combine(sr.combine(t(1, 1), t(2, 2)), t(3, 3));
+  const Value right = sr.combine(t(1, 1), sr.combine(t(2, 2), t(3, 3)));
+  EXPECT_FALSE(left == right);
+
+  // Invariant (Fig. 4): combining two equal-depth-d siblings over segments
+  // with u = 2^d * segment_sum yields u' = 2^(d+1) * total_sum.
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::int64_t s1 = rng.uniform(-20, 20), s2 = rng.uniform(-20, 20);
+    const int d = static_cast<int>(rng.uniform(0, 5));
+    const Value v = sr.combine(t(s1, (1 << d) * s1), t(s2, (1 << d) * s2));
+    EXPECT_EQ(v.at(1).as_int(), (2 << d) * (s1 + s2));
+  }
+}
+
+TEST(OpSr, UnitCaseDoublesU) {
+  const auto sr = make_op_sr(ir::op_add());
+  const Value v = sr.unit_case(Value(Tuple{Value(7), Value(9)}));
+  EXPECT_EQ(v.at(0).as_int(), 7);
+  EXPECT_EQ(v.at(1).as_int(), 18);
+}
+
+TEST(OpSr, RejectsNonCommutativeBase) {
+  EXPECT_THROW((void)make_op_sr(ir::op_mat2()), Error);
+  EXPECT_THROW((void)make_op_ss(ir::op_mat2()), Error);
+  EXPECT_THROW((void)make_op_bsr(ir::op_mat2()), Error);
+  EXPECT_THROW((void)make_op_comp_bss(ir::op_mat2()), Error);
+}
+
+TEST(OpSs, PaperExampleExchange) {
+  // Fig. 5, first exchange: (2,2,2,2) with (5,5,5,5):
+  // lower -> (2, 9, 14, 7); upper -> (9, 9, 14, 14).
+  const auto ss = make_op_ss(ir::op_add());
+  const Value a(Tuple{Value(2), Value(2), Value(2), Value(2)});
+  const Value b(Tuple{Value(5), Value(5), Value(5), Value(5)});
+  const auto [lo, hi] = ss.combine2(a, b);
+  EXPECT_EQ(lo, Value(Tuple{Value(2), Value(9), Value(14), Value(7)}));
+  EXPECT_EQ(hi, Value(Tuple{Value(9), Value(9), Value(14), Value(14)}));
+}
+
+TEST(OpSs, DegradeAndStripHandleComponents) {
+  const auto ss = make_op_ss(ir::op_add());
+  const Value q(Tuple{Value(1), Value(2), Value(3), Value(4)});
+  const Value d = ss.degrade(q);
+  EXPECT_EQ(d.at(0).as_int(), 1);
+  EXPECT_TRUE(d.at(1).is_undefined());
+  const Value s = ss.strip(q);
+  EXPECT_TRUE(s.at(0).is_undefined());  // the scan value stays local
+  EXPECT_EQ(s.at(3).as_int(), 4);
+  EXPECT_EQ(s.words(), 3u);  // exactly the paper's 3*tw
+}
+
+TEST(OpComp, BsComputesScanOfReplicatedValue) {
+  // op_comp k b = the (k+1)-fold + of b (Fig. 6).
+  const auto f = make_op_comp_bs(ir::op_add());
+  for (int k = 0; k < 40; ++k)
+    EXPECT_EQ(f(k, Value(std::int64_t{2})).as_int(), 2 * (k + 1)) << k;
+}
+
+TEST(OpComp, Bss2ComputesDoubleScanClosedForm) {
+  // With (*, +): rank k gets sum_{i=1..k+1} b^i.
+  const auto f = make_op_comp_bss2(ir::op_mul(), ir::op_add());
+  const std::int64_t b = 2;
+  std::int64_t expect = 0, pw = 1;
+  for (int k = 0; k < 20; ++k) {
+    pw *= b;
+    expect += pw;
+    EXPECT_EQ(f(k, Value(b)).as_int(), expect) << k;
+  }
+}
+
+TEST(OpComp, BssComputesTriangularNumbers) {
+  // With +: rank k gets (k+1)(k+2)/2 * b.
+  const auto f = make_op_comp_bss(ir::op_add());
+  for (std::int64_t k = 0; k < 40; ++k)
+    EXPECT_EQ(f(static_cast<int>(k), Value(std::int64_t{3})).as_int(),
+              3 * (k + 1) * (k + 2) / 2)
+        << k;
+}
+
+TEST(PowAssoc, MatchesLinearFold) {
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::int64_t b = rng.uniform(0, 96);
+    const auto op = ir::op_modadd(97);
+    const auto n = static_cast<std::uint64_t>(rng.uniform(1, 200));
+    Value expect(b);
+    for (std::uint64_t i = 1; i < n; ++i) expect = (*op)(expect, Value(b));
+    EXPECT_EQ(pow_assoc(*op, Value(b), n), expect) << n;
+  }
+}
+
+TEST(PowAssoc, WorksWithNonCommutativeOps) {
+  // Matrix powers: pow_assoc only needs associativity.
+  const Value fib(Tuple{Value(1), Value(1), Value(1), Value(0)});
+  const Value m8 = pow_assoc(*ir::op_mat2(), fib, 8);
+  EXPECT_EQ(m8.at(0).as_int(), 34);  // F(9)
+  EXPECT_EQ(m8.at(1).as_int(), 21);  // F(8)
+}
+
+TEST(PowAssoc, RejectsZeroExponent) {
+  EXPECT_THROW((void)pow_assoc(*ir::op_add(), Value(1), 0), Error);
+}
+
+TEST(GeneralFolds, MatchIterDoublingAtPowersOfTwo) {
+  const auto br_step = make_op_br(ir::op_add());
+  const auto br_gen = make_general_br(ir::op_add());
+  const auto bsr2_step = make_op_bsr2(ir::op_mul(), ir::op_add());
+  const auto bsr2_gen = make_general_bsr2(ir::op_mul(), ir::op_add());
+  const auto bsr_step = make_op_bsr(ir::op_add());
+  const auto bsr_gen = make_general_bsr(ir::op_add());
+
+  for (int logp = 0; logp <= 5; ++logp) {
+    const int p = 1 << logp;
+    {
+      Value v(std::int64_t{3});
+      for (int i = 0; i < logp; ++i) v = br_step(v);
+      EXPECT_EQ(br_gen(p, Value(std::int64_t{3})), v) << p;
+    }
+    {
+      Value v(Tuple{Value(1), Value(1)});  // b = 1 keeps * bounded
+      for (int i = 0; i < logp; ++i) v = bsr2_step(v);
+      EXPECT_EQ(bsr2_gen(p, Value(Tuple{Value(1), Value(1)})).at(0), v.at(0)) << p;
+    }
+    {
+      Value v(Tuple{Value(2), Value(2)});
+      for (int i = 0; i < logp; ++i) v = bsr_step(v);
+      EXPECT_EQ(bsr_gen(p, Value(Tuple{Value(2), Value(2)})).at(0), v.at(0)) << p;
+    }
+  }
+}
+
+TEST(GeneralFolds, ExactForArbitraryP) {
+  const auto bsr_gen = make_general_bsr(ir::op_add());
+  for (int p = 1; p <= 33; ++p) {
+    // reduce(+) of scan(+) over p copies of b: sum_{i=1..p} i*b.
+    const std::int64_t b = 5;
+    EXPECT_EQ(bsr_gen(p, Value(Tuple{Value(b), Value(b)})).at(0).as_int(),
+              b * p * (p + 1) / 2)
+        << p;
+  }
+}
+
+}  // namespace
+}  // namespace colop::rules

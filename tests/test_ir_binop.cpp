@@ -1,0 +1,113 @@
+// Base operators: every DECLARED algebraic property is validated by the
+// randomized checkers, and the checkers themselves detect non-properties.
+
+#include <gtest/gtest.h>
+
+#include "colop/ir/binop.h"
+
+namespace colop::ir {
+namespace {
+
+TEST(BinOp, AddAndMulBasics) {
+  EXPECT_EQ((*op_add())(Value(2), Value(3)), Value(5));
+  EXPECT_EQ((*op_mul())(Value(2), Value(3)), Value(6));
+  EXPECT_EQ((*op_add())(Value(2.5), Value(3)).as_real(), 5.5);  // widens
+}
+
+TEST(BinOp, UndefinedPropagates) {
+  EXPECT_TRUE((*op_add())(Value::undefined(), Value(3)).is_undefined());
+  EXPECT_TRUE((*op_mul())(Value(3), Value::undefined()).is_undefined());
+}
+
+TEST(BinOp, UnitsAreIdentities) {
+  for (const auto& op : {op_add(), op_mul(), op_band(), op_bor(), op_gcd(),
+                         op_modadd(97), op_modmul(97), op_mat2()}) {
+    ASSERT_TRUE(op->unit().has_value()) << op->name();
+    const Value u = *op->unit();
+    Value x = op->name() == "mat2"
+                  ? Value::tuple_of({Value(3), Value(1), Value(4), Value(1)})
+                  : Value(std::int64_t{42});
+    EXPECT_EQ((*op)(u, x), x) << op->name();
+    EXPECT_EQ((*op)(x, u), x) << op->name();
+  }
+}
+
+// Every declared property must hold under randomized checking.
+TEST(BinOpProperties, DeclaredAssociativityHolds) {
+  auto gen = small_int_gen(-30, 30);
+  for (const auto& op : {op_add(), op_mul(), op_max(), op_min(), op_band(),
+                         op_bor(), op_gcd(), op_modadd(11), op_modmul(11)}) {
+    EXPECT_TRUE(check_associative(*op, gen)) << op->name();
+  }
+}
+
+TEST(BinOpProperties, DeclaredCommutativityHolds) {
+  auto gen = small_int_gen(-30, 30);
+  for (const auto& op : {op_add(), op_mul(), op_max(), op_min(), op_band(),
+                         op_bor(), op_gcd(), op_modadd(11), op_modmul(11)}) {
+    EXPECT_TRUE(op->commutative()) << op->name();
+    EXPECT_TRUE(check_commutative(*op, gen)) << op->name();
+  }
+}
+
+TEST(BinOpProperties, DeclaredDistributivityHolds) {
+  auto gen = small_int_gen(-20, 20);
+  const std::vector<std::pair<BinOpPtr, BinOpPtr>> declared = {
+      {op_mul(), op_add()},   {op_add(), op_max()},  {op_add(), op_min()},
+      {op_max(), op_min()},   {op_min(), op_max()},  {op_max(), op_max()},
+      {op_min(), op_min()},   {op_band(), op_bor()}, {op_bor(), op_band()},
+      {op_band(), op_band()}, {op_bor(), op_bor()},  {op_gcd(), op_gcd()},
+      {op_modmul(13), op_modadd(13)},
+  };
+  for (const auto& [times, plus] : declared) {
+    EXPECT_TRUE(times->distributes_over(*plus))
+        << times->name() << " over " << plus->name();
+    EXPECT_TRUE(check_distributes_over(*times, *plus, gen))
+        << times->name() << " over " << plus->name();
+  }
+}
+
+TEST(BinOpProperties, CheckersDetectNonProperties) {
+  auto gen = small_int_gen(-20, 20);
+  // + does NOT distribute over * :  a + b*c != (a+b)*(a+c)
+  EXPECT_FALSE(check_distributes_over(*op_add(), *op_mul(), gen));
+  // max does NOT distribute over + : max(a, b+c) != max(a,b) + max(a,c)
+  EXPECT_FALSE(check_distributes_over(*op_max(), *op_add(), gen));
+  // a non-commutative op is flagged
+  EXPECT_FALSE(check_commutative(*op_first(), gen));
+}
+
+TEST(BinOpProperties, Mat2IsAssociativeButNotCommutative) {
+  auto gen = [](Rng& rng) {
+    Tuple t;
+    for (int i = 0; i < 4; ++i) t.emplace_back(rng.uniform(-5, 5));
+    return Value(std::move(t));
+  };
+  EXPECT_TRUE(check_associative(*op_mat2(), gen));
+  EXPECT_FALSE(check_commutative(*op_mat2(), gen));
+  EXPECT_FALSE(op_mat2()->commutative());
+}
+
+TEST(BinOp, ModularOpsStayInRange) {
+  auto ma = op_modadd(7);
+  auto mm = op_modmul(7);
+  EXPECT_EQ((*ma)(Value(-3), Value(-5)).as_int(), ((-8 % 7) + 7) % 7);
+  for (int a = -10; a <= 10; ++a)
+    for (int b = -10; b <= 10; ++b) {
+      const auto s = (*ma)(Value(a), Value(b)).as_int();
+      const auto p = (*mm)(Value(a), Value(b)).as_int();
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, 7);
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, 7);
+    }
+}
+
+TEST(BinOp, NamesAreStable) {
+  EXPECT_EQ(op_add()->name(), "+");
+  EXPECT_EQ(op_modadd(5)->name(), "+mod5");
+  EXPECT_EQ(op_modmul(5)->name(), "*mod5");
+}
+
+}  // namespace
+}  // namespace colop::ir

@@ -1,0 +1,97 @@
+// Value semantics: variants, tuples, undefined, words/bytes accounting.
+
+#include <gtest/gtest.h>
+
+#include "colop/ir/value.h"
+#include "colop/support/error.h"
+
+namespace colop::ir {
+namespace {
+
+TEST(Value, DefaultIsUndefined) {
+  Value v;
+  EXPECT_TRUE(v.is_undefined());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_FALSE(v.is_real());
+  EXPECT_FALSE(v.is_tuple());
+  EXPECT_EQ(v.to_string(), "_");
+}
+
+TEST(Value, IntAccessors) {
+  Value v(std::int64_t{42});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_TRUE(v.is_number());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_DOUBLE_EQ(v.number(), 42.0);
+  EXPECT_EQ(v.to_string(), "42");
+}
+
+TEST(Value, RealAccessors) {
+  Value v(2.5);
+  EXPECT_TRUE(v.is_real());
+  EXPECT_DOUBLE_EQ(v.as_real(), 2.5);
+  EXPECT_DOUBLE_EQ(v.number(), 2.5);
+}
+
+TEST(Value, WrongAccessorThrows) {
+  EXPECT_THROW((void)Value(1).as_real(), Error);
+  EXPECT_THROW((void)Value(1.0).as_int(), Error);
+  EXPECT_THROW((void)Value(1).as_tuple(), Error);
+  EXPECT_THROW((void)Value::undefined().as_int(), Error);
+}
+
+TEST(Value, TupleAccessAndProjection) {
+  Value v = Value::tuple_of({Value(1), Value(2.0), Value::undefined()});
+  ASSERT_TRUE(v.is_tuple());
+  EXPECT_EQ(v.at(0).as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.at(1).as_real(), 2.0);
+  EXPECT_TRUE(v.at(2).is_undefined());
+  EXPECT_THROW((void)v.at(3), Error);
+  EXPECT_EQ(v.to_string(), "(1,2,_)");
+}
+
+TEST(Value, NestedTuples) {
+  Value v = Value::tuple_of({Value::tuple_of({Value(1), Value(2)}), Value(3)});
+  EXPECT_EQ(v.at(0).at(1).as_int(), 2);
+  EXPECT_EQ(v.to_string(), "((1,2),3)");
+}
+
+TEST(Value, StructuralEquality) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_FALSE(Value(1) == Value(2));
+  EXPECT_FALSE(Value(1) == Value(1.0));  // int and real are distinct
+  EXPECT_EQ(Value::undefined(), Value::undefined());
+  EXPECT_EQ(Value::tuple_of({Value(1), Value::undefined()}),
+            Value::tuple_of({Value(1), Value::undefined()}));
+  EXPECT_FALSE(Value::tuple_of({Value(1)}) == Value(1));
+}
+
+TEST(Value, WordsCountDefinedNumericComponents) {
+  EXPECT_EQ(Value(7).words(), 1u);
+  EXPECT_EQ(Value(7.5).words(), 1u);
+  EXPECT_EQ(Value::undefined().words(), 0u);
+  // The paper's quadruple with a stripped scan component: 3 words travel.
+  Value stripped = Value::tuple_of(
+      {Value::undefined(), Value(1), Value(2), Value(3)});
+  EXPECT_EQ(stripped.words(), 3u);
+}
+
+TEST(Value, PayloadBytesIsEightPerWord) {
+  EXPECT_EQ(payload_bytes(Value(1)), 8u);
+  EXPECT_EQ(payload_bytes(Value::undefined()), 0u);
+  EXPECT_EQ(payload_bytes(Value::tuple_of({Value(1), Value(2)})), 16u);
+  Block b{Value(1), Value::tuple_of({Value(2), Value(3)})};
+  EXPECT_EQ(payload_bytes(b), 24u);
+}
+
+TEST(Value, BlockAndDistHelpers) {
+  const Dist d = dist_of_ints({1, 2, 3});
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[1][0].as_int(), 2);
+  EXPECT_EQ(to_string(d), "[[1]; [2]; [3]]");
+  const Block b = block_of_ints({4, 5});
+  EXPECT_EQ(to_string(b), "[4,5]");
+}
+
+}  // namespace
+}  // namespace colop::ir

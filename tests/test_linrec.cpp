@@ -1,0 +1,91 @@
+// Linear recurrences via scan of affine-map compositions.
+
+#include <gtest/gtest.h>
+
+#include "colop/apps/linrec.h"
+#include "colop/exec/thread_executor.h"
+#include "colop/ir/ir.h"
+#include "colop/support/rng.h"
+
+namespace colop::apps {
+namespace {
+
+constexpr std::int64_t kMod = 1'000'003;
+
+TEST(Linrec, OperatorIsAssociativeNotCommutative) {
+  auto gen = [](Rng& rng) {
+    return ir::Value(ir::Tuple{ir::Value(rng.uniform(0, kMod - 1)),
+                               ir::Value(rng.uniform(0, kMod - 1))});
+  };
+  EXPECT_TRUE(ir::check_associative(*op_affine(kMod), gen, 200));
+  EXPECT_FALSE(ir::check_commutative(*op_affine(kMod), gen, 200));
+}
+
+TEST(Linrec, CompositionAppliesInListOrder) {
+  // f1 = 2x+1, f2 = 3x+5: composed = f2(f1(x)) = 6x + 8.
+  const auto op = op_affine(kMod);
+  const ir::Value f1(ir::Tuple{ir::Value(2), ir::Value(1)});
+  const ir::Value f2(ir::Tuple{ir::Value(3), ir::Value(5)});
+  const ir::Value c = (*op)(f1, f2);
+  EXPECT_EQ(c.at(0).as_int(), 6);
+  EXPECT_EQ(c.at(1).as_int(), 8);
+  EXPECT_EQ(linrec_apply(c, 10, kMod), 68);
+}
+
+class LinrecP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, LinrecP,
+                         ::testing::Values(1, 2, 3, 5, 6, 8, 13, 16, 27, 32),
+                         [](const auto& pinfo) {
+                           return "p" + std::to_string(pinfo.param);
+                         });
+
+TEST_P(LinrecP, MatchesSequentialRecurrence) {
+  const int p = GetParam();
+  Rng rng(777);
+  std::vector<std::int64_t> a(static_cast<std::size_t>(p)),
+      b(static_cast<std::size_t>(p));
+  for (auto& v : a) v = rng.uniform(0, 999);
+  for (auto& v : b) v = rng.uniform(0, 999);
+  const std::int64_t x0 = rng.uniform(0, 999);
+
+  const auto expect = linrec_expected(a, b, x0, kMod);
+  const auto prog = linrec_program(kMod);
+  const auto in = linrec_input(a, b);
+
+  const ir::Dist ref = prog.eval_reference(in);
+  const ir::Dist thr = exec::run_on_threads(prog, in);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(linrec_apply(ref[static_cast<std::size_t>(r)][0], x0, kMod),
+              expect[static_cast<std::size_t>(r)])
+        << "rank " << r;
+    EXPECT_EQ(linrec_apply(thr[static_cast<std::size_t>(r)][0], x0, kMod),
+              expect[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+}
+
+TEST_P(LinrecP, ConstantMapsGiveGeometricSeries) {
+  // a_i = 2, b_i = 1, x0 = 0: x_i = 2^i - 1.
+  const int p = std::min(GetParam(), 30);  // keep 2^i in range
+  std::vector<std::int64_t> a(static_cast<std::size_t>(p), 2),
+      b(static_cast<std::size_t>(p), 1);
+  const auto out = linrec_program(kMod).eval_reference(linrec_input(a, b));
+  std::int64_t pw = 1;
+  for (int r = 0; r < p; ++r) {
+    pw = (2 * pw) % kMod;
+    EXPECT_EQ(linrec_apply(out[static_cast<std::size_t>(r)][0], 0, kMod),
+              (pw - 1 + kMod) % kMod)
+        << "rank " << r;
+  }
+}
+
+TEST(Linrec, ShapeConsistent) {
+  // The pairs are built by the input, not a map stage; declare the input
+  // shape to the checker.
+  const auto prog = linrec_program(kMod);
+  const auto shape = ir::Shape::replicate(ir::Shape::scalar(), 2);
+  EXPECT_FALSE(ir::check_shapes(prog, shape).has_value());
+}
+
+}  // namespace
+}  // namespace colop::apps

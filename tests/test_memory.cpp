@@ -1,0 +1,120 @@
+// The memory model (Section 4.2's caveat): peak element widths and the
+// optimizer's memory budget gate.
+
+#include <gtest/gtest.h>
+
+#include "colop/ir/ir.h"
+#include "colop/model/memory.h"
+#include "colop/rules/optimizer.h"
+
+namespace colop::model {
+namespace {
+
+using ir::Program;
+
+TEST(Memory, ScalarProgramsPeakAtOneWord) {
+  Program p;
+  p.scan(ir::op_add()).reduce(ir::op_add()).bcast();
+  EXPECT_EQ(peak_elem_words(p), 1);
+}
+
+TEST(Memory, TuplingRaisesThePeak) {
+  Program pairs;
+  pairs.map(ir::fn_pair()).scan(ir::op_add(), 2).map(ir::fn_proj1());
+  EXPECT_EQ(peak_elem_words(pairs), 2);
+
+  Program quads;
+  quads.map(ir::fn_quadruple()).map(ir::fn_proj1());
+  EXPECT_EQ(peak_elem_words(quads), 4);
+}
+
+TEST(Memory, RuleRewritesReportTheirFootprint) {
+  Program lhs;
+  lhs.scan(ir::op_add()).scan(ir::op_add());
+  EXPECT_EQ(peak_elem_words(lhs), 1);
+  const Program rhs = rules::rule_ss_scan()->match(lhs, 0)->apply(lhs);
+  EXPECT_EQ(peak_elem_words(rhs), 4);  // quadruples
+  const Program rhs2 = [&] {
+    Program two;
+    two.scan(ir::op_mul()).scan(ir::op_add());
+    return rules::rule_ss2_scan()->match(two, 0)->apply(two);
+  }();
+  EXPECT_EQ(peak_elem_words(rhs2), 2);  // pairs
+}
+
+// Helper: any 3-word op.
+ir::BinOpPtr triple_op() {
+  static const ir::BinOpPtr op = ir::BinOp::make(
+      {.name = "triple_op",
+       .fn = [](const ir::Value& a, const ir::Value&) { return a; },
+       .associative = true,
+       .commutative = true,
+       .ops_cost = 1});
+  return op;
+}
+
+TEST(Memory, NonScalarInputCounts) {
+  Program p;
+  p.scan(triple_op(), 3);
+  const auto triple = ir::Shape::replicate(ir::Shape::scalar(), 3);
+  EXPECT_EQ(peak_elem_words(p, triple), 3);
+}
+
+TEST(OptimizerMemoryGate, BudgetBlocksQuadrupleRules) {
+  // scan(+);scan(+): SS-Scan needs quadruples (4 words).  With a 2-word
+  // budget the rule is inadmissible and the program stays unfused.
+  Program prog;
+  prog.scan(ir::op_add()).scan(ir::op_add());
+  const model::Machine mach{.p = 64, .m = 4, .ts = 5000, .tw = 2};
+
+  const auto unlimited = rules::Optimizer(mach).optimize(prog);
+  ASSERT_FALSE(unlimited.log.empty());
+  EXPECT_EQ(unlimited.log[0].rule, "SS-Scan");
+
+  rules::OptimizerOptions tight;
+  tight.max_elem_words = 2;
+  const auto limited = rules::Optimizer(mach, rules::all_rules(), tight).optimize(prog);
+  EXPECT_TRUE(limited.log.empty());
+}
+
+TEST(OptimizerMemoryGate, BudgetStillAllowsPairRules) {
+  // scan(*);scan(+) -> SS2-Scan only needs pairs: fits a 2-word budget.
+  Program prog;
+  prog.scan(ir::op_mul()).scan(ir::op_add());
+  const model::Machine mach{.p = 64, .m = 4, .ts = 5000, .tw = 2};
+  rules::OptimizerOptions tight;
+  tight.max_elem_words = 2;
+  const auto res = rules::Optimizer(mach, rules::all_rules(), tight).optimize(prog);
+  ASSERT_FALSE(res.log.empty());
+  EXPECT_EQ(res.log[0].rule, "SS2-Scan");
+}
+
+TEST(OptimizerMemoryGate, WidthGeneralizedRulesRespectTheBudget) {
+  // A 3-word operator: SS-Scan would need 12 words.
+  auto op3 = ir::BinOp::make(
+      {.name = "w3",
+       .fn = [](const ir::Value& a, const ir::Value&) { return a; },
+       .associative = true,
+       .commutative = true,
+       .ops_cost = 1});
+  Program prog;
+  prog.map({"embed3",
+            [](const ir::Value& v) {
+              return ir::Value(ir::Tuple{v, v, v});
+            },
+            0,
+            [](const ir::Shape& s) { return ir::Shape::replicate(s, 3); }})
+      .scan(op3, 3)
+      .scan(op3, 3);
+  const model::Machine mach{.p = 64, .m = 4, .ts = 9000, .tw = 2};
+  rules::OptimizerOptions tight;
+  tight.max_elem_words = 8;
+  const auto res = rules::Optimizer(mach, rules::all_rules(), tight).optimize(prog);
+  EXPECT_TRUE(res.log.empty());  // 12 > 8
+
+  const auto loose = rules::Optimizer(mach).optimize(prog);
+  EXPECT_FALSE(loose.log.empty());
+}
+
+}  // namespace
+}  // namespace colop::model

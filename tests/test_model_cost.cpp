@@ -1,0 +1,222 @@
+// The cost calculus (Section 4): closed forms, per-stage symbolic costs,
+// and — crucially — EVERY row of Table 1, derived generically by costing
+// the rules' LHS and RHS programs (nothing hard-coded).
+
+#include <gtest/gtest.h>
+
+#include "colop/ir/ir.h"
+#include "colop/model/cost.h"
+#include "colop/rules/rules.h"
+
+namespace colop::model {
+namespace {
+
+using ir::Program;
+using rules::RulePtr;
+
+Cost lhs_rhs_cost(const RulePtr& rule, const Program& lhs, Cost* after) {
+  auto m = rule->match(lhs, 0);
+  EXPECT_TRUE(m.has_value()) << rule->name();
+  *after = program_cost(m->apply(lhs));
+  return program_cost(lhs);
+}
+
+TEST(ClosedForms, Equations15To17) {
+  const Machine mach{.p = 64, .m = 100, .ts = 50, .tw = 3};
+  const double lg = 6;
+  EXPECT_DOUBLE_EQ(t_bcast(mach), lg * (50 + 100 * 3));
+  EXPECT_DOUBLE_EQ(t_reduce(mach), lg * (50 + 100 * (3 + 1)));
+  EXPECT_DOUBLE_EQ(t_scan(mach), lg * (50 + 100 * (3 + 2)));
+}
+
+TEST(ClosedForms, StageCostsMatchClosedForms) {
+  const Machine mach{.p = 32, .m = 7, .ts = 11, .tw = 2};
+  Program b, r, s;
+  b.bcast();
+  r.reduce(ir::op_add());
+  s.scan(ir::op_add());
+  EXPECT_DOUBLE_EQ(program_time(b, mach), t_bcast(mach));
+  EXPECT_DOUBLE_EQ(program_time(r, mach), t_reduce(mach));
+  EXPECT_DOUBLE_EQ(program_time(s, mach), t_scan(mach));
+}
+
+TEST(ClosedForms, NonPowerOfTwoUsesCeilLog) {
+  const Machine m6{.p = 6, .m = 1, .ts = 1, .tw = 1};
+  const Machine m8{.p = 8, .m = 1, .ts = 1, .tw = 1};
+  EXPECT_DOUBLE_EQ(t_bcast(m6), t_bcast(m8));  // ceil(log2 6) = 3
+}
+
+TEST(CostAlgebra, ShowRendersPaperStyle) {
+  const Cost c{.logp_ts = 2, .logp_mtw = 2, .logp_m = 3};
+  EXPECT_EQ(c.show(), "2*ts + m*(2*tw + 3)");
+  const Cost just_m{.logp_m = 4};
+  EXPECT_EQ(just_m.show(), "m*(4)");
+  const Cost one{.logp_ts = 1, .logp_mtw = 1};
+  EXPECT_EQ(one.show(), "ts + m*(tw)");
+}
+
+TEST(CostAlgebra, SumAndDifference) {
+  const Cost a{.logp_ts = 1, .logp_mtw = 2, .logp_m = 3};
+  const Cost b{.logp_ts = 1, .logp_mtw = 1, .logp_m = 1};
+  EXPECT_EQ((a + b).logp_mtw, 3);
+  EXPECT_EQ((a - b).logp_m, 2);
+}
+
+// --- Table 1, row by row --------------------------------------------------
+// Each check: (time before)*log p, (time after)*log p, "Improved if".
+
+struct Table1Row {
+  std::string rule;
+  Cost before, after;
+  std::string improved_if;
+};
+
+void expect_row(const RulePtr& rule, const Program& lhs, const Cost& before,
+                const Cost& after, const std::string& improved) {
+  Cost got_after;
+  const Cost got_before = lhs_rhs_cost(rule, lhs, &got_after);
+  EXPECT_EQ(got_before, before) << rule->name() << " before: got "
+                                << got_before.show();
+  EXPECT_EQ(got_after, after) << rule->name() << " after: got "
+                              << got_after.show();
+  EXPECT_EQ(improvement_condition(got_before, got_after), improved)
+      << rule->name();
+}
+
+TEST(Table1, Sr2Reduction) {
+  Program lhs;
+  lhs.scan(ir::op_mul()).reduce(ir::op_add());
+  expect_row(rules::rule_sr2_reduction(), lhs,
+             {.logp_ts = 2, .logp_mtw = 2, .logp_m = 3},
+             {.logp_ts = 1, .logp_mtw = 2, .logp_m = 3}, "always");
+}
+
+TEST(Table1, SrReduction) {
+  Program lhs;
+  lhs.scan(ir::op_add()).reduce(ir::op_add());
+  expect_row(rules::rule_sr_reduction(), lhs,
+             {.logp_ts = 2, .logp_mtw = 2, .logp_m = 3},
+             {.logp_ts = 1, .logp_mtw = 2, .logp_m = 4}, "ts > m");
+}
+
+TEST(Table1, Ss2Scan) {
+  Program lhs;
+  lhs.scan(ir::op_mul()).scan(ir::op_add());
+  expect_row(rules::rule_ss2_scan(), lhs,
+             {.logp_ts = 2, .logp_mtw = 2, .logp_m = 4},
+             {.logp_ts = 1, .logp_mtw = 2, .logp_m = 6}, "ts > 2*m");
+}
+
+TEST(Table1, SsScan) {
+  Program lhs;
+  lhs.scan(ir::op_add()).scan(ir::op_add());
+  expect_row(rules::rule_ss_scan(), lhs,
+             {.logp_ts = 2, .logp_mtw = 2, .logp_m = 4},
+             {.logp_ts = 1, .logp_mtw = 3, .logp_m = 8}, "ts > m*(tw + 4)");
+}
+
+TEST(Table1, BsComcast) {
+  Program lhs;
+  lhs.bcast().scan(ir::op_add());
+  expect_row(rules::rule_bs_comcast(), lhs,
+             {.logp_ts = 2, .logp_mtw = 2, .logp_m = 2},
+             {.logp_ts = 1, .logp_mtw = 1, .logp_m = 2}, "always");
+}
+
+TEST(Table1, Bss2Comcast) {
+  Program lhs;
+  lhs.bcast().scan(ir::op_mul()).scan(ir::op_add());
+  expect_row(rules::rule_bss2_comcast(), lhs,
+             {.logp_ts = 3, .logp_mtw = 3, .logp_m = 4},
+             {.logp_ts = 1, .logp_mtw = 1, .logp_m = 5}, "tw + ts/m > 0.5");
+}
+
+TEST(Table1, BssComcast) {
+  Program lhs;
+  lhs.bcast().scan(ir::op_add()).scan(ir::op_add());
+  expect_row(rules::rule_bss_comcast(), lhs,
+             {.logp_ts = 3, .logp_mtw = 3, .logp_m = 4},
+             {.logp_ts = 1, .logp_mtw = 1, .logp_m = 8}, "tw + ts/m > 2");
+}
+
+TEST(Table1, BrLocal) {
+  Program lhs;
+  lhs.bcast().reduce(ir::op_add());
+  expect_row(rules::rule_br_local(), lhs,
+             {.logp_ts = 2, .logp_mtw = 2, .logp_m = 1}, {.logp_m = 1},
+             "always");
+}
+
+TEST(Table1, Bsr2Local) {
+  Program lhs;
+  lhs.bcast().scan(ir::op_mul()).reduce(ir::op_add());
+  expect_row(rules::rule_bsr2_local(), lhs,
+             {.logp_ts = 3, .logp_mtw = 3, .logp_m = 3}, {.logp_m = 3},
+             "always");
+}
+
+TEST(Table1, BsrLocal) {
+  Program lhs;
+  lhs.bcast().scan(ir::op_add()).reduce(ir::op_add());
+  Cost after;
+  const Cost before = lhs_rhs_cost(rules::rule_bsr_local(), lhs, &after);
+  EXPECT_EQ(before, (Cost{.logp_ts = 3, .logp_mtw = 3, .logp_m = 3}));
+  EXPECT_EQ(after, (Cost{.logp_m = 4}));
+  // Paper: improved iff tw + ts/m >= 1/3.
+  const std::string cond = improvement_condition(before, after);
+  EXPECT_TRUE(cond.rfind("tw + ts/m > 0.333", 0) == 0) << cond;
+}
+
+TEST(Table1, CrAlllocal) {
+  // Not tabulated in the paper but follows the same calculus:
+  // 2ts + m(2tw+1)  ->  ts + m(tw+1).
+  Program lhs;
+  lhs.bcast().allreduce(ir::op_add());
+  expect_row(rules::rule_cr_alllocal(), lhs,
+             {.logp_ts = 2, .logp_mtw = 2, .logp_m = 1},
+             {.logp_ts = 1, .logp_mtw = 1, .logp_m = 1}, "always");
+}
+
+// --- Section 4.2: the worked SS2-Scan example -----------------------------
+
+TEST(Section42, Ss2CrossoverIsTwoM) {
+  Program lhs;
+  lhs.scan(ir::op_mul()).scan(ir::op_add());
+  Cost after;
+  const Cost before = lhs_rhs_cost(rules::rule_ss2_scan(), lhs, &after);
+  for (double m : {1.0, 10.0, 1000.0}) {
+    for (double tw : {1.0, 3.0}) {
+      EXPECT_DOUBLE_EQ(ts_crossover(before, after, m, tw), 2 * m);
+    }
+  }
+}
+
+TEST(Section42, RulePaysOffExactlyWhenTsExceedsTwoM) {
+  Program lhs;
+  lhs.scan(ir::op_mul()).scan(ir::op_add());
+  const Program rhs = rules::rule_ss2_scan()->match(lhs, 0)->apply(lhs);
+  const double m = 64;
+  for (double ts : {10.0, 100.0, 127.0, 129.0, 1000.0}) {
+    const Machine mach{.p = 16, .m = m, .ts = ts, .tw = 2};
+    const bool improves = program_time(rhs, mach) < program_time(lhs, mach);
+    EXPECT_EQ(improves, ts > 2 * m) << "ts=" << ts;
+  }
+}
+
+TEST(Crossovers, AlwaysRulesHaveNoPositiveCrossover) {
+  Program lhs;
+  lhs.bcast().scan(ir::op_add());
+  Cost after;
+  const Cost before = lhs_rhs_cost(rules::rule_bs_comcast(), lhs, &after);
+  // Improves for every ts >= 0.
+  EXPECT_LE(ts_crossover(before, after, 100, 2), 0.0);
+}
+
+TEST(ImprovementCondition, NeverWhenAfterDominates) {
+  const Cost before{.logp_ts = 1, .logp_mtw = 1, .logp_m = 1};
+  const Cost after{.logp_ts = 2, .logp_mtw = 1, .logp_m = 2};
+  EXPECT_EQ(improvement_condition(before, after), "never");
+}
+
+}  // namespace
+}  // namespace colop::model

@@ -1,0 +1,307 @@
+// The paper's balanced collective operations (Sections 3.2/3.3):
+// balanced-tree shape invariants, reduce_balanced with op_sr,
+// scan_balanced with op_ss, including the exact traces of Figures 4 and 5.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "colop/mpsim/mpsim.h"
+#include "colop/support/bits.h"
+#include "colop/support/rng.h"
+
+namespace colop::mpsim {
+namespace {
+
+using i64 = std::int64_t;
+
+// ---------------------------------------------------------------------
+// BalancedTree shape
+// ---------------------------------------------------------------------
+
+class BalancedTreeP : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(LeafCounts, BalancedTreeP,
+                         ::testing::Range(1, 40),
+                         [](const auto& pinfo) {
+                           return "n" + std::to_string(pinfo.param);
+                         });
+
+// Collect leaf depths by walking from the root.
+void collect_leaves(const BalancedTree& t, int node, int depth,
+                    std::vector<std::pair<int, int>>& out) {
+  const auto& n = t.node(node);
+  if (n.is_leaf()) {
+    out.push_back({n.first, depth});
+    return;
+  }
+  if (n.left != -1) collect_leaves(t, n.left, depth + 1, out);
+  collect_leaves(t, n.right, depth + 1, out);
+}
+
+TEST_P(BalancedTreeP, AllLeavesAtEqualDepthCeilLog) {
+  const int n = GetParam();
+  const auto t = BalancedTree::build(n);
+  std::vector<std::pair<int, int>> leaves;
+  collect_leaves(t, t.root(), 0, leaves);
+  ASSERT_EQ(leaves.size(), static_cast<std::size_t>(n));
+  const int expect_depth = static_cast<int>(log2_ceil(static_cast<std::uint64_t>(n)));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(leaves[static_cast<std::size_t>(i)].first, i) << "leaf order";
+    EXPECT_EQ(leaves[static_cast<std::size_t>(i)].second, expect_depth) << "leaf depth";
+  }
+}
+
+// A subtree is complete iff it has exactly 2^height leaves.
+bool is_complete(const BalancedTree& t, int node) {
+  const auto& n = t.node(node);
+  return n.count == (1 << n.height);
+}
+
+TEST_P(BalancedTreeP, RightSubtreeCompleteWhenLeftNonEmpty) {
+  const int n = GetParam();
+  const auto t = BalancedTree::build(n);
+  for (const auto& node : t.nodes()) {
+    if (node.is_leaf()) continue;
+    if (node.left != -1) {
+      EXPECT_TRUE(is_complete(t, node.right));
+    }
+  }
+}
+
+TEST_P(BalancedTreeP, SpansPartitionAndOwnersAreFirstLeaves) {
+  const int n = GetParam();
+  const auto t = BalancedTree::build(n);
+  for (const auto& node : t.nodes()) {
+    EXPECT_EQ(node.owner(), node.first);
+    if (node.is_leaf()) {
+      EXPECT_EQ(node.count, 1);
+      continue;
+    }
+    const auto& right = t.node(node.right);
+    if (node.left != -1) {
+      const auto& left = t.node(node.left);
+      EXPECT_EQ(left.first, node.first);
+      EXPECT_EQ(left.first + left.count, right.first);
+      EXPECT_EQ(left.count + right.count, node.count);
+    } else {
+      EXPECT_EQ(right.first, node.first);
+      EXPECT_EQ(right.count, node.count);
+    }
+  }
+}
+
+TEST(BalancedTreeShape, PowerOfTwoIsCompleteWithoutUnitNodes) {
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    const auto t = BalancedTree::build(n);
+    for (const auto& node : t.nodes()) EXPECT_FALSE(node.is_unit()) << "n=" << n;
+    EXPECT_EQ(static_cast<int>(t.nodes().size()), 2 * n - 1);
+  }
+}
+
+TEST(BalancedTreeShape, SixLeavesMatchesPaperFigure4) {
+  // Figure 4: leaves {0,1} hang under a unit node at height 2; leaves
+  // {2,3,4,5} form the complete right subtree of the root.
+  const auto t = BalancedTree::build(6);
+  const auto& root = t.node(t.root());
+  ASSERT_FALSE(root.is_unit());
+  const auto& left = t.node(root.left);
+  const auto& right = t.node(root.right);
+  EXPECT_EQ(left.first, 0);
+  EXPECT_EQ(left.count, 2);
+  EXPECT_TRUE(left.is_unit());  // 2 leaves at height 2 -> empty left subtree
+  EXPECT_EQ(right.first, 2);
+  EXPECT_EQ(right.count, 4);
+  EXPECT_TRUE(is_complete(t, root.right));
+}
+
+// ---------------------------------------------------------------------
+// reduce_balanced
+// ---------------------------------------------------------------------
+
+// op_sr from rule SR-Reduction (+ instance):
+//   op((t1,u1),(t2,u2)) = (t1+t2+u1, uu+uu),  uu = u1+u2
+//   op((), (t2,u2))     = (t2, u2+u2)
+using TU = std::pair<i64, i64>;
+TU op_sr_plus(TU a, TU b) {
+  const i64 uu = a.second + b.second;
+  return {a.first + b.first + a.second, uu + uu};
+}
+TU op_sr_unit(TU x) { return {x.first, x.second + x.second}; }
+
+i64 scan_reduce_plus(const std::vector<i64>& xs) {
+  i64 acc = 0, run = 0;
+  for (i64 x : xs) {
+    run += x;
+    acc += run;
+  }
+  return acc;
+}
+
+class BalancedCollectivesP : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, BalancedCollectivesP,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13,
+                                           16, 17, 24, 32, 33),
+                         [](const auto& pinfo) {
+                           return "p" + std::to_string(pinfo.param);
+                         });
+
+TEST_P(BalancedCollectivesP, ReduceBalancedWithAssociativeOpMatchesReduce) {
+  // With a plain associative op (unit case = identity) the balanced tree
+  // computes an ordinary reduction.
+  const int p = GetParam();
+  Rng rng(42);
+  std::vector<i64> xs(static_cast<std::size_t>(p));
+  for (auto& x : xs) x = rng.uniform(-100, 100);
+  auto out = run_spmd_collect<i64>(p, [&](Comm& comm) {
+    return reduce_balanced(
+        comm, xs[static_cast<std::size_t>(comm.rank())],
+        [](i64 a, i64 b) { return a + b; }, [](i64 x) { return x; });
+  });
+  i64 total = 0;
+  for (i64 x : xs) total += x;
+  EXPECT_EQ(out[0], total);
+  for (int r = 1; r < p; ++r)
+    EXPECT_EQ(out[static_cast<std::size_t>(r)], xs[static_cast<std::size_t>(r)]);
+}
+
+TEST_P(BalancedCollectivesP, ReduceBalancedOpSrComputesScanThenReduce) {
+  // The heart of rule SR-Reduction: reduce_balanced(op_sr) over pairs
+  // (x,x) computes reduce(+) . scan(+) for ANY p, despite op_sr not being
+  // associative.
+  const int p = GetParam();
+  Rng rng(7);
+  std::vector<i64> xs(static_cast<std::size_t>(p));
+  for (auto& x : xs) x = rng.uniform(-20, 20);
+  auto out = run_spmd_collect<TU>(p, [&](Comm& comm) {
+    const i64 x = xs[static_cast<std::size_t>(comm.rank())];
+    return reduce_balanced(comm, TU{x, x}, op_sr_plus, op_sr_unit);
+  });
+  EXPECT_EQ(out[0].first, scan_reduce_plus(xs));
+}
+
+TEST_P(BalancedCollectivesP, AllreduceBalancedOpSrEveryRankGetsResult) {
+  const int p = GetParam();
+  Rng rng(9);
+  std::vector<i64> xs(static_cast<std::size_t>(p));
+  for (auto& x : xs) x = rng.uniform(-20, 20);
+  auto out = run_spmd_collect<TU>(p, [&](Comm& comm) {
+    const i64 x = xs[static_cast<std::size_t>(comm.rank())];
+    return allreduce_balanced(comm, TU{x, x}, op_sr_plus, op_sr_unit);
+  });
+  const i64 expect = scan_reduce_plus(xs);
+  for (int r = 0; r < p; ++r) EXPECT_EQ(out[static_cast<std::size_t>(r)].first, expect) << "rank " << r;
+}
+
+TEST(BalancedFigure4, ExactTraceOnSixProcessors) {
+  // Input [2,5,9,1,2,6]: the paper's Figure 4 ends with (86; 200) at the
+  // root.  scan(+) = [2,7,16,17,19,25], reduce(+) of that = 86.
+  const std::vector<i64> xs{2, 5, 9, 1, 2, 6};
+  auto out = run_spmd_collect<TU>(6, [&](Comm& comm) {
+    const i64 x = xs[static_cast<std::size_t>(comm.rank())];
+    return reduce_balanced(comm, TU{x, x}, op_sr_plus, op_sr_unit);
+  });
+  EXPECT_EQ(out[0].first, 86);
+  EXPECT_EQ(out[0].second, 200);
+}
+
+// ---------------------------------------------------------------------
+// scan_balanced
+// ---------------------------------------------------------------------
+
+// op_ss from rule SS-Scan (+ instance) on quadruples (s,t,u,v); absent
+// auxiliary components are modelled with std::optional.
+struct Quad {
+  i64 s = 0;
+  std::optional<i64> t, u, v;
+  friend bool operator==(const Quad&, const Quad&) = default;
+};
+
+std::size_t payload_bytes(const Quad&) { return 4 * sizeof(i64); }
+
+std::pair<Quad, Quad> op_ss_plus(const Quad& a, const Quad& b) {
+  // Auxiliary outputs propagate undefinedness (a partner degraded in an
+  // earlier phase yields undefined auxiliaries).  The scan component of the
+  // upper result, however, REQUIRES the lower partner's t and v to be live
+  // — .value() enforces the paper's claim that those are never undefined.
+  std::optional<i64> ttu, uu, uuuu, vv, uuvv;
+  if (a.t && b.t && a.u) ttu = *a.t + *b.t + *a.u;
+  if (a.u && b.u) {
+    uu = *a.u + *b.u;
+    uuuu = *uu + *uu;
+  }
+  if (a.v && b.v) vv = *a.v + *b.v;
+  if (uu && vv) uuvv = *uu + *vv;
+  Quad lo{a.s, ttu, uuuu, vv};
+  Quad hi{b.s + a.t.value() + a.v.value(), ttu, uuuu, uuvv};
+  return {lo, hi};
+}
+
+Quad degrade_quad(Quad q) {
+  q.t.reset();
+  q.u.reset();
+  q.v.reset();
+  return q;
+}
+
+std::vector<i64> double_scan_plus(const std::vector<i64>& xs) {
+  std::vector<i64> s(xs.size());
+  i64 acc = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) s[i] = (acc += xs[i]);
+  acc = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) s[i] = (acc += s[i]);
+  return s;
+}
+
+TEST_P(BalancedCollectivesP, ScanBalancedOpSsComputesDoubleScan) {
+  // Rule SS-Scan: scan_balanced(op_ss) over quadruples computes
+  // scan(+);scan(+) for any p; undefined components are never consumed.
+  const int p = GetParam();
+  Rng rng(13);
+  std::vector<i64> xs(static_cast<std::size_t>(p));
+  for (auto& x : xs) x = rng.uniform(-20, 20);
+  auto out = run_spmd_collect<Quad>(p, [&](Comm& comm) {
+    const i64 x = xs[static_cast<std::size_t>(comm.rank())];
+    return scan_balanced(comm, Quad{x, x, x, x}, op_ss_plus, degrade_quad);
+  });
+  const auto expect = double_scan_plus(xs);
+  for (int r = 0; r < p; ++r)
+    EXPECT_EQ(out[static_cast<std::size_t>(r)].s, expect[static_cast<std::size_t>(r)]) << "rank " << r;
+}
+
+TEST(BalancedFigure5, ExactTraceOnSixProcessors) {
+  // Figure 5: input [2,5,9,1,2,6]; double scan = [2,9,25,42,61,86];
+  // ranks 4 and 5 lose their auxiliary components in phase 2.
+  const std::vector<i64> xs{2, 5, 9, 1, 2, 6};
+  auto out = run_spmd_collect<Quad>(6, [&](Comm& comm) {
+    const i64 x = xs[static_cast<std::size_t>(comm.rank())];
+    return scan_balanced(comm, Quad{x, x, x, x}, op_ss_plus, degrade_quad);
+  });
+  const std::vector<i64> expect{2, 9, 25, 42, 61, 86};
+  for (int r = 0; r < 6; ++r)
+    EXPECT_EQ(out[static_cast<std::size_t>(r)].s, expect[static_cast<std::size_t>(r)]);
+  // Ranks 4 and 5 finished with degraded auxiliaries (paper: "(2;_;_;_)").
+  EXPECT_FALSE(out[4].t.has_value());
+  EXPECT_FALSE(out[5].t.has_value());
+}
+
+TEST(BalancedTraffic, ReduceBalancedSendsOneMessagePerFullInternalNode) {
+  for (int p : {2, 3, 6, 8, 13}) {
+    auto counters = run_spmd_traffic(p, [&](Comm& comm) {
+      (void)reduce_balanced(
+          comm, TU{1, 1}, op_sr_plus, op_sr_unit);
+    });
+    const auto tree = BalancedTree::build(p);
+    std::uint64_t full_nodes = 0;
+    for (const auto& n : tree.nodes())
+      if (!n.is_leaf() && !n.is_unit()) ++full_nodes;
+    EXPECT_EQ(counters.messages, full_nodes) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace colop::mpsim

@@ -1,0 +1,124 @@
+// Exclusive scan and reduce-scatter.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "colop/mpsim/mpsim.h"
+#include "colop/support/rng.h"
+
+namespace colop::mpsim {
+namespace {
+
+using i64 = std::int64_t;
+
+class ExscanP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, ExscanP,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 11, 16, 23, 32),
+                         [](const auto& pinfo) {
+                           return "p" + std::to_string(pinfo.param);
+                         });
+
+TEST_P(ExscanP, ExscanSumMatchesPrefixOfPredecessors) {
+  const int p = GetParam();
+  Rng rng(61);
+  std::vector<i64> xs(static_cast<std::size_t>(p));
+  for (auto& x : xs) x = rng.uniform(-40, 40);
+  auto out = run_spmd_collect<std::optional<i64>>(p, [&](Comm& comm) {
+    return exscan(comm, xs[static_cast<std::size_t>(comm.rank())],
+                  [](i64 a, i64 b) { return a + b; });
+  });
+  EXPECT_FALSE(out[0].has_value());  // rank 0 is undefined (MPI semantics)
+  i64 acc = 0;
+  for (int r = 1; r < p; ++r) {
+    acc += xs[static_cast<std::size_t>(r - 1)];
+    ASSERT_TRUE(out[static_cast<std::size_t>(r)].has_value()) << "rank " << r;
+    EXPECT_EQ(*out[static_cast<std::size_t>(r)], acc) << "rank " << r;
+  }
+}
+
+TEST_P(ExscanP, ExscanNonCommutativeStringConcat) {
+  const int p = GetParam();
+  auto out = run_spmd_collect<std::optional<std::string>>(p, [](Comm& comm) {
+    return exscan(comm, std::string(1, static_cast<char>('a' + comm.rank() % 26)),
+                  [](std::string a, const std::string& b) { return std::move(a) += b; });
+  });
+  std::string acc;
+  for (int r = 1; r < p; ++r) {
+    acc += static_cast<char>('a' + (r - 1) % 26);
+    EXPECT_EQ(out[static_cast<std::size_t>(r)].value(), acc) << "rank " << r;
+  }
+}
+
+TEST_P(ExscanP, ExscanConsistentWithInclusiveScan) {
+  const int p = GetParam();
+  Rng rng(62);
+  std::vector<i64> xs(static_cast<std::size_t>(p));
+  for (auto& x : xs) x = rng.uniform(-9, 9);
+  const auto plus = [](i64 a, i64 b) { return a + b; };
+  auto pairs = run_spmd_collect<std::pair<std::optional<i64>, i64>>(
+      p, [&](Comm& comm) {
+        const i64 x = xs[static_cast<std::size_t>(comm.rank())];
+        auto ex = exscan(comm, x, plus);
+        auto in = scan(comm, x, plus);
+        return std::make_pair(ex, in);
+      });
+  for (int r = 0; r < p; ++r) {
+    const auto& [ex, in] = pairs[static_cast<std::size_t>(r)];
+    const i64 x = xs[static_cast<std::size_t>(r)];
+    EXPECT_EQ(ex.value_or(0) + x, in) << "rank " << r;  // in = ex # x
+  }
+}
+
+class ReduceScatterP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, ReduceScatterP,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 12, 16, 32),
+                         [](const auto& pinfo) {
+                           return "p" + std::to_string(pinfo.param);
+                         });
+
+TEST_P(ReduceScatterP, SumsBlocksPerDestination) {
+  const int p = GetParam();
+  auto out = run_spmd_collect<i64>(p, [&](Comm& comm) {
+    std::vector<i64> blocks;
+    for (int j = 0; j < p; ++j) blocks.push_back(comm.rank() * 100 + j);
+    return reduce_scatter(comm, std::move(blocks), [](i64 a, i64 b) { return a + b; });
+  });
+  for (int i = 0; i < p; ++i) {
+    i64 expect = 0;
+    for (int r = 0; r < p; ++r) expect += r * 100 + i;
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], expect) << "rank " << i;
+  }
+}
+
+TEST_P(ReduceScatterP, NonCommutativeConcatStaysInRankOrder) {
+  const int p = GetParam();
+  auto out = run_spmd_collect<std::string>(p, [&](Comm& comm) {
+    std::vector<std::string> blocks;
+    for (int j = 0; j < p; ++j)
+      blocks.push_back(std::string(1, static_cast<char>('a' + comm.rank() % 26)));
+    return reduce_scatter(
+        comm, std::move(blocks),
+        [](std::string a, const std::string& b) { return std::move(a) += b; },
+        /*commutative=*/false);
+  });
+  std::string expect;
+  for (int r = 0; r < p; ++r) expect += static_cast<char>('a' + r % 26);
+  for (int i = 0; i < p; ++i)
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], expect) << "rank " << i;
+}
+
+TEST(ReduceScatterErrors, NeedsPBlocks) {
+  EXPECT_THROW(run_spmd(4,
+                        [](Comm& comm) {
+                          std::vector<int> blocks(2);
+                          (void)reduce_scatter(comm, std::move(blocks),
+                                               [](int a, int b) { return a + b; });
+                        }),
+               Error);
+}
+
+}  // namespace
+}  // namespace colop::mpsim

@@ -1,0 +1,131 @@
+// Scatter / gather / allgather / alltoall / dissemination barrier.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "colop/mpsim/mpsim.h"
+
+namespace colop::mpsim {
+namespace {
+
+using i64 = std::int64_t;
+
+class GatherScatterP : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, GatherScatterP,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 21, 32),
+                         [](const auto& pinfo) {
+                           return "p" + std::to_string(pinfo.param);
+                         });
+
+TEST_P(GatherScatterP, ScatterDeliversBlockI) {
+  const int p = GetParam();
+  auto out = run_spmd_collect<i64>(p, [&](Comm& comm) {
+    std::vector<i64> blocks;
+    if (comm.rank() == 0)
+      for (int i = 0; i < p; ++i) blocks.push_back(100 + i);
+    return scatter(comm, std::move(blocks));
+  });
+  for (int r = 0; r < p; ++r) EXPECT_EQ(out[static_cast<std::size_t>(r)], 100 + r) << "rank " << r;
+}
+
+TEST_P(GatherScatterP, ScatterFromNonzeroRoot) {
+  const int p = GetParam();
+  const int root = p / 2;
+  auto out = run_spmd_collect<i64>(p, [&](Comm& comm) {
+    std::vector<i64> blocks;
+    if (comm.rank() == root)
+      for (int i = 0; i < p; ++i) blocks.push_back(7 * i);
+    return scatter(comm, std::move(blocks), root);
+  });
+  for (int r = 0; r < p; ++r) EXPECT_EQ(out[static_cast<std::size_t>(r)], 7 * r) << "rank " << r;
+}
+
+TEST_P(GatherScatterP, GatherCollectsInRankOrder) {
+  const int p = GetParam();
+  auto out = run_spmd_collect<std::vector<i64>>(p, [](Comm& comm) {
+    return gather(comm, static_cast<i64>(comm.rank() * comm.rank()));
+  });
+  ASSERT_EQ(out[0].size(), static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) EXPECT_EQ(out[0][static_cast<std::size_t>(r)], static_cast<i64>(r) * r);
+  for (int r = 1; r < p; ++r) EXPECT_TRUE(out[static_cast<std::size_t>(r)].empty());
+}
+
+TEST_P(GatherScatterP, GatherToNonzeroRoot) {
+  const int p = GetParam();
+  const int root = p - 1;
+  auto out = run_spmd_collect<std::vector<i64>>(p, [&](Comm& comm) {
+    return gather(comm, static_cast<i64>(comm.rank() + 1), root);
+  });
+  ASSERT_EQ(out[static_cast<std::size_t>(root)].size(), static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r)
+    EXPECT_EQ(out[static_cast<std::size_t>(root)][static_cast<std::size_t>(r)], r + 1);
+}
+
+TEST_P(GatherScatterP, ScatterThenGatherRoundtrips) {
+  const int p = GetParam();
+  auto out = run_spmd_collect<std::vector<i64>>(p, [&](Comm& comm) {
+    std::vector<i64> blocks;
+    if (comm.rank() == 0)
+      for (int i = 0; i < p; ++i) blocks.push_back(i * i - 3);
+    const i64 mine = scatter(comm, std::move(blocks));
+    return gather(comm, mine);
+  });
+  for (int i = 0; i < p; ++i) EXPECT_EQ(out[0][static_cast<std::size_t>(i)], static_cast<i64>(i) * i - 3);
+}
+
+TEST_P(GatherScatterP, AllgatherGivesEveryoneEverything) {
+  const int p = GetParam();
+  auto out = run_spmd_collect<std::vector<std::string>>(p, [](Comm& comm) {
+    return allgather(comm, "r" + std::to_string(comm.rank()));
+  });
+  for (int r = 0; r < p; ++r) {
+    ASSERT_EQ(out[static_cast<std::size_t>(r)].size(), static_cast<std::size_t>(p)) << "rank " << r;
+    for (int i = 0; i < p; ++i)
+      EXPECT_EQ(out[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)], "r" + std::to_string(i));
+  }
+}
+
+TEST_P(GatherScatterP, AlltoallTransposes) {
+  const int p = GetParam();
+  auto out = run_spmd_collect<std::vector<i64>>(p, [&](Comm& comm) {
+    std::vector<i64> blocks;
+    for (int j = 0; j < p; ++j) blocks.push_back(comm.rank() * 1000 + j);
+    return alltoall(comm, std::move(blocks));
+  });
+  // Rank i's slot j must hold what rank j addressed to rank i.
+  for (int i = 0; i < p; ++i)
+    for (int j = 0; j < p; ++j)
+      EXPECT_EQ(out[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], j * 1000 + i);
+}
+
+TEST_P(GatherScatterP, DisseminationBarrierCompletes) {
+  const int p = GetParam();
+  run_spmd(p, [](Comm& comm) {
+    for (int i = 0; i < 3; ++i) barrier_dissemination(comm);
+  });
+}
+
+TEST(GatherScatterErrors, ScatterRootNeedsPBlocks) {
+  EXPECT_THROW(run_spmd(3,
+                        [](Comm& comm) {
+                          std::vector<int> blocks(2);  // wrong: needs 3
+                          (void)scatter(comm, std::move(blocks));
+                        }),
+               Error);
+}
+
+TEST(GatherScatterErrors, AlltoallNeedsPBlocks) {
+  EXPECT_THROW(run_spmd(3,
+                        [](Comm& comm) {
+                          std::vector<int> blocks(1);
+                          (void)alltoall(comm, std::move(blocks));
+                        }),
+               Error);
+}
+
+}  // namespace
+}  // namespace colop::mpsim

@@ -1,0 +1,107 @@
+// Non-blocking receives, probe and pending.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "colop/mpsim/mpsim.h"
+
+namespace colop::mpsim {
+namespace {
+
+TEST(Request, IrecvWaitRoundtrip) {
+  run_spmd(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      auto req = irecv<int>(comm, 1);
+      // Overlap "computation" while the message may be in flight.
+      int local = 21 * 2;
+      EXPECT_EQ(req.wait(), local);
+    } else {
+      comm.send(0, 42);
+    }
+  });
+}
+
+TEST(Request, ReadyReflectsArrival) {
+  run_spmd(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      auto req = irecv<int>(comm, 1, 3);
+      comm.barrier();   // rank 1 sends before this barrier
+      comm.barrier();
+      EXPECT_TRUE(req.ready());
+      EXPECT_EQ(req.wait(), 7);
+    } else {
+      comm.send(0, 7, 3);
+      comm.barrier();
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Request, NotReadyBeforeSend) {
+  run_spmd(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      auto req = irecv<int>(comm, 1, 5);
+      EXPECT_FALSE(req.ready());  // nothing sent yet (rank 1 waits on us)
+      comm.send(1, 0, 1);
+      EXPECT_EQ(req.wait(), 9);
+    } else {
+      (void)comm.recv<int>(0, 1);
+      comm.send(0, 9, 5);
+    }
+  });
+}
+
+TEST(Request, DoubleWaitThrows) {
+  run_spmd(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      auto req = irecv<int>(comm, 1);
+      (void)req.wait();
+      EXPECT_THROW((void)req.wait(), Error);
+    } else {
+      comm.send(0, 1);
+    }
+  });
+}
+
+TEST(Request, WaitAllGathersInRequestOrder) {
+  constexpr int kP = 5;
+  run_spmd(kP, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<RecvRequest<int>> reqs;
+      for (int r = 1; r < kP; ++r) reqs.push_back(irecv<int>(comm, r));
+      const auto values = wait_all(reqs);
+      for (int r = 1; r < kP; ++r) EXPECT_EQ(values[static_cast<std::size_t>(r - 1)], r * r);
+    } else {
+      comm.send(0, comm.rank() * comm.rank());
+    }
+  });
+}
+
+TEST(Request, ProbeAndPendingOnComm) {
+  run_spmd(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.barrier();
+      EXPECT_TRUE(comm.probe(1, 2));
+      EXPECT_FALSE(comm.probe(1, 3));
+      EXPECT_EQ(comm.pending(), 2u);
+      (void)comm.recv<int>(1, 2);
+      (void)comm.recv<int>(1, 4);
+      EXPECT_EQ(comm.pending(), 0u);
+    } else {
+      comm.send(0, 1, 2);
+      comm.send(0, 2, 4);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Request, RejectsCollectiveTagSpace) {
+  run_spmd(1, [](Comm& comm) {
+    EXPECT_THROW((void)irecv<int>(comm, 0, kCollectiveTagBase), Error);
+  });
+}
+
+}  // namespace
+}  // namespace colop::mpsim

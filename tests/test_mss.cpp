@@ -1,0 +1,86 @@
+// Maximum segment sum: user-defined operator, map shape change, reference
+// vs threads vs brute force.
+
+#include <gtest/gtest.h>
+
+#include "colop/apps/mss.h"
+#include "colop/exec/thread_executor.h"
+#include "colop/ir/ir.h"
+#include "colop/support/rng.h"
+
+namespace colop::apps {
+namespace {
+
+using ir::Dist;
+using ir::Value;
+
+TEST(Mss, OperatorIsAssociativeNotCommutative) {
+  auto gen = [](Rng& rng) {
+    // Valid mss tuples: build from a random element embedding, possibly
+    // combined, to stay inside the operator's domain.
+    const auto f = fn_mss_tuple();
+    Value t = f(Value(rng.uniform(-9, 9)));
+    if (rng.uniform(0, 1)) t = (*op_mss())(t, f(Value(rng.uniform(-9, 9))));
+    return t;
+  };
+  EXPECT_TRUE(ir::check_associative(*op_mss(), gen, 300));
+  EXPECT_FALSE(ir::check_commutative(*op_mss(), gen, 300));
+}
+
+TEST(Mss, ProgramShapeChecks) {
+  EXPECT_FALSE(ir::check_shapes(mss_program()).has_value());
+  EXPECT_EQ(mss_program().show(), "map(mss_tuple) ; reduce(op_mss) ; map(pi1)");
+}
+
+TEST(Mss, BruteforceBasics) {
+  EXPECT_EQ(mss_bruteforce({}), 0);
+  EXPECT_EQ(mss_bruteforce({-5}), 0);       // empty segment wins
+  EXPECT_EQ(mss_bruteforce({5}), 5);
+  EXPECT_EQ(mss_bruteforce({2, -1, 3}), 4);
+  EXPECT_EQ(mss_bruteforce({-2, 1, -3, 4, -1, 2, 1, -5, 4}), 6);  // classic
+}
+
+class MssP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, MssP,
+                         ::testing::Values(1, 2, 3, 5, 6, 8, 13, 16, 31),
+                         [](const auto& pinfo) {
+                           return "p" + std::to_string(pinfo.param);
+                         });
+
+TEST_P(MssP, MatchesBruteForcePerLane) {
+  const int p = GetParam();
+  constexpr int kLanes = 4;
+  Rng rng(555);
+  Dist in(static_cast<std::size_t>(p));
+  std::vector<std::vector<std::int64_t>> lanes(kLanes);
+  for (auto& block : in) {
+    block.resize(kLanes);
+    for (int l = 0; l < kLanes; ++l) {
+      const auto x = rng.uniform(-10, 10);
+      block[static_cast<std::size_t>(l)] = Value(x);
+      lanes[static_cast<std::size_t>(l)].push_back(x);
+    }
+  }
+  const Dist ref = mss_program().eval_reference(in);
+  const Dist thr = exec::run_on_threads(mss_program(), in);
+  for (int l = 0; l < kLanes; ++l) {
+    const auto expect = mss_bruteforce(lanes[static_cast<std::size_t>(l)]);
+    EXPECT_EQ(ref[0][static_cast<std::size_t>(l)].as_int(), expect) << "lane " << l;
+    EXPECT_EQ(thr[0][static_cast<std::size_t>(l)].as_int(), expect) << "lane " << l;
+  }
+}
+
+TEST_P(MssP, AllPositiveIsTotalAndAllNegativeIsZero) {
+  const int p = GetParam();
+  Dist pos(static_cast<std::size_t>(p)), neg(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    pos[static_cast<std::size_t>(r)] = {Value(r + 1)};
+    neg[static_cast<std::size_t>(r)] = {Value(-(r + 1))};
+  }
+  EXPECT_EQ(mss_program().eval_reference(pos)[0][0].as_int(),
+            static_cast<std::int64_t>(p) * (p + 1) / 2);
+  EXPECT_EQ(mss_program().eval_reference(neg)[0][0].as_int(), 0);
+}
+
+}  // namespace
+}  // namespace colop::apps

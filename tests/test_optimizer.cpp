@@ -1,0 +1,190 @@
+// The cost-directed Optimizer: greedy and exhaustive strategies, machine-
+// dependent decisions (the same program is rewritten differently on
+// different machines), equivalence gating, and the paper's Example program.
+
+#include <gtest/gtest.h>
+
+#include "colop/exec/thread_executor.h"
+#include "colop/ir/ir.h"
+#include "colop/rules/optimizer.h"
+#include "colop/support/rng.h"
+
+namespace colop::rules {
+namespace {
+
+using ir::Program;
+using model::Machine;
+
+// The paper's running Example (Section 2.1):
+//   map f ; scan(op1) ; reduce(op2) ; map g ; bcast
+Program example_program() {
+  Program p;
+  p.map({"f", [](const ir::Value& v) { return ir::Value(v.as_int() + 1); }, 1})
+      .scan(ir::op_mul())
+      .reduce(ir::op_add())
+      .map({"g", [](const ir::Value& v) { return ir::Value(2 * v.as_int()); }, 1})
+      .bcast();
+  return p;
+}
+
+TEST(Optimizer, AppliesSr2ReductionToExample) {
+  // High start-up machine: SR2-Reduction is "always" profitable.
+  const Machine mach{.p = 64, .m = 16, .ts = 500, .tw = 2};
+  const Optimizer opt(mach);
+  const auto res = opt.optimize(example_program());
+  ASSERT_FALSE(res.log.empty());
+  EXPECT_EQ(res.log[0].rule, "SR2-Reduction");
+  EXPECT_LT(res.cost_final, res.cost_initial);
+  EXPECT_GT(res.speedup(), 1.0);
+  // Collectives: scan+reduce+bcast=3 -> reduce+bcast=2.
+  EXPECT_EQ(res.program.collective_count(), 2u);
+}
+
+TEST(Optimizer, ReportMentionsRuleAndCosts) {
+  const Machine mach{.p = 64, .m = 16, .ts = 500, .tw = 2};
+  const auto res = Optimizer(mach).optimize(example_program());
+  const std::string report = res.report();
+  EXPECT_NE(report.find("SR2-Reduction"), std::string::npos);
+  EXPECT_NE(report.find("initial cost"), std::string::npos);
+  EXPECT_NE(report.find("final cost"), std::string::npos);
+}
+
+TEST(Optimizer, MachineParametersFlipSs2Decision) {
+  // Section 4.2: SS2-Scan pays off iff ts > 2m.
+  Program prog;
+  prog.scan(ir::op_mul()).scan(ir::op_add());
+
+  const Machine cheap_startup{.p = 64, .m = 1000, .ts = 10, .tw = 2};
+  const auto res_no = Optimizer(cheap_startup).optimize(prog);
+  EXPECT_TRUE(res_no.log.empty()) << "ts << 2m: keep two scans";
+
+  const Machine dear_startup{.p = 64, .m = 10, .ts = 1000, .tw = 2};
+  const auto res_yes = Optimizer(dear_startup).optimize(prog);
+  ASSERT_EQ(res_yes.log.size(), 1u);
+  EXPECT_EQ(res_yes.log[0].rule, "SS2-Scan");
+}
+
+TEST(Optimizer, PrefersCheapestOfOverlappingMatches) {
+  // bcast ; scan(+) ; scan(+) admits BS-Comcast (prefix), SS-Scan (suffix)
+  // and BSS-Comcast (whole window).  On a high-startup machine the triple
+  // fusion wins because it removes two collective stages.
+  Program prog;
+  prog.bcast().scan(ir::op_add()).scan(ir::op_add());
+  const Machine mach{.p = 64, .m = 4, .ts = 2000, .tw = 2};
+  const auto res = Optimizer(mach).optimize(prog);
+  ASSERT_FALSE(res.log.empty());
+  EXPECT_EQ(res.log[0].rule, "BSS-Comcast");
+  EXPECT_EQ(res.program.collective_count(), 1u);
+}
+
+TEST(Optimizer, GreedyReachesFixpoint) {
+  const Machine mach{.p = 64, .m = 4, .ts = 2000, .tw = 2};
+  const Optimizer opt(mach);
+  const auto res = opt.optimize(example_program());
+  // No admissible match can remain after a fixpoint.
+  EXPECT_TRUE(opt.admissible_matches(res.program).empty());
+}
+
+TEST(Optimizer, RootOnlyGateRejectsUnmaskedMatches) {
+  // scan ; reduce with NO masking continuation: under the strict option the
+  // SR2 match must be rejected...
+  Program bare;
+  bare.scan(ir::op_mul()).reduce(ir::op_add());
+  const Machine mach{.p = 64, .m = 4, .ts = 2000, .tw = 2};
+  OptimizerOptions strict;
+  strict.policy = EquivalencePolicy::strict;
+  const auto res = Optimizer(mach, all_rules(), strict).optimize(bare);
+  EXPECT_TRUE(res.log.empty());
+
+  // ...but the paper's Example ends in map g ; bcast, which masks it.
+  const auto res2 = Optimizer(mach, all_rules(), strict).optimize(example_program());
+  ASSERT_FALSE(res2.log.empty());
+  EXPECT_EQ(res2.log[0].rule, "SR2-Reduction");
+}
+
+TEST(Optimizer, CostImprovementGateCanBeDisabled) {
+  Program prog;
+  prog.scan(ir::op_mul()).scan(ir::op_add());
+  const Machine mach{.p = 64, .m = 1000, .ts = 10, .tw = 2};  // ts << 2m
+  OptimizerOptions uncond;
+  uncond.require_cost_improvement = false;
+  // optimize() still refuses (it picks only strictly improving steps), but
+  // the matches are now admissible.
+  const Optimizer opt(mach, all_rules(), uncond);
+  EXPECT_FALSE(opt.admissible_matches(prog).empty());
+}
+
+TEST(Optimizer, ExhaustiveNeverWorseThanGreedy) {
+  const std::vector<Machine> machines = {
+      {.p = 64, .m = 16, .ts = 500, .tw = 2},
+      {.p = 8, .m = 1000, .ts = 10, .tw = 1},
+      {.p = 16, .m = 1, .ts = 10000, .tw = 4},
+  };
+  std::vector<Program> programs;
+  programs.push_back(example_program());
+  {
+    Program p;
+    p.bcast().scan(ir::op_add()).scan(ir::op_add());
+    programs.push_back(p);
+  }
+  {
+    Program p;
+    p.bcast().scan(ir::op_mul()).reduce(ir::op_add());
+    programs.push_back(p);
+  }
+  for (const auto& mach : machines) {
+    for (const auto& prog : programs) {
+      const auto greedy = Optimizer(mach).optimize(prog);
+      const auto best = Optimizer(mach).optimize_exhaustive(prog);
+      EXPECT_LE(best.cost_final, greedy.cost_final)
+          << prog.show() << " p=" << mach.p;
+    }
+  }
+}
+
+TEST(Optimizer, ExhaustiveFindsTripleFusionViaWorseIntermediate) {
+  // bcast ; scan ; reduce: BSR2-Local consumes the whole window in one
+  // step; exhaustive search must find it even when greedy already does.
+  Program prog;
+  prog.bcast().scan(ir::op_mul()).reduce(ir::op_add());
+  const Machine mach{.p = 64, .m = 8, .ts = 800, .tw = 2};
+  const auto best = Optimizer(mach).optimize_exhaustive(prog);
+  EXPECT_EQ(best.program.collective_count(), 0u);
+}
+
+TEST(Optimizer, OptimizedExampleStillComputesTheSameResult) {
+  const Machine mach{.p = 6, .m = 2, .ts = 500, .tw = 2};
+  const auto res = Optimizer(mach).optimize(example_program());
+  ASSERT_FALSE(res.log.empty());
+
+  Rng rng(77);
+  ir::Dist in(6);
+  for (auto& b : in) {
+    b.resize(2);
+    for (auto& v : b) v = ir::Value(rng.uniform(-1, 1));
+  }
+  // Example's final stage is a bcast, so even root_only rewrites preserve
+  // the full observable output.
+  EXPECT_EQ(example_program().eval_reference(in),
+            res.program.eval_reference(in));
+  EXPECT_EQ(exec::run_on_threads(example_program(), in),
+            exec::run_on_threads(res.program, in));
+}
+
+TEST(Optimizer, ComposedProgramsExposeNewMatches) {
+  // Section 2.1: composing Example with Next_Example (starting with a
+  // scan) creates a bcast;scan seam for BS-Comcast.
+  Program example = example_program();
+  Program next;
+  next.scan(ir::op_add());
+  const Program whole = example.then(next);
+
+  const Machine mach{.p = 64, .m = 16, .ts = 500, .tw = 2};
+  const auto res = Optimizer(mach).optimize(whole);
+  bool used_bs = false;
+  for (const auto& a : res.log) used_bs |= (a.rule == "BS-Comcast");
+  EXPECT_TRUE(used_bs) << res.report();
+}
+
+}  // namespace
+}  // namespace colop::rules

@@ -1,0 +1,200 @@
+// Rule matching: side conditions reject non-qualifying operators, roots and
+// shapes; matches report the right window, equivalence level and notes;
+// masked_by_bcast recognizes when root-only divergence is harmless.
+
+#include <gtest/gtest.h>
+
+#include "colop/ir/ir.h"
+#include "colop/rules/rules.h"
+
+namespace colop::rules {
+namespace {
+
+using ir::Program;
+
+TEST(RuleCatalog, HasThePapersRulesPlusExtensions) {
+  const auto rules = all_rules();
+  ASSERT_EQ(rules.size(), 17u);
+  std::vector<std::string> names;
+  for (const auto& r : rules) names.push_back(r->name());
+  const std::vector<std::string> expect = {
+      "SR2-Reduction", "SR-Reduction",  "SS2-Scan",      "SS-Scan",
+      "BS-Comcast",    "BSS2-Comcast",  "BSS-Comcast",   "BR-Local",
+      "BSR2-Local",    "BSR-Local",     "CR-Alllocal",   "BSR2-Alllocal",
+      "BSR-Alllocal",  "RB-Allreduce",  "SB-Elim",       "BB-Elim",
+      "MB-Swap"};
+  EXPECT_EQ(names, expect);
+  for (const auto& r : rules) EXPECT_FALSE(r->description().empty());
+}
+
+TEST(RuleConditions, Sr2RequiresDistributivity) {
+  Program good;
+  good.scan(ir::op_mul()).reduce(ir::op_add());
+  EXPECT_TRUE(rule_sr2_reduction()->match(good, 0).has_value());
+
+  Program bad;  // + does not distribute over *
+  bad.scan(ir::op_add()).reduce(ir::op_mul());
+  EXPECT_FALSE(rule_sr2_reduction()->match(bad, 0).has_value());
+}
+
+TEST(RuleConditions, SrRequiresSameCommutativeOp) {
+  Program good;
+  good.scan(ir::op_add()).reduce(ir::op_add());
+  EXPECT_TRUE(rule_sr_reduction()->match(good, 0).has_value());
+
+  Program different_ops;
+  different_ops.scan(ir::op_add()).reduce(ir::op_max());
+  EXPECT_FALSE(rule_sr_reduction()->match(different_ops, 0).has_value());
+
+  Program non_commutative;  // mat2 is associative but not commutative
+  non_commutative.scan(ir::op_mat2()).reduce(ir::op_mat2());
+  EXPECT_FALSE(rule_sr_reduction()->match(non_commutative, 0).has_value());
+}
+
+TEST(RuleConditions, SsScanRejectsNonCommutative) {
+  Program prog;
+  prog.scan(ir::op_mat2()).scan(ir::op_mat2());
+  EXPECT_FALSE(rule_ss_scan()->match(prog, 0).has_value());
+  // ... and mat2 does not declare self-distributivity either:
+  EXPECT_FALSE(rule_ss2_scan()->match(prog, 0).has_value());
+}
+
+TEST(RuleConditions, BsComcastNeedsNoCondition) {
+  Program prog;
+  prog.bcast().scan(ir::op_mat2());  // non-commutative is fine
+  EXPECT_TRUE(rule_bs_comcast()->match(prog, 0).has_value());
+}
+
+TEST(RuleConditions, LocalRulesRequireRootZero) {
+  Program nonzero_bcast;
+  nonzero_bcast.bcast(1).reduce(ir::op_add());
+  EXPECT_FALSE(rule_br_local()->match(nonzero_bcast, 0).has_value());
+
+  Program nonzero_reduce;
+  nonzero_reduce.bcast().reduce(ir::op_add(), 2);
+  EXPECT_FALSE(rule_br_local()->match(nonzero_reduce, 0).has_value());
+
+  Program good;
+  good.bcast().reduce(ir::op_add());
+  EXPECT_TRUE(rule_br_local()->match(good, 0).has_value());
+}
+
+TEST(RuleConditions, ComcastAllowsAnyRoot) {
+  Program prog;
+  prog.bcast(3).scan(ir::op_add());
+  auto m = rule_bs_comcast()->match(prog, 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->equivalence, Equivalence::full);
+}
+
+TEST(RuleMatching, WindowPositionAndCount) {
+  Program prog;
+  prog.map(ir::fn_id()).bcast().scan(ir::op_add()).scan(ir::op_add());
+  // BSS-Comcast matches the 3-stage window starting at index 1.
+  auto m = rule_bss_comcast()->match(prog, 1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->first, 1u);
+  EXPECT_EQ(m->count, 3u);
+  // No match at index 0 (map is not bcast).
+  EXPECT_FALSE(rule_bss_comcast()->match(prog, 0).has_value());
+  // Rule::matches finds it exactly once.
+  EXPECT_EQ(rule_bss_comcast()->matches(prog).size(), 1u);
+}
+
+TEST(RuleMatching, EquivalenceLevels) {
+  Program reduce_prog;
+  reduce_prog.scan(ir::op_mul()).reduce(ir::op_add());
+  EXPECT_EQ(rule_sr2_reduction()->match(reduce_prog, 0)->equivalence,
+            Equivalence::root_only);
+
+  Program allreduce_prog;
+  allreduce_prog.scan(ir::op_mul()).allreduce(ir::op_add());
+  EXPECT_EQ(rule_sr2_reduction()->match(allreduce_prog, 0)->equivalence,
+            Equivalence::full);
+
+  Program scan_prog;
+  scan_prog.scan(ir::op_mul()).scan(ir::op_add());
+  EXPECT_EQ(rule_ss2_scan()->match(scan_prog, 0)->equivalence,
+            Equivalence::full);
+
+  Program local_prog;
+  local_prog.bcast().allreduce(ir::op_add());
+  EXPECT_EQ(rule_cr_alllocal()->match(local_prog, 0)->equivalence,
+            Equivalence::full);
+}
+
+TEST(RuleMatching, NotesNameTheOperators) {
+  Program prog;
+  prog.scan(ir::op_mul()).reduce(ir::op_add());
+  const auto m = rule_sr2_reduction()->match(prog, 0);
+  EXPECT_EQ(m->note, "x=*, +=+");
+}
+
+TEST(RuleMatching, RulesDoNotRematchTheirOwnOutput) {
+  Program prog;
+  prog.scan(ir::op_mul()).scan(ir::op_add());
+  const Program rewritten = rule_ss2_scan()->match(prog, 0)->apply(prog);
+  // The rewritten scan carries 2-word elements; no rule should touch it.
+  for (const auto& rule : all_rules())
+    EXPECT_TRUE(rule->matches(rewritten).empty()) << rule->name();
+}
+
+TEST(RuleMatching, ReplacementShapes) {
+  Program prog;
+  prog.bcast().scan(ir::op_add()).scan(ir::op_add());
+  const Program out = rule_bss_comcast()->match(prog, 0)->apply(prog);
+  EXPECT_EQ(out.show(), "bcast ; map#(op_comp_bss[+])");
+  EXPECT_EQ(out.collective_count(), 1u);  // 3 collectives -> 1
+
+  Program local;
+  local.bcast().scan(ir::op_mul()).reduce(ir::op_add());
+  const Program out2 = rule_bsr2_local()->match(local, 0)->apply(local);
+  EXPECT_EQ(out2.collective_count(), 0u);  // 3 collectives -> none
+}
+
+TEST(MaskedByBcast, DetectsMaskingSuffix) {
+  // scan;reduce ; map g ; bcast — the paper's Example: non-root divergence
+  // after the reduce is wiped out by the bcast from the same root.
+  Program prog;
+  prog.scan(ir::op_mul())
+      .reduce(ir::op_add())
+      .map(ir::fn_id())
+      .bcast();
+  EXPECT_TRUE(masked_by_bcast(prog, 2, 0));
+
+  // bcast from a DIFFERENT root does not mask.
+  Program other_root;
+  other_root.scan(ir::op_mul()).reduce(ir::op_add()).bcast(1);
+  EXPECT_FALSE(masked_by_bcast(other_root, 2, 0));
+
+  // A rank-dependent local stage in between is not rank-uniform.
+  Program map_indexed;
+  map_indexed.scan(ir::op_mul())
+      .reduce(ir::op_add())
+      .map_indexed({"f", [](int, const ir::Value& v) { return v; }})
+      .bcast();
+  EXPECT_FALSE(masked_by_bcast(map_indexed, 2, 0));
+
+  // A following collective that reads non-root values does not mask.
+  Program followed_by_scan;
+  followed_by_scan.scan(ir::op_mul()).reduce(ir::op_add()).scan(ir::op_add());
+  EXPECT_FALSE(masked_by_bcast(followed_by_scan, 2, 0));
+
+  // End of program: nothing masks.
+  Program ends;
+  ends.scan(ir::op_mul()).reduce(ir::op_add());
+  EXPECT_FALSE(masked_by_bcast(ends, 2, 0));
+}
+
+TEST(RuleMatching, MatchBeyondEndReturnsNothing) {
+  Program prog;
+  prog.scan(ir::op_mul()).reduce(ir::op_add());
+  for (const auto& rule : all_rules()) {
+    EXPECT_FALSE(rule->match(prog, 1).has_value()) << rule->name();
+    EXPECT_FALSE(rule->match(prog, 2).has_value()) << rule->name();
+    EXPECT_FALSE(rule->match(prog, 99).has_value()) << rule->name();
+  }
+}
+
+}  // namespace
+}  // namespace colop::rules

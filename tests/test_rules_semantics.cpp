@@ -1,0 +1,317 @@
+// THE core property of the paper: every optimization rule is a semantic
+// equality.  For each rule we build the LHS program, let the rule rewrite
+// it, and compare reference-evaluation results on random inputs — across
+// many operator instances and processor counts (powers of two and not),
+// with multi-element blocks.
+//
+// Rules whose equivalence is root_only (plain-reduce targets, Local rules)
+// are compared on the root block; full rules on the entire distributed list.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "colop/ir/ir.h"
+#include "colop/rules/rules.h"
+#include "colop/support/rng.h"
+
+namespace colop::rules {
+namespace {
+
+using ir::BinOpPtr;
+using ir::Dist;
+using ir::Program;
+using ir::Value;
+
+constexpr std::size_t kBlock = 3;  // elements per processor
+constexpr int kTrials = 4;
+
+Dist random_dist(int p, std::int64_t lo, std::int64_t hi, Rng& rng) {
+  Dist d(static_cast<std::size_t>(p));
+  for (auto& block : d) {
+    block.resize(kBlock);
+    for (auto& v : block) v = Value(rng.uniform(lo, hi));
+  }
+  return d;
+}
+
+struct OpCase {
+  BinOpPtr otimes;  // null for same-op rules
+  BinOpPtr oplus;
+  std::int64_t lo, hi;
+  std::string label;
+};
+
+// Distributive pairs (x distributes over +).  Ranges avoid int64 overflow
+// under repeated application (see mul: products explode, so tiny range).
+std::vector<OpCase> distributive_cases() {
+  return {
+      {ir::op_mul(), ir::op_add(), -1, 1, "mul_over_add"},
+      {ir::op_modmul(97), ir::op_modadd(97), 0, 96, "modmul_over_modadd"},
+      {ir::op_add(), ir::op_max(), -50, 50, "add_over_max"},
+      {ir::op_add(), ir::op_min(), -50, 50, "add_over_min"},
+      {ir::op_max(), ir::op_min(), -50, 50, "max_over_min"},
+      {ir::op_min(), ir::op_max(), -50, 50, "min_over_max"},
+      {ir::op_band(), ir::op_bor(), 0, 255, "band_over_bor"},
+      {ir::op_gcd(), ir::op_gcd(), 1, 360, "gcd_over_gcd"},
+  };
+}
+
+// Commutative operators for the same-op rules.
+std::vector<OpCase> commutative_cases() {
+  return {
+      {nullptr, ir::op_add(), -50, 50, "add"},
+      {nullptr, ir::op_mul(), -1, 1, "mul_tiny"},
+      {nullptr, ir::op_max(), -90, 90, "max"},
+      {nullptr, ir::op_min(), -90, 90, "min"},
+      {nullptr, ir::op_band(), 0, 255, "band"},
+      {nullptr, ir::op_bor(), 0, 255, "bor"},
+      {nullptr, ir::op_gcd(), 1, 600, "gcd"},
+      {nullptr, ir::op_modadd(101), 0, 100, "modadd"},
+  };
+}
+
+void expect_rule_equiv(const RulePtr& rule, const Program& lhs,
+                       const OpCase& c, int p, std::uint64_t seed) {
+  auto m = rule->match(lhs, 0);
+  ASSERT_TRUE(m.has_value()) << rule->name() << " failed to match " << lhs.show()
+                             << " [" << c.label << "]";
+  const Program rhs = m->apply(lhs);
+  Rng rng(seed);
+  for (int t = 0; t < kTrials; ++t) {
+    const Dist in = random_dist(p, c.lo, c.hi, rng);
+    const Dist out_l = lhs.eval_reference(in);
+    const Dist out_r = rhs.eval_reference(in);
+    if (m->equivalence == Equivalence::full) {
+      EXPECT_EQ(out_l, out_r) << rule->name() << " p=" << p << " [" << c.label
+                              << "]\n  lhs=" << lhs.show()
+                              << "\n  rhs=" << rhs.show();
+    } else {
+      const auto root = static_cast<std::size_t>(m->root);
+      EXPECT_EQ(out_l[root], out_r[root])
+          << rule->name() << " p=" << p << " [" << c.label
+          << "] (root-only)\n  lhs=" << lhs.show() << "\n  rhs=" << rhs.show();
+    }
+  }
+}
+
+class RuleSemanticsP : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, RuleSemanticsP,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 13,
+                                           16, 17, 31, 32, 33),
+                         [](const auto& pinfo) {
+                           return "p" + std::to_string(pinfo.param);
+                         });
+
+TEST_P(RuleSemanticsP, Sr2ReductionIsSemanticEquality) {
+  const int p = GetParam();
+  for (const auto& c : distributive_cases()) {
+    Program lhs;
+    lhs.scan(c.otimes).reduce(c.oplus);
+    expect_rule_equiv(rule_sr2_reduction(), lhs, c, p, 11);
+  }
+}
+
+TEST_P(RuleSemanticsP, Sr2AllreductionIsSemanticEquality) {
+  const int p = GetParam();
+  for (const auto& c : distributive_cases()) {
+    Program lhs;
+    lhs.scan(c.otimes).allreduce(c.oplus);
+    expect_rule_equiv(rule_sr2_reduction(), lhs, c, p, 12);
+  }
+}
+
+TEST_P(RuleSemanticsP, Sr2ReductionToNonzeroRoot) {
+  const int p = GetParam();
+  const OpCase c{ir::op_modmul(97), ir::op_modadd(97), 0, 96, "mod"};
+  Program lhs;
+  lhs.scan(c.otimes).reduce(c.oplus, p - 1);
+  expect_rule_equiv(rule_sr2_reduction(), lhs, c, p, 13);
+}
+
+TEST_P(RuleSemanticsP, SrReductionIsSemanticEquality) {
+  const int p = GetParam();
+  for (const auto& c : commutative_cases()) {
+    Program lhs;
+    lhs.scan(c.oplus).reduce(c.oplus);
+    expect_rule_equiv(rule_sr_reduction(), lhs, c, p, 21);
+  }
+}
+
+TEST_P(RuleSemanticsP, SrAllreductionIsSemanticEquality) {
+  const int p = GetParam();
+  for (const auto& c : commutative_cases()) {
+    Program lhs;
+    lhs.scan(c.oplus).allreduce(c.oplus);
+    expect_rule_equiv(rule_sr_reduction(), lhs, c, p, 22);
+  }
+}
+
+TEST_P(RuleSemanticsP, Ss2ScanIsSemanticEquality) {
+  const int p = GetParam();
+  for (const auto& c : distributive_cases()) {
+    Program lhs;
+    lhs.scan(c.otimes).scan(c.oplus);
+    expect_rule_equiv(rule_ss2_scan(), lhs, c, p, 31);
+  }
+}
+
+TEST_P(RuleSemanticsP, SsScanIsSemanticEquality) {
+  const int p = GetParam();
+  for (const auto& c : commutative_cases()) {
+    Program lhs;
+    lhs.scan(c.oplus).scan(c.oplus);
+    expect_rule_equiv(rule_ss_scan(), lhs, c, p, 41);
+  }
+}
+
+TEST_P(RuleSemanticsP, BsComcastIsSemanticEquality) {
+  const int p = GetParam();
+  for (const auto& c : commutative_cases()) {
+    Program lhs;
+    lhs.bcast().scan(c.oplus);
+    expect_rule_equiv(rule_bs_comcast(), lhs, c, p, 51);
+  }
+}
+
+TEST_P(RuleSemanticsP, BsComcastWorksForNonCommutativeOp) {
+  // BS-Comcast has NO commutativity condition: check with 2x2 matrices.
+  const int p = GetParam();
+  Program lhs;
+  lhs.bcast().scan(ir::op_mat2());
+  auto m = rule_bs_comcast()->match(lhs, 0);
+  ASSERT_TRUE(m.has_value());
+  const Program rhs = m->apply(lhs);
+  Rng rng(53);
+  Dist in(static_cast<std::size_t>(p));
+  for (auto& block : in) {
+    ir::Tuple t;
+    for (int i = 0; i < 4; ++i) t.emplace_back(rng.uniform(-2, 2));
+    block = {Value(t)};
+  }
+  EXPECT_EQ(lhs.eval_reference(in), rhs.eval_reference(in));
+}
+
+TEST_P(RuleSemanticsP, BsComcastFromNonzeroRoot) {
+  const int p = GetParam();
+  const OpCase c{nullptr, ir::op_add(), -50, 50, "add"};
+  Program lhs;
+  lhs.bcast(p / 2).scan(c.oplus);
+  expect_rule_equiv(rule_bs_comcast(), lhs, c, p, 54);
+}
+
+TEST_P(RuleSemanticsP, Bss2ComcastIsSemanticEquality) {
+  const int p = GetParam();
+  for (const auto& c : distributive_cases()) {
+    Program lhs;
+    lhs.bcast().scan(c.otimes).scan(c.oplus);
+    expect_rule_equiv(rule_bss2_comcast(), lhs, c, p, 61);
+  }
+}
+
+TEST_P(RuleSemanticsP, BssComcastIsSemanticEquality) {
+  const int p = GetParam();
+  for (const auto& c : commutative_cases()) {
+    Program lhs;
+    lhs.bcast().scan(c.oplus).scan(c.oplus);
+    expect_rule_equiv(rule_bss_comcast(), lhs, c, p, 71);
+  }
+}
+
+TEST_P(RuleSemanticsP, BrLocalIsRootEquality) {
+  const int p = GetParam();
+  for (const auto& c : commutative_cases()) {
+    Program lhs;
+    lhs.bcast().reduce(c.oplus);
+    expect_rule_equiv(rule_br_local(), lhs, c, p, 81);
+  }
+}
+
+TEST_P(RuleSemanticsP, BrLocalWorksForNonCommutativeOp) {
+  // BR-Local also has no commutativity condition (only associativity).
+  const int p = GetParam();
+  Program lhs;
+  lhs.bcast().reduce(ir::op_mat2());
+  auto m = rule_br_local()->match(lhs, 0);
+  ASSERT_TRUE(m.has_value());
+  const Program rhs = m->apply(lhs);
+  Rng rng(83);
+  Dist in(static_cast<std::size_t>(p));
+  for (auto& block : in) {
+    ir::Tuple t;
+    for (int i = 0; i < 4; ++i) t.emplace_back(rng.uniform(-1, 1));
+    block = {Value(t)};
+  }
+  EXPECT_EQ(lhs.eval_reference(in)[0], rhs.eval_reference(in)[0]);
+}
+
+TEST_P(RuleSemanticsP, Bsr2LocalIsRootEquality) {
+  const int p = GetParam();
+  for (const auto& c : distributive_cases()) {
+    Program lhs;
+    lhs.bcast().scan(c.otimes).reduce(c.oplus);
+    expect_rule_equiv(rule_bsr2_local(), lhs, c, p, 91);
+  }
+}
+
+TEST_P(RuleSemanticsP, BsrLocalIsRootEquality) {
+  const int p = GetParam();
+  for (const auto& c : commutative_cases()) {
+    Program lhs;
+    lhs.bcast().scan(c.oplus).reduce(c.oplus);
+    expect_rule_equiv(rule_bsr_local(), lhs, c, p, 101);
+  }
+}
+
+TEST_P(RuleSemanticsP, CrAlllocalIsFullEquality) {
+  const int p = GetParam();
+  for (const auto& c : commutative_cases()) {
+    Program lhs;
+    lhs.bcast().allreduce(c.oplus);
+    expect_rule_equiv(rule_cr_alllocal(), lhs, c, p, 111);
+  }
+}
+
+TEST_P(RuleSemanticsP, Bsr2AlllocalIsFullEquality) {
+  const int p = GetParam();
+  for (const auto& c : distributive_cases()) {
+    Program lhs;
+    lhs.bcast().scan(c.otimes).allreduce(c.oplus);
+    expect_rule_equiv(rule_bsr2_alllocal(), lhs, c, p, 121);
+  }
+}
+
+TEST_P(RuleSemanticsP, BsrAlllocalIsFullEquality) {
+  const int p = GetParam();
+  for (const auto& c : commutative_cases()) {
+    Program lhs;
+    lhs.bcast().scan(c.oplus).allreduce(c.oplus);
+    expect_rule_equiv(rule_bsr_alllocal(), lhs, c, p, 131);
+  }
+}
+
+TEST_P(RuleSemanticsP, ChainedRewritesPreserveSemantics) {
+  // Apply every admissible full-equivalence rewrite repeatedly and check
+  // the final program still agrees with the original (stress composition).
+  const int p = GetParam();
+  Program prog;
+  prog.bcast().scan(ir::op_modmul(97)).scan(ir::op_modadd(97));
+
+  Program current = prog;
+  for (const auto& rule : all_rules()) {
+    if (auto m = rule->match(current, 0);
+        m && m->equivalence == Equivalence::full) {
+      current = m->apply(current);
+      break;
+    }
+  }
+  Rng rng(141);
+  for (int t = 0; t < kTrials; ++t) {
+    const Dist in = random_dist(p, 0, 96, rng);
+    EXPECT_EQ(prog.eval_reference(in), current.eval_reference(in));
+  }
+}
+
+}  // namespace
+}  // namespace colop::rules

@@ -1,0 +1,111 @@
+// selfcheck: accepts sound rewrites, pinpoints unsound rewrites caused by
+// mis-declared operator properties, with a concrete counterexample.
+
+#include <gtest/gtest.h>
+
+#include "colop/ir/ir.h"
+#include "colop/rules/selfcheck.h"
+
+namespace colop::rules {
+namespace {
+
+using ir::Program;
+using ir::Value;
+
+TEST(SelfCheck, AcceptsSoundRewrites) {
+  Program prog;
+  prog.scan(ir::op_modmul(97)).allreduce(ir::op_modadd(97));
+  const auto result = selfcheck_program(prog, all_rules(),
+                                        ir::small_int_gen(0, 96), 13, 2);
+  EXPECT_TRUE(result.ok) << result.counterexample;
+}
+
+TEST(SelfCheck, AcceptsRootOnlyRewritesAtTheRoot) {
+  Program prog;
+  prog.bcast().scan(ir::op_add()).reduce(ir::op_add());
+  const auto result =
+      selfcheck_program(prog, all_rules(), ir::small_int_gen(-9, 9), 13, 2);
+  EXPECT_TRUE(result.ok) << result.counterexample;
+}
+
+TEST(SelfCheck, CatchesFalselyDeclaredCommutativity) {
+  // 2x2 matrix product claiming commutativity: associative, so the scan
+  // and reduce themselves are fine, but rule SR-Reduction's op_sr formula
+  // silently reorders factors.
+  auto liar = ir::BinOp::make({
+      .name = "liar_mat2",
+      .fn = [](const Value& a, const Value& b) { return (*ir::op_mat2())(a, b); },
+      .associative = true,
+      .commutative = true,  // FALSE declaration
+      .ops_cost = 12,
+  });
+  Program prog;
+  prog.scan(liar).reduce(liar);
+  // SR-Reduction fires on the declaration...
+  auto m = rule_sr_reduction()->match(prog, 0);
+  ASSERT_TRUE(m.has_value());
+  // ...and selfcheck exposes the unsoundness with a counterexample.
+  auto mat_gen = [](Rng& rng) {
+    ir::Tuple t;
+    for (int i = 0; i < 4; ++i) t.emplace_back(rng.uniform(-2, 2));
+    return Value(std::move(t));
+  };
+  const auto result = selfcheck_match(prog, *m, mat_gen, 8, 4);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.counterexample.find("SR-Reduction"), std::string::npos);
+  EXPECT_NE(result.counterexample.find("UNSOUND"), std::string::npos);
+  EXPECT_NE(result.counterexample.find("p = "), std::string::npos);
+}
+
+TEST(SelfCheck, CatchesFalselyDeclaredDistributivity) {
+  // max falsely declared to distribute over +.
+  auto liar_max = ir::BinOp::make({
+      .name = "liar_max",
+      .fn =
+          [](const Value& a, const Value& b) {
+            return Value(std::max(a.as_int(), b.as_int()));
+          },
+      .associative = true,
+      .commutative = true,
+      .distributes_over = {"+"},  // FALSE declaration
+      .ops_cost = 1,
+  });
+  Program prog;
+  prog.scan(liar_max).scan(ir::op_add());
+  auto m = rule_ss2_scan()->match(prog, 0);
+  ASSERT_TRUE(m.has_value());
+  const auto result = selfcheck_match(prog, *m, ir::small_int_gen(-9, 9), 8, 4);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.counterexample.find("SS2-Scan"), std::string::npos);
+}
+
+TEST(SelfCheck, WholeCatalogSoundOnStandardOperators) {
+  // Every rule, every standard-operator instantiation used in this repo.
+  const std::vector<Program> programs = [] {
+    std::vector<Program> ps;
+    Program p;
+    p.scan(ir::op_add()).reduce(ir::op_add());
+    ps.push_back(p);
+    p = Program{};
+    p.scan(ir::op_add()).scan(ir::op_add());
+    ps.push_back(p);
+    p = Program{};
+    p.bcast().scan(ir::op_max()).scan(ir::op_min());
+    ps.push_back(p);
+    p = Program{};
+    p.bcast().scan(ir::op_band()).allreduce(ir::op_bor());
+    ps.push_back(p);
+    p = Program{};
+    p.reduce(ir::op_gcd()).bcast();
+    ps.push_back(p);
+    return ps;
+  }();
+  for (const auto& prog : programs) {
+    const auto result =
+        selfcheck_program(prog, all_rules(), ir::small_int_gen(-20, 20), 9, 2);
+    EXPECT_TRUE(result.ok) << prog.show() << "\n" << result.counterexample;
+  }
+}
+
+}  // namespace
+}  // namespace colop::rules

@@ -1,0 +1,241 @@
+// The discrete-event simulator: machine primitives, schedule makespans vs
+// the paper's closed forms (Eqs 15-17) at powers of two, and consistency
+// between exec::run_on_simnet and the analytic model::program_time.
+
+#include <gtest/gtest.h>
+
+#include "colop/exec/sim_executor.h"
+#include "colop/ir/ir.h"
+#include "colop/model/cost.h"
+#include "colop/rules/rules.h"
+#include "colop/simnet/schedules.h"
+#include "colop/support/bits.h"
+
+namespace colop::simnet {
+namespace {
+
+constexpr NetParams kNet{.ts = 37, .tw = 3};
+
+TEST(SimMachine, ComputeAdvancesOneClock) {
+  SimMachine m(4, kNet);
+  m.compute(2, 10);
+  EXPECT_DOUBLE_EQ(m.clock(2), 10);
+  EXPECT_DOUBLE_EQ(m.clock(0), 0);
+  EXPECT_DOUBLE_EQ(m.makespan(), 10);
+}
+
+TEST(SimMachine, SendChargesSenderRecvWaits) {
+  SimMachine m(2, kNet);
+  m.send(0, 1, 5);  // ts + 5*tw = 37 + 15 = 52
+  EXPECT_DOUBLE_EQ(m.clock(0), 52);
+  EXPECT_DOUBLE_EQ(m.clock(1), 0);  // not yet received
+  m.recv(1, 0);
+  EXPECT_DOUBLE_EQ(m.clock(1), 52);
+  EXPECT_EQ(m.messages(), 1u);
+  EXPECT_DOUBLE_EQ(m.words_sent(), 5);
+}
+
+TEST(SimMachine, RecvAfterLocalWorkTakesMax) {
+  SimMachine m(2, kNet);
+  m.compute(1, 1000);  // receiver is busy past the arrival
+  m.send(0, 1, 1);
+  m.recv(1, 0);
+  EXPECT_DOUBLE_EQ(m.clock(1), 1000);
+}
+
+TEST(SimMachine, ExchangeSynchronizesPartners) {
+  SimMachine m(2, kNet);
+  m.compute(0, 100);
+  m.exchange(0, 1, 2);  // start at max(100,0)=100, +37+6
+  EXPECT_DOUBLE_EQ(m.clock(0), 143);
+  EXPECT_DOUBLE_EQ(m.clock(1), 143);
+  EXPECT_EQ(m.messages(), 2u);
+}
+
+TEST(SimMachine, FifoChannelsAndMissingMessageThrows) {
+  SimMachine m(2, kNet);
+  m.send(0, 1, 1);
+  m.send(0, 1, 2);
+  m.recv(1, 0);
+  m.recv(1, 0);
+  EXPECT_THROW(m.recv(1, 0), Error);
+}
+
+TEST(SimMachine, ResetClearsState) {
+  SimMachine m(2, kNet);
+  m.send(0, 1, 1);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.makespan(), 0);
+  EXPECT_EQ(m.messages(), 0u);
+}
+
+// --- schedules vs closed forms at powers of two ---------------------------
+
+class SimPow2P : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Pow2, SimPow2P, ::testing::Values(2, 4, 8, 16, 32, 64),
+                         [](const auto& pinfo) {
+                           return "p" + std::to_string(pinfo.param);
+                         });
+
+TEST_P(SimPow2P, BcastMatchesEq15) {
+  const int p = GetParam();
+  const double m = 10, lg = colop::log2_floor(static_cast<std::uint64_t>(p));
+  for (bool butterfly : {false, true}) {
+    SimMachine mach(p, kNet);
+    if (butterfly)
+      bcast_butterfly(mach, m, 1);
+    else
+      bcast_binomial(mach, m, 1);
+    EXPECT_DOUBLE_EQ(mach.makespan(), lg * (kNet.ts + m * kNet.tw))
+        << (butterfly ? "butterfly" : "binomial");
+  }
+}
+
+TEST_P(SimPow2P, ReduceMatchesEq16) {
+  const int p = GetParam();
+  const double m = 10, lg = colop::log2_floor(static_cast<std::uint64_t>(p));
+  SimMachine butterfly(p, kNet);
+  allreduce_butterfly(butterfly, m, 1, 1);
+  EXPECT_DOUBLE_EQ(butterfly.makespan(), lg * (kNet.ts + m * (kNet.tw + 1)));
+
+  SimMachine binomial(p, kNet);
+  reduce_binomial(binomial, m, 1, 1);
+  EXPECT_DOUBLE_EQ(binomial.makespan(), lg * (kNet.ts + m * (kNet.tw + 1)));
+}
+
+TEST_P(SimPow2P, ScanMatchesEq17) {
+  const int p = GetParam();
+  const double m = 10, lg = colop::log2_floor(static_cast<std::uint64_t>(p));
+  SimMachine mach(p, kNet);
+  scan_butterfly(mach, m, 1, 1);
+  EXPECT_DOUBLE_EQ(mach.makespan(), lg * (kNet.ts + m * (kNet.tw + 2)));
+}
+
+TEST_P(SimPow2P, BalancedCollectivesMatchTheirModelRows) {
+  const int p = GetParam();
+  const double m = 10, lg = colop::log2_floor(static_cast<std::uint64_t>(p));
+  // reduce_balanced with op_sr: 2 words, 4 ops -> log p (ts + m(2tw + 4)).
+  SimMachine rb(p, kNet);
+  reduce_balanced(rb, m, 2, 4);
+  EXPECT_DOUBLE_EQ(rb.makespan(), lg * (kNet.ts + m * (2 * kNet.tw + 4)));
+  // scan_balanced with op_ss: 3 words, 8 ops -> log p (ts + m(3tw + 8)).
+  SimMachine sb(p, kNet);
+  scan_balanced(sb, m, 3, 8);
+  EXPECT_DOUBLE_EQ(sb.makespan(), lg * (kNet.ts + m * (3 * kNet.tw + 8)));
+}
+
+TEST_P(SimPow2P, ComcastRepeatMatchesBsComcastAfterRow) {
+  const int p = GetParam();
+  const double m = 10, lg = colop::log2_floor(static_cast<std::uint64_t>(p));
+  SimMachine mach(p, kNet);
+  comcast_repeat(mach, m, 1, 2);
+  EXPECT_DOUBLE_EQ(mach.makespan(), lg * (kNet.ts + m * (kNet.tw + 2)));
+}
+
+TEST(SimSchedules, NonPowerOfTwoStillCompletes) {
+  for (int p : {3, 5, 6, 7, 11, 24, 63}) {
+    SimMachine mach(p, kNet);
+    bcast_binomial(mach, 4, 1);
+    allreduce_butterfly(mach, 4, 1, 1);
+    scan_butterfly(mach, 4, 1, 1);
+    reduce_balanced(mach, 4, 2, 4);
+    scan_balanced(mach, 4, 3, 8);
+    comcast_repeat(mach, 4, 1, 2);
+    comcast_costopt(mach, 4, 2, 2, 1);
+    EXPECT_GT(mach.makespan(), 0) << "p=" << p;
+  }
+}
+
+TEST(SimSchedules, CostoptSendsMoreWordsThanRepeat) {
+  // Section 3.4: the cost-optimal comcast ships the auxiliary tuples.
+  const int p = 64;
+  const double m = 1000;
+  SimMachine rep(p, kNet), opt(p, kNet);
+  // Binomial bcast for the words comparison: the butterfly variant charges
+  // full-size exchanges in both directions, which would mask the effect.
+  comcast_repeat(rep, m, 1, 2, /*butterfly_bcast=*/false);
+  comcast_costopt(opt, m, 2, 2, 1);
+  EXPECT_GT(opt.words_sent(), rep.words_sent());
+  // ...and for large blocks it is slower (the paper's measurement).
+  EXPECT_GT(opt.makespan(), rep.makespan());
+}
+
+// --- executor consistency ---------------------------------------------------
+
+TEST(SimExecutor, MatchesAnalyticModelForPow2Programs) {
+  using ir::Program;
+  Program prog;
+  prog.bcast().scan(ir::op_add()).reduce(ir::op_mul());
+  for (int p : {2, 8, 64}) {
+    const model::Machine mach{.p = p, .m = 50, .ts = 80, .tw = 2};
+    const auto sim = exec::run_on_simnet(prog, mach);
+    EXPECT_DOUBLE_EQ(sim.time, model::program_time(prog, mach)) << "p=" << p;
+  }
+}
+
+TEST(SimExecutor, MatchesModelForRewrittenPrograms) {
+  using ir::Program;
+  Program lhs;
+  lhs.scan(ir::op_mul()).scan(ir::op_add());
+  const Program rhs = rules::rule_ss2_scan()->match(lhs, 0)->apply(lhs);
+  for (int p : {4, 16, 64}) {
+    const model::Machine mach{.p = p, .m = 30, .ts = 200, .tw = 1};
+    EXPECT_DOUBLE_EQ(exec::run_on_simnet(lhs, mach).time,
+                     model::program_time(lhs, mach));
+    EXPECT_DOUBLE_EQ(exec::run_on_simnet(rhs, mach).time,
+                     model::program_time(rhs, mach));
+  }
+}
+
+TEST(SimExecutor, LocalRuleEliminatesAllTraffic) {
+  using ir::Program;
+  Program lhs;
+  lhs.bcast().scan(ir::op_mul()).reduce(ir::op_add());
+  const Program rhs = rules::rule_bsr2_local()->match(lhs, 0)->apply(lhs);
+  const model::Machine mach{.p = 32, .m = 10, .ts = 100, .tw = 2};
+  EXPECT_GT(exec::run_on_simnet(lhs, mach).messages, 0u);
+  EXPECT_EQ(exec::run_on_simnet(rhs, mach).messages, 0u);
+}
+
+TEST(SimExecutor, ScheduleChoiceChangesTrafficNotPhases) {
+  using ir::Program;
+  Program prog;
+  prog.bcast();
+  const model::Machine mach{.p = 16, .m = 10, .ts = 100, .tw = 2};
+  const auto butterfly = exec::run_on_simnet(
+      prog, mach, {.bcast = exec::SimSchedules::Bcast::butterfly});
+  const auto binomial = exec::run_on_simnet(
+      prog, mach, {.bcast = exec::SimSchedules::Bcast::binomial});
+  EXPECT_DOUBLE_EQ(butterfly.time, binomial.time);  // same log p phases
+  EXPECT_GT(butterfly.messages, binomial.messages); // pairwise exchanges cost
+}
+
+}  // namespace
+}  // namespace colop::simnet
+
+namespace colop::simnet {
+namespace {
+
+TEST(SimExecutor, VdgSchedulesBeatButterflyForHugeBlocks) {
+  using ir::Program;
+  Program prog;
+  prog.bcast().allreduce(ir::op_add());
+  const model::Machine mach{.p = 64, .m = 32000, .ts = 100, .tw = 2};
+  const auto butterfly = exec::run_on_simnet(prog, mach);
+  const auto vdg = exec::run_on_simnet(
+      prog, mach,
+      {.bcast = exec::SimSchedules::Bcast::vdg,
+       .reduce = exec::SimSchedules::Reduce::vdg});
+  EXPECT_LT(vdg.time, butterfly.time);
+
+  // ...and lose for tiny blocks (more start-ups).
+  const model::Machine tiny{.p = 64, .m = 1, .ts = 100, .tw = 2};
+  EXPECT_GT(exec::run_on_simnet(prog, tiny,
+                                {.bcast = exec::SimSchedules::Bcast::vdg,
+                                 .reduce = exec::SimSchedules::Reduce::vdg})
+                .time,
+            exec::run_on_simnet(prog, tiny).time);
+}
+
+}  // namespace
+}  // namespace colop::simnet

@@ -1,0 +1,118 @@
+// Floating-point streaming statistics: the moments merge, SR-Reduction on
+// a real-valued operator, and tolerance-aware self-checking.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "colop/apps/stats.h"
+#include "colop/exec/thread_executor.h"
+#include "colop/ir/ir.h"
+#include "colop/rules/optimizer.h"
+#include "colop/rules/selfcheck.h"
+#include "colop/support/rng.h"
+
+namespace colop::apps {
+namespace {
+
+using ir::Dist;
+using ir::Value;
+
+
+ir::Value random_sample(Rng& rng) { return Value(rng.uniform01() * 20 - 10); }
+
+TEST(Stats, MergeMatchesSequentialMoments) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs(16);
+    for (auto& x : xs) x = rng.uniform01() * 100 - 50;
+    const Moments expect = moments_sequential(xs);
+    // Merge two halves with op_stats.
+    const std::vector<double> lo(xs.begin(), xs.begin() + 7);
+    const std::vector<double> hi(xs.begin() + 7, xs.end());
+    auto encode = [](const Moments& m) {
+      return Value(ir::Tuple{Value(m.n), Value(m.mean), Value(m.m2)});
+    };
+    const Moments merged = moments_of((*op_stats())(
+        encode(moments_sequential(lo)), encode(moments_sequential(hi))));
+    EXPECT_NEAR(merged.mean, expect.mean, 1e-9);
+    EXPECT_NEAR(merged.m2, expect.m2, 1e-6);
+    EXPECT_DOUBLE_EQ(merged.n, expect.n);
+  }
+}
+
+TEST(Stats, ApproxEqualDistinguishesToleranceLevels) {
+  const Value a(1.0), b(1.0 + 1e-12);
+  EXPECT_TRUE(ir::approx_equal(a, b, 1e-9));
+  EXPECT_FALSE(ir::approx_equal(a, b, 0));  // exact mode
+  EXPECT_FALSE(ir::approx_equal(Value(1.0), Value(1.1), 1e-9));
+  EXPECT_TRUE(ir::approx_equal(Value::undefined(), Value::undefined(), 1e-9));
+  EXPECT_FALSE(ir::approx_equal(Value::undefined(), Value(1.0), 1e-9));
+  EXPECT_TRUE(ir::approx_equal(Value(ir::Tuple{a}), Value(ir::Tuple{b}), 1e-9));
+}
+
+class StatsP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, StatsP,
+                         ::testing::Values(1, 2, 3, 5, 6, 8, 13, 16),
+                         [](const auto& pinfo) {
+                           return "p" + std::to_string(pinfo.param);
+                         });
+
+TEST_P(StatsP, PipelineComputesGlobalMoments) {
+  const int p = GetParam();
+  Rng rng(32);
+  Dist in(static_cast<std::size_t>(p));
+  std::vector<double> all;
+  for (auto& block : in) {
+    const double x = rng.uniform01() * 8 - 4;
+    block = {Value(x)};
+    all.push_back(x);
+  }
+  const Moments expect = moments_sequential(all);
+  const Dist out = exec::run_on_threads(stats_summary_program(), in);
+  for (int r = 0; r < p; ++r) {
+    const Moments got = moments_of(out[static_cast<std::size_t>(r)][0]);
+    EXPECT_DOUBLE_EQ(got.n, expect.n);
+    EXPECT_NEAR(got.mean, expect.mean, 1e-9);
+    EXPECT_NEAR(got.m2, expect.m2, 1e-6);
+  }
+}
+
+TEST(Stats, SrReductionFiresOnTheStatsPipeline) {
+  const model::Machine mach{.p = 16, .m = 8, .ts = 500, .tw = 2};
+  const auto res = rules::Optimizer(mach).optimize(stats_pipeline_program());
+  ASSERT_FALSE(res.log.empty());
+  EXPECT_EQ(res.log[0].rule, "SR-Reduction");
+  EXPECT_EQ(res.program.collective_count(), 1u);
+}
+
+TEST_P(StatsP, FusedPipelineAgreesWithinTolerance) {
+  const int p = GetParam();
+  const model::Machine mach{.p = p, .m = 1, .ts = 500, .tw = 2};
+  const auto res = rules::Optimizer(mach).optimize(stats_pipeline_program());
+
+  Rng rng(33);
+  Dist in(static_cast<std::size_t>(p));
+  for (auto& block : in) block = {random_sample(rng)};
+  const Dist a = exec::run_on_threads(stats_pipeline_program(), in);
+  const Dist b = exec::run_on_threads(res.program, in);
+  EXPECT_TRUE(ir::approx_equal(a, b, 1e-9))
+      << ir::to_string(a) << "\nvs\n" << ir::to_string(b);
+}
+
+TEST(Stats, SelfcheckPassesWithToleranceFailsExact) {
+  // Exact comparison flags harmless fp re-association as a mismatch at
+  // some p; the documented rel_tol mode accepts it.
+  const auto prog = stats_pipeline_program();
+  auto gen = [](Rng& rng) { return random_sample(rng); };
+  const auto approx = rules::selfcheck_program(prog, rules::all_rules(), gen,
+                                               13, 2, 1, 1, 1e-9);
+  EXPECT_TRUE(approx.ok) << approx.counterexample;
+  const auto exact =
+      rules::selfcheck_program(prog, rules::all_rules(), gen, 13, 2, 1, 1, 0);
+  EXPECT_FALSE(exact.ok)
+      << "fp re-association should be visible under exact comparison";
+}
+
+}  // namespace
+}  // namespace colop::apps

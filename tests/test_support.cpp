@@ -1,0 +1,139 @@
+// Unit tests for colop/support: bit helpers, RNG, table printer, errors.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "colop/support/bits.h"
+#include "colop/support/error.h"
+#include "colop/support/rng.h"
+#include "colop/support/table.h"
+
+namespace colop {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(4));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_TRUE(is_pow2(1ULL << 62));
+  EXPECT_FALSE(is_pow2((1ULL << 62) + 1));
+}
+
+TEST(Bits, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(4), 2u);
+  EXPECT_EQ(log2_floor(63), 5u);
+  EXPECT_EQ(log2_floor(64), 6u);
+}
+
+TEST(Bits, Log2Ceil) {
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(4), 2u);
+  EXPECT_EQ(log2_ceil(5), 3u);
+  EXPECT_EQ(log2_ceil(6), 3u);  // paper's running example: 6 processors
+  EXPECT_EQ(log2_ceil(64), 6u);
+  EXPECT_EQ(log2_ceil(65), 7u);
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(6), 8u);
+  EXPECT_EQ(next_pow2(64), 64u);
+}
+
+TEST(Bits, BinaryDigits) {
+  // Digit count drives the iteration count of the paper's `repeat` schema.
+  EXPECT_EQ(binary_digits(0), 0u);
+  EXPECT_EQ(binary_digits(1), 1u);
+  EXPECT_EQ(binary_digits(2), 2u);
+  EXPECT_EQ(binary_digits(5), 3u);
+  EXPECT_EQ(binary_digits(63), 6u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, Uniform01WithinBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng base(3);
+  Rng a = base.split(0);
+  Rng b = base.split(1);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i)
+    if (a() != b()) ++differing;
+  EXPECT_GT(differing, 16);
+}
+
+TEST(Table, AlignsAndPrintsRows) {
+  Table t("demo", {"a", "long-header", "c"});
+  t.add(1, 2.5, "x");
+  t.add(12345, 0.125, "yy");
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t("", {"x", "y"});
+  t.add(1, 2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t("", {"x", "y"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(ErrorMacros, RequireThrows) {
+  EXPECT_THROW(COLOP_REQUIRE(false, "boom"), Error);
+  EXPECT_NO_THROW(COLOP_REQUIRE(true, "fine"));
+}
+
+TEST(ErrorMacros, AssertCarriesLocation) {
+  try {
+    COLOP_ASSERT(1 == 2, "math broke");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+    EXPECT_NE(what.find("math broke"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace colop

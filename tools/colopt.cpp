@@ -1,0 +1,160 @@
+// colopt — the command-line optimizer driver.
+//
+// Parse a program in the textual syntax, optimize it for a given machine
+// with the paper's rules and cost calculus, and report the derivation,
+// predicted times (analytic + simnet) and communication volumes.
+//
+// Usage:
+//   colopt [--p N] [--m N] [--ts X] [--tw X] [--exhaustive] [--strict]
+//          "scan(*) ; reduce(+) ; bcast"
+//
+// Example:
+//   $ colopt --p 64 --m 32 --ts 400 "bcast ; scan(+) ; scan(+)"
+
+#include <cstdlib>
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "colop/exec/sim_executor.h"
+#include "colop/exec/timeline.h"
+#include "colop/ir/ir.h"
+#include "colop/ir/parse.h"
+#include "colop/rules/optimizer.h"
+#include "colop/support/table.h"
+
+namespace {
+
+void usage() {
+  std::cerr <<
+      "usage: colopt [options] \"<program>\"\n"
+      "  --p N          processors (default 64)\n"
+      "  --m N          block size in elements (default 1024)\n"
+      "  --ts X         message start-up time in op units (default 400)\n"
+      "  --tw X         per-word transfer time in op units (default 2)\n"
+      "  --exhaustive   search all rule-application sequences\n"
+      "  --strict       require full equivalence (reject root-only rewrites\n"
+      "                 unless masked by a later bcast)\n"
+      "  --max-mem N    memory budget: reject rewrites whose peak element\n"
+      "                 width exceeds N words (Section 4.2's caveat)\n"
+      "  --timeline     render before/after per-processor timelines\n"
+      "  --rules        list the rule catalog and exit\n"
+      "program syntax:  map(pair|triple|quadruple|pi1|id) | scan(OP) |\n"
+      "                 reduce(OP[,root=K]) | allreduce(OP) | bcast[(root=K)]\n"
+      "                 stages separated by ';'; OP: + * max min band bor gcd\n"
+      "                 +modN *modN f+ f* mat2 first\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace colop;
+
+  model::Machine machine{.p = 64, .m = 1024, .ts = 400, .tw = 2};
+  bool exhaustive = false;
+  bool timeline = false;
+  rules::OptimizerOptions options;
+  std::string program_text;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--p") {
+      machine.p = std::atoi(next());
+    } else if (arg == "--m") {
+      machine.m = std::atof(next());
+    } else if (arg == "--ts") {
+      machine.ts = std::atof(next());
+    } else if (arg == "--tw") {
+      machine.tw = std::atof(next());
+    } else if (arg == "--exhaustive") {
+      exhaustive = true;
+    } else if (arg == "--strict") {
+      options.policy = rules::EquivalencePolicy::strict;
+    } else if (arg == "--max-mem") {
+      options.max_elem_words = std::atoi(next());
+    } else if (arg == "--timeline") {
+      timeline = true;
+    } else if (arg == "--rules") {
+      for (const auto& r : rules::all_rules())
+        std::cout << r->name() << ":\n    " << r->description() << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage();
+      return 2;
+    } else {
+      program_text = arg;
+    }
+  }
+  if (program_text.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const ir::Program program = ir::parse_program(program_text);
+    if (auto err = ir::check_shapes(program)) {
+      std::cerr << "shape error: " << *err << "\n";
+      return 1;
+    }
+
+    std::cout << "program : " << program.show() << "\n";
+    std::cout << "machine : p=" << machine.p << " m=" << machine.m
+              << " ts=" << machine.ts << " tw=" << machine.tw << "\n\n";
+
+    const rules::Optimizer optimizer(machine, rules::all_rules(), options);
+    const auto result = exhaustive ? optimizer.optimize_exhaustive(program)
+                                   : optimizer.optimize(program);
+
+    if (result.log.empty()) {
+      std::cout << "no profitable rewrite on this machine.\n";
+    } else {
+      std::cout << "derivation"
+                << (exhaustive ? " (exhaustive search)" : " (greedy)") << ":\n";
+      for (const auto& step : result.log) {
+        std::cout << "  " << step.rule << " @" << step.position;
+        if (!step.note.empty()) std::cout << " {" << step.note << "}";
+        std::cout << "\n    = " << step.program_after << "\n";
+      }
+    }
+    std::cout << "\n";
+
+    Table t("prediction", {"version", "analytic cost", "simnet time",
+                           "messages", "words"});
+    const auto before = exec::run_on_simnet(program, machine);
+    const auto after = exec::run_on_simnet(result.program, machine);
+    t.add("original", model::program_time(program, machine), before.time,
+          before.messages, before.words);
+    t.add("optimized", model::program_time(result.program, machine), after.time,
+          after.messages, after.words);
+    t.print(std::cout);
+    if (before.time > 0)
+      std::cout << "\npredicted speedup: " << before.time / after.time << "x\n";
+
+    if (timeline) {
+      // Timelines get unreadable beyond a screenful of processors.
+      model::Machine tl = machine;
+      tl.p = std::min(tl.p, 16);
+      const auto tb = exec::trace_on_simnet(program, tl);
+      const auto ta = exec::trace_on_simnet(result.program, tl);
+      std::cout << "\nbefore (p=" << tl.p << "):\n"
+                << exec::render_timeline(tb, 72) << "\nafter:\n"
+                << exec::render_timeline(ta, 72, tb.makespan);
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
