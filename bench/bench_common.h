@@ -10,9 +10,13 @@
 // Only the SHAPE of the curves (who wins, where crossovers fall) is
 // claimed; see EXPERIMENTS.md.
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "colop/model/machine.h"
+#include "colop/obs/metrics.h"
 
 namespace colop::bench {
 
@@ -25,5 +29,19 @@ inline model::Machine parsytec(int p, double m) {
 }
 
 inline double seconds(double ops) { return ops * kUnitSeconds; }
+
+/// Write `reg` as BENCH_<name>.json in $COLOP_BENCH_DIR (or the working
+/// directory) — the machine-readable artifact CI uploads next to each
+/// harness's printed table.
+inline void write_bench_json(const std::string& name,
+                             const obs::MetricsRegistry& reg) {
+  const char* dir = std::getenv("COLOP_BENCH_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) + "BENCH_" +
+      name + ".json";
+  std::ofstream f(path);
+  reg.write_json(f);
+  std::cout << "metrics written to " << path << "\n";
+}
 
 }  // namespace colop::bench

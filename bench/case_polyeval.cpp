@@ -17,6 +17,7 @@ int main() {
   using namespace colop;
   using namespace colop::bench;
 
+  obs::MetricsRegistry reg;
   bool ok = true;
   Table t("Case study — polynomial evaluation on the machine model",
           {"p", "m", "T(PolyEval_1) s", "T(PolyEval_3) s", "T(PolyEval_sr2) s",
@@ -58,9 +59,21 @@ int main() {
             r3.traffic.messages < r1.traffic.messages;
       t.add(p, m, t1, t3, topt, t1 / t3, r1.traffic.messages,
             r3.traffic.messages, correct);
+      reg.add_row("case_polyeval",
+                  {{"p", static_cast<double>(p)},
+                   {"m", m},
+                   {"t_polyeval1_s", t1},
+                   {"t_polyeval3_s", t3},
+                   {"t_polyeval_sr2_s", topt},
+                   {"speedup", t1 / t3},
+                   {"msgs_polyeval1", static_cast<double>(r1.traffic.messages)},
+                   {"msgs_polyeval3", static_cast<double>(r3.traffic.messages)},
+                   {"correct", correct ? 1.0 : 0.0}});
     }
   }
   t.print(std::cout);
+  reg.set("ok", ok ? 1 : 0);
+  write_bench_json("case_polyeval", reg);
   std::cout << "\nPolyEval_3 faster + fewer messages + correct everywhere: "
             << (ok ? "yes" : "NO") << "\n";
   return ok ? 0 : 1;

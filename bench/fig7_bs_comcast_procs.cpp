@@ -26,6 +26,7 @@ int main() {
   Table fig7("Figure 7 — BS-Comcast: run time (s) vs processors, block size 32*10^3",
              {"p", "bcast;scan", "comcast", "bcast;repeat"});
 
+  obs::MetricsRegistry reg;
   bool shape_ok = true;
   for (int p = 2; p <= 64; p *= 2) {
     simnet::SimMachine lhs(p, net);
@@ -43,9 +44,16 @@ int main() {
     const double t_opt = seconds(opt.makespan());
     const double t_rep = seconds(rep.makespan());
     fig7.add(p, t_lhs, t_opt, t_rep);
+    reg.add_row("fig7", {{"p", static_cast<double>(p)},
+                         {"bcast_scan_s", t_lhs},
+                         {"comcast_s", t_opt},
+                         {"bcast_repeat_s", t_rep}});
     shape_ok &= (t_rep <= t_opt && t_opt <= t_lhs);
   }
   fig7.print(std::cout);
+  reg.set("block", kBlock);
+  reg.set("shape_ok", shape_ok ? 1 : 0);
+  write_bench_json("fig7_bs_comcast_procs", reg);
   std::cout << "\nordering bcast;repeat <= comcast <= bcast;scan at every p: "
             << (shape_ok ? "yes" : "NO") << "\n";
   return shape_ok ? 0 : 1;

@@ -23,6 +23,7 @@ int main() {
   Table fig8("Figure 8 — BS-Comcast: run time (s) vs block size, 64 processors",
              {"block", "bcast;scan", "comcast", "bcast;repeat"});
 
+  obs::MetricsRegistry reg;
   bool shape_ok = true;
   double prev_lhs = 0;
   for (double m : {0.0, 2000.0, 4000.0, 8000.0, 12000.0, 16000.0, 20000.0,
@@ -41,11 +42,18 @@ int main() {
     const double t_opt = seconds(opt.makespan());
     const double t_rep = seconds(rep.makespan());
     fig8.add(m, t_lhs, t_opt, t_rep);
+    reg.add_row("fig8", {{"m", m},
+                         {"bcast_scan_s", t_lhs},
+                         {"comcast_s", t_opt},
+                         {"bcast_repeat_s", t_rep}});
     shape_ok &= (t_rep <= t_opt && t_opt <= t_lhs);  // ordering
     shape_ok &= (t_lhs >= prev_lhs);                 // monotone in m
     prev_lhs = t_lhs;
   }
   fig8.print(std::cout);
+  reg.set("p", kProcs);
+  reg.set("shape_ok", shape_ok ? 1 : 0);
+  write_bench_json("fig8_bs_comcast_blocks", reg);
   std::cout << "\nordering + monotone growth in block size: "
             << (shape_ok ? "yes" : "NO") << "\n";
   return shape_ok ? 0 : 1;

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.h"
 #include "colop/exec/sim_executor.h"
 #include "colop/ir/ir.h"
 #include "colop/model/cost.h"
@@ -25,6 +26,7 @@ int main() {
   Table t("SS2-Scan crossover: predicted ts* = 2m vs measured on simnet (p=64, tw=2)",
           {"m", "predicted ts*", "measured ts*", "rel err"});
 
+  obs::MetricsRegistry reg;
   bool ok = true;
   for (double m : {8.0, 64.0, 256.0, 1024.0, 4096.0}) {
     const double predicted = 2 * m;
@@ -41,6 +43,10 @@ int main() {
     const double rel = std::abs(measured - predicted) / predicted;
     ok &= rel < 1e-6;
     t.add(m, predicted, measured, rel);
+    reg.add_row("crossover", {{"m", m},
+                              {"predicted_ts", predicted},
+                              {"measured_ts", measured},
+                              {"rel_err", rel}});
   }
   t.print(std::cout);
 
@@ -57,6 +63,8 @@ int main() {
   }
   sweep.print(std::cout);
 
+  reg.set("ok", ok ? 1 : 0);
+  bench::write_bench_json("sec42_ss2_crossover", reg);
   std::cout << "\nmeasured crossover matches ts = 2m for every m: "
             << (ok ? "yes" : "NO") << "\n";
   return ok ? 0 : 1;

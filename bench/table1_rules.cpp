@@ -12,6 +12,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.h"
 #include "colop/exec/sim_executor.h"
 #include "colop/ir/ir.h"
 #include "colop/model/cost.h"
@@ -104,6 +105,7 @@ int main() {
       "condition at machine points on both sides of the threshold",
       {"Rule name", "machine (m, ts, tw)", "t_before", "t_after", "measured",
        "predicted", "agree"});
+  colop::obs::MetricsRegistry reg;
   bool all_agree = true;
   for (const auto& row : rows) {
     const auto match = row.rule->match(row.lhs, 0);
@@ -135,9 +137,18 @@ int main() {
                    tb, ta, measured_improves ? "improves" : "worse",
                    predicted_improves ? "improves" : "worse",
                    measured_improves == predicted_improves);
+      reg.add_row("crosscheck_" + row.rule->name(),
+                  {{"ts", ts},
+                   {"t_before", tb},
+                   {"t_after", ta},
+                   {"measured_improves", measured_improves ? 1.0 : 0.0},
+                   {"predicted_improves", predicted_improves ? 1.0 : 0.0},
+                   {"agree", measured_improves == predicted_improves ? 1.0 : 0.0}});
     }
   }
   measured.print(std::cout);
+  reg.set("all_agree", all_agree ? 1 : 0);
+  colop::bench::write_bench_json("table1_rules", reg);
   std::cout << "\nall measured verdicts agree with the calculus: "
             << (all_agree ? "yes" : "NO") << "\n";
   return all_agree ? 0 : 1;

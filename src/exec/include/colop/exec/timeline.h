@@ -4,12 +4,14 @@
 // processors through local and collective stages; "time saved" after a
 // rule application is directly visible).
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "colop/exec/sim_executor.h"
 #include "colop/ir/program.h"
 #include "colop/model/machine.h"
+#include "colop/obs/sink.h"
 
 namespace colop::exec {
 
@@ -27,10 +29,22 @@ struct SimTrace {
 };
 
 /// Execute stage by stage on a fresh SimMachine, snapshotting the clocks
-/// around every stage.
+/// around every stage.  If `machine_sink` is given it is attached to the
+/// SimMachine, so every simulated send/recv/exchange/compute is emitted as
+/// a complete event (simulated timestamps) labeled with the stage it
+/// belongs to — the fine-grained view underneath the stage spans.
 [[nodiscard]] SimTrace trace_on_simnet(const ir::Program& prog,
                                        const model::Machine& mach,
-                                       SimSchedules sched = {});
+                                       SimSchedules sched = {},
+                                       obs::Sink* machine_sink = nullptr);
+
+/// Convert the per-stage spans to obs events (Phase::complete, tid = the
+/// processor, ts/dur in simulated op units).
+[[nodiscard]] std::vector<obs::Event> trace_events(const SimTrace& trace);
+
+/// Export a stage trace as Chrome trace-event JSON (chrome://tracing,
+/// Perfetto).  Simulated op units are presented as microseconds.
+void write_chrome_trace(const SimTrace& trace, std::ostream& os);
 
 /// ASCII Gantt chart: one row per processor, letters identify stages, '.'
 /// is idle/waiting time; a legend follows.  `width` is the number of time

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "colop/obs/sink.h"
 #include "colop/support/error.h"
 
 namespace colop::exec {
@@ -131,7 +132,23 @@ ThreadRunResult run_on_threads_instrumented(const ir::Program& prog,
   auto [output, traffic] = mpsim::run_spmd_collect_traffic<Block>(
       p, [&](mpsim::Comm& comm) {
         Block block = input[static_cast<std::size_t>(comm.rank())];
-        for (const auto& stage : prog.stages()) exec_stage(*stage, comm, block);
+        for (const auto& stage : prog.stages()) {
+          if (obs::enabled()) {
+            obs::Event ev;
+            ev.phase = obs::Phase::begin;
+            ev.name = stage->show();
+            ev.cat = "exec";
+            ev.ts = obs::now_us();
+            ev.tid = comm.rank();
+            obs::record(ev);
+            exec_stage(*stage, comm, block);
+            ev.phase = obs::Phase::end;
+            ev.ts = obs::now_us();
+            obs::record(ev);
+          } else {
+            exec_stage(*stage, comm, block);
+          }
+        }
         return block;
       });
   const auto t1 = std::chrono::steady_clock::now();

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <sstream>
 
+#include "colop/obs/chrome_trace.h"
+
 namespace colop::exec {
 
 SimTrace trace_on_simnet(const ir::Program& prog, const model::Machine& mach,
-                         SimSchedules sched) {
+                         SimSchedules sched, obs::Sink* machine_sink) {
   simnet::SimMachine sim(mach.p, simnet::NetParams{mach.ts, mach.tw});
+  sim.set_trace_sink(machine_sink);
   SimTrace trace;
   trace.procs = mach.p;
 
@@ -15,6 +18,7 @@ SimTrace trace_on_simnet(const ir::Program& prog, const model::Machine& mach,
   for (const auto& stage : prog.stages()) {
     ir::Program single;
     single.push(stage);
+    sim.set_trace_label(stage->show());
     run_on_simnet(single, sim, mach.m, sched);
     StageSpan span;
     span.label = stage->show();
@@ -27,6 +31,29 @@ SimTrace trace_on_simnet(const ir::Program& prog, const model::Machine& mach,
   }
   trace.makespan = sim.makespan();
   return trace;
+}
+
+std::vector<obs::Event> trace_events(const SimTrace& trace) {
+  std::vector<obs::Event> events;
+  for (const auto& span : trace.spans) {
+    for (int r = 0; r < trace.procs; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (span.end[ri] <= span.start[ri]) continue;  // did not participate
+      obs::Event ev;
+      ev.phase = obs::Phase::complete;
+      ev.name = span.label;
+      ev.cat = "exec";
+      ev.ts = span.start[ri];
+      ev.dur = span.end[ri] - span.start[ri];
+      ev.tid = r;
+      events.push_back(std::move(ev));
+    }
+  }
+  return events;
+}
+
+void write_chrome_trace(const SimTrace& trace, std::ostream& os) {
+  obs::write_chrome_trace(trace_events(trace), os, "colop-simnet");
 }
 
 std::string render_timeline(const SimTrace& trace, int width, double scale_to) {

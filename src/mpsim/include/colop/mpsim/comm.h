@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "colop/mpsim/group.h"
+#include "colop/obs/sink.h"
 #include "colop/support/error.h"
 
 namespace colop::mpsim {
@@ -97,7 +98,19 @@ class Comm {
   void send_raw(int dest, T value, int tag) const {
     COLOP_REQUIRE(dest >= 0 && dest < size(), "mpsim: send to invalid rank");
     const std::size_t bytes = wire_size(value);
-    group_->stats().record_send(bytes);
+    group_->stats().record_send(rank_, bytes);
+    if (obs::enabled()) {
+      obs::Event ev;
+      ev.phase = obs::Phase::instant;
+      ev.name = "send";
+      ev.cat = "mpsim";
+      ev.ts = obs::now_us();
+      ev.tid = rank_;
+      ev.value = static_cast<double>(bytes);
+      ev.args.emplace_back("dest", std::to_string(dest));
+      ev.args.emplace_back("tag", std::to_string(tag));
+      obs::record(ev);
+    }
     group_->mailbox(dest).put(
         Message{std::any(std::move(value)), bytes, rank_, tag});
   }

@@ -4,7 +4,10 @@
 
 namespace colop::mpsim {
 
-Group::Group(int size) : size_(size), split_slots_(static_cast<std::size_t>(size), {-1, 0}) {
+Group::Group(int size)
+    : size_(size),
+      stats_(size),
+      split_slots_(static_cast<std::size_t>(size), {-1, 0}) {
   COLOP_REQUIRE(size >= 1, "mpsim: group size must be >= 1");
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) {

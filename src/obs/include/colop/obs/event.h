@@ -1,0 +1,41 @@
+#pragma once
+// colop::obs — the unified observability layer.
+//
+// One structured event vocabulary serves every instrumentation source in
+// the system: the mpsim thread runtime (wall-clock spans and traffic
+// counters), the simnet discrete-event simulator (events stamped with
+// SIMULATED time), the executors (per-stage spans), and the Optimizer
+// (decision events).  Sinks (sink.h) decide what happens to events; the
+// Chrome trace-event exporter (chrome_trace.h) makes any event stream
+// loadable in chrome://tracing or Perfetto.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace colop::obs {
+
+/// Event phases, modeled on the Chrome trace-event phases they export to.
+enum class Phase {
+  begin,     ///< span start ("B")
+  end,       ///< span end ("E")
+  complete,  ///< span with a known duration ("X")
+  instant,   ///< point event ("i")
+  counter,   ///< sampled counter value ("C")
+};
+
+/// One structured event.  `ts` is microseconds for wall-clock sources and
+/// op units for simulated sources — a single export never mixes the two.
+struct Event {
+  Phase phase = Phase::instant;
+  std::string name;  ///< what happened, e.g. "mpsim.bcast", "send"
+  std::string cat;   ///< source subsystem: "mpsim", "simnet", "exec", "rules"
+  double ts = 0;     ///< timestamp (us wall clock or simulated op units)
+  double dur = 0;    ///< duration, complete events only
+  int tid = 0;       ///< per-rank / per-processor attribution
+  double value = 0;  ///< counter events: the sampled value
+  /// Free-form key/value annotations, exported as Chrome `args`.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+}  // namespace colop::obs

@@ -1,0 +1,65 @@
+#pragma once
+// Metrics: named scalar measurements and tabular series with CSV/JSON
+// export.  This is the machine-readable complement to support/table.h's
+// human-oriented text tables: benchmarks and tools register what they
+// measured and write one self-describing JSON document (the BENCH_*.json
+// artifacts consumed by CI).
+//
+// A CounterSink adapter folds Phase::counter events from the tracing side
+// into a registry, so traffic counts observed on the wire and metrics
+// reported by harnesses flow through one exporter.
+
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "colop/obs/sink.h"
+
+namespace colop::obs {
+
+/// Thread-safe registry of scalar metrics and row-oriented series.
+class MetricsRegistry {
+ public:
+  /// Set (overwrite) a scalar metric.
+  void set(const std::string& name, double value);
+  /// Add to a scalar metric (creates it at 0).
+  void add(const std::string& name, double delta);
+  [[nodiscard]] double get(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Append one row to a named series; every row is a key->value record
+  /// (missing keys export as absent fields, not zeros).
+  void add_row(const std::string& series,
+               std::vector<std::pair<std::string, double>> row);
+
+  /// {"scalars": {...}, "series": {"name": [{...}, ...]}}
+  void write_json(std::ostream& os) const;
+  /// One CSV block per series: header row from the union of keys.
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::map<std::string, double> scalars() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double> scalars_;
+  std::map<std::string, std::vector<std::vector<std::pair<std::string, double>>>>
+      series_;
+};
+
+/// Sink adapter: accumulates counter events into a registry (other event
+/// phases are ignored).  Counter samples ADD — emit deltas, not totals.
+class CounterSink : public Sink {
+ public:
+  explicit CounterSink(MetricsRegistry& registry) : registry_(registry) {}
+  void record(const Event& event) override {
+    if (event.phase == Phase::counter) registry_.add(event.name, event.value);
+  }
+
+ private:
+  MetricsRegistry& registry_;
+};
+
+}  // namespace colop::obs

@@ -1,0 +1,77 @@
+#include "colop/obs/chrome_trace.h"
+
+#include <ostream>
+#include <set>
+
+#include "colop/obs/json.h"
+
+namespace colop::obs {
+namespace {
+
+const char* phase_code(Phase p) {
+  switch (p) {
+    case Phase::begin: return "B";
+    case Phase::end: return "E";
+    case Phase::complete: return "X";
+    case Phase::instant: return "i";
+    case Phase::counter: return "C";
+  }
+  return "i";
+}
+
+void write_event(const Event& e, std::ostream& os) {
+  os << "{\"name\":" << json::quote(e.name) << ",\"cat\":"
+     << json::quote(e.cat.empty() ? "colop" : e.cat)
+     << ",\"ph\":\"" << phase_code(e.phase) << "\",\"ts\":" << json::number(e.ts)
+     << ",\"pid\":0,\"tid\":" << e.tid;
+  if (e.phase == Phase::complete) os << ",\"dur\":" << json::number(e.dur);
+  if (e.phase == Phase::instant) os << ",\"s\":\"t\"";
+  if (e.phase == Phase::counter) {
+    os << ",\"args\":{" << json::quote(e.name) << ":" << json::number(e.value)
+       << "}";
+  } else if (!e.args.empty()) {
+    os << ",\"args\":{";
+    bool first = true;
+    for (const auto& [k, v] : e.args) {
+      if (!first) os << ",";
+      first = false;
+      os << json::quote(k) << ":" << json::quote(v);
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const std::vector<Event>& events, std::ostream& os,
+                        const std::string& process_name,
+                        const std::string& tid_prefix) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":" << json::quote(process_name) << "}}";
+
+  std::set<int> tids;
+  for (const Event& e : events) tids.insert(e.tid);
+  for (const int tid : tids) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":"
+       << json::quote(tid_prefix + std::to_string(tid)) << "}}";
+  }
+
+  for (const Event& e : events) {
+    sep();
+    write_event(e, os);
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace colop::obs

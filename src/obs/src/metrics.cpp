@@ -1,0 +1,102 @@
+#include "colop/obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "colop/obs/json.h"
+
+namespace colop::obs {
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  scalars_[name] = value;
+}
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  scalars_[name] += delta;
+}
+
+double MetricsRegistry::get(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = scalars_.find(name);
+  return it == scalars_.end() ? 0.0 : it->second;
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return scalars_.count(name) != 0;
+}
+
+void MetricsRegistry::add_row(
+    const std::string& series,
+    std::vector<std::pair<std::string, double>> row) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  series_[series].push_back(std::move(row));
+}
+
+std::map<std::string, double> MetricsRegistry::scalars() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return scalars_;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"scalars\":{";
+  bool first = true;
+  for (const auto& [name, value] : scalars_) {
+    if (!first) os << ",";
+    first = false;
+    os << json::quote(name) << ":" << json::number(value);
+  }
+  os << "},\"series\":{";
+  first = true;
+  for (const auto& [name, rows] : series_) {
+    if (!first) os << ",";
+    first = false;
+    os << json::quote(name) << ":[";
+    bool first_row = true;
+    for (const auto& row : rows) {
+      if (!first_row) os << ",";
+      first_row = false;
+      os << "{";
+      bool first_cell = true;
+      for (const auto& [k, v] : row) {
+        if (!first_cell) os << ",";
+        first_cell = false;
+        os << json::quote(k) << ":" << json::number(v);
+      }
+      os << "}";
+    }
+    os << "]";
+  }
+  os << "}}\n";
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, value] : scalars_)
+    os << "scalar," << name << "," << json::number(value) << "\n";
+  for (const auto& [name, rows] : series_) {
+    std::set<std::string> keys;
+    for (const auto& row : rows)
+      for (const auto& [k, v] : row) keys.insert(k);
+    os << "series," << name;
+    for (const auto& k : keys) os << "," << k;
+    os << "\n";
+    for (const auto& row : rows) {
+      os << "row," << name;
+      for (const auto& k : keys) {
+        const auto it =
+            std::find_if(row.begin(), row.end(),
+                         [&](const auto& cell) { return cell.first == k; });
+        os << ",";
+        if (it != row.end()) os << json::number(it->second);
+      }
+      os << "\n";
+    }
+  }
+}
+
+}  // namespace colop::obs

@@ -1,0 +1,61 @@
+#include "colop/obs/sink.h"
+
+#include <chrono>
+
+namespace colop::obs {
+
+double now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point t0 = clock::now();
+  return std::chrono::duration<double, std::micro>(clock::now() - t0).count();
+}
+
+void instant(std::string name, std::string cat, int tid,
+             std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  Event e;
+  e.phase = Phase::instant;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ts = now_us();
+  e.tid = tid;
+  e.args = std::move(args);
+  record(e);
+}
+
+void counter(std::string name, std::string cat, double value, int tid) {
+  if (!enabled()) return;
+  Event e;
+  e.phase = Phase::counter;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ts = now_us();
+  e.tid = tid;
+  e.value = value;
+  record(e);
+}
+
+void ScopedSpan::open(const char* name, std::string cat, int tid) {
+  name_ = name;
+  cat_ = std::move(cat);
+  tid_ = tid;
+  Event e;
+  e.phase = Phase::begin;
+  e.name = name_;
+  e.cat = cat_;
+  e.ts = now_us();
+  e.tid = tid_;
+  record(e);
+}
+
+void ScopedSpan::close() {
+  Event e;
+  e.phase = Phase::end;
+  e.name = std::move(name_);
+  e.cat = std::move(cat_);
+  e.ts = now_us();
+  e.tid = tid_;
+  record(e);
+}
+
+}  // namespace colop::obs

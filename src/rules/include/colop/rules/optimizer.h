@@ -8,6 +8,7 @@
 // all rule-application sequences (deduplicated), returning the cheapest
 // reachable program — feasible because programs are short.
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,34 @@
 #include "colop/rules/rules.h"
 
 namespace colop::rules {
+
+/// One rule x position attempt, recorded by explain mode: what the
+/// optimizer tried, whether the window matched, what the condition or
+/// policy verdict was, and the predicted cost delta if it had a match.
+struct RuleAttempt {
+  std::string rule;
+  std::size_t position = 0;
+  bool matched = false;
+  /// "applied" | "candidate" | "rejected: <policy reason>" |
+  /// "condition failed: <side condition>" | "no match"
+  std::string verdict;
+  std::string note;        ///< instantiation note, matched attempts only
+  double cost_before = 0;  ///< predicted program time before (matched only)
+  double cost_after = 0;   ///< predicted program time if applied (matched only)
+};
+
+/// Explain-mode transcript of an optimizer run.  Attach one to
+/// OptimizerOptions::explain; the greedy optimizer then records every
+/// rule attempt at every position of every intermediate program.
+struct ExplainLog {
+  std::vector<RuleAttempt> attempts;
+
+  void clear() { attempts.clear(); }
+  /// Human-readable listing.  With `include_unmatched`, windows whose
+  /// shape never matched ("no match") are listed too.
+  [[nodiscard]] std::string render_text(bool include_unmatched = false) const;
+  void write_json(std::ostream& os) const;
+};
 
 /// When may a root_only rewrite (plain-reduce targets, Local rules) be
 /// applied?  Full-equivalence matches, and root_only matches PROVEN
@@ -45,6 +74,10 @@ struct OptimizerOptions {
   /// Implements Section 4.2's caveat that the auxiliary-variable rules can
   /// be impractical for large blocks due to memory consumption.
   int max_elem_words = 0;
+  /// Explain mode: when non-null, the greedy optimizer records every rule
+  /// attempt (rule x position, per intermediate program) into this log.
+  /// Not owning; the log must outlive the optimize() call.
+  ExplainLog* explain = nullptr;
 };
 
 struct AppliedRule {
@@ -92,6 +125,12 @@ class Optimizer {
                                     const RuleMatch& m) const;
   [[nodiscard]] bool admissible(const ir::Program& prog,
                                 const RuleMatch& m) const;
+  /// Empty string when admissible, else the rejection verdict; sets
+  /// `after` to the predicted time of the rewritten program when it gets
+  /// that far.
+  [[nodiscard]] std::string admissibility_verdict(const ir::Program& prog,
+                                                  const RuleMatch& m,
+                                                  double& after) const;
 
   model::Machine machine_;
   std::vector<RulePtr> rules_;

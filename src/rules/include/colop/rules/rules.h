@@ -58,6 +58,18 @@ class Rule {
 
   /// All matches of this rule anywhere in the program.
   [[nodiscard]] std::vector<RuleMatch> matches(const ir::Program& prog) const;
+
+  // --- explain-mode diagnostics -------------------------------------------
+  // A match() implementation that declines a window whose SHAPE matched but
+  // whose side condition failed may call reject("...") just before
+  // returning nullopt.  The caller (the Optimizer's explain mode) pops the
+  // reason with take_reject(); callers that don't care can ignore it — the
+  // slot is thread-local and overwritten by the next attempt.
+
+  /// Record why the current match attempt failed its side condition.
+  static void reject(std::string reason);
+  /// Pop (and clear) the last reject reason on this thread.
+  [[nodiscard]] static std::string take_reject();
 };
 
 using RulePtr = std::shared_ptr<const Rule>;

@@ -1,12 +1,48 @@
 #include "colop/rules/optimizer.h"
 
 #include "colop/model/memory.h"
+#include "colop/obs/json.h"
 
 #include <deque>
+#include <ostream>
 #include <set>
 #include <sstream>
 
 namespace colop::rules {
+
+std::string ExplainLog::render_text(bool include_unmatched) const {
+  std::ostringstream os;
+  for (const auto& a : attempts) {
+    if (!include_unmatched && !a.matched && a.verdict == "no match") continue;
+    os << a.rule << " @" << a.position << ": " << a.verdict;
+    if (!a.note.empty()) os << " {" << a.note << "}";
+    if (a.matched)
+      os << " (T " << a.cost_before << " -> " << a.cost_after
+         << ", delta " << a.cost_after - a.cost_before << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+void ExplainLog::write_json(std::ostream& os) const {
+  namespace json = obs::json;
+  os << "{\"attempts\":[";
+  bool first = true;
+  for (const auto& a : attempts) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"rule\":" << json::quote(a.rule) << ",\"position\":" << a.position
+       << ",\"matched\":" << (a.matched ? "true" : "false")
+       << ",\"verdict\":" << json::quote(a.verdict);
+    if (!a.note.empty()) os << ",\"note\":" << json::quote(a.note);
+    if (a.matched)
+      os << ",\"cost_before\":" << json::number(a.cost_before)
+         << ",\"cost_after\":" << json::number(a.cost_after)
+         << ",\"cost_delta\":" << json::number(a.cost_after - a.cost_before);
+    os << "}";
+  }
+  os << "]}\n";
+}
 
 std::string OptimizeResult::report() const {
   std::ostringstream os;
@@ -40,30 +76,77 @@ bool Optimizer::equivalence_ok(const ir::Program& prog,
   return false;
 }
 
-bool Optimizer::admissible(const ir::Program& prog, const RuleMatch& m) const {
-  if (!equivalence_ok(prog, m)) return false;
+std::string Optimizer::admissibility_verdict(const ir::Program& prog,
+                                             const RuleMatch& m,
+                                             double& after) const {
+  after = 0;
+  if (!equivalence_ok(prog, m)) return "rejected: equivalence policy";
   if (options_.max_elem_words > 0) {
     try {
       if (model::peak_elem_words(m.apply(prog)) > options_.max_elem_words)
-        return false;
+        return "rejected: memory budget";
     } catch (const Error&) {
-      return false;  // shape-inconsistent rewrite: never admissible
+      return "rejected: shape-inconsistent rewrite";
     }
   }
+  after = model::program_time(m.apply(prog), machine_);
   if (options_.require_cost_improvement) {
     const double before = model::program_time(prog, machine_);
-    const double after = model::program_time(m.apply(prog), machine_);
-    if (!(after < before)) return false;
+    if (!(after < before)) return "rejected: not profitable";
   }
-  return true;
+  return {};
+}
+
+bool Optimizer::admissible(const ir::Program& prog, const RuleMatch& m) const {
+  double after = 0;
+  return admissibility_verdict(prog, m, after).empty();
 }
 
 std::vector<RuleMatch> Optimizer::admissible_matches(
     const ir::Program& prog) const {
   std::vector<RuleMatch> out;
-  for (const auto& rule : rules_)
-    for (auto& m : rule->matches(prog))
-      if (admissible(prog, m)) out.push_back(std::move(m));
+  ExplainLog* ex = options_.explain;
+  const double current =
+      ex != nullptr ? model::program_time(prog, machine_) : 0;
+  for (const auto& rule : rules_) {
+    for (std::size_t at = 0; at < prog.size(); ++at) {
+      if (ex != nullptr) (void)Rule::take_reject();  // drop stale reasons
+      auto m = rule->match(prog, at);
+      if (!m) {
+        if (ex != nullptr) {
+          RuleAttempt a;
+          a.rule = rule->name();
+          a.position = at;
+          const std::string why = Rule::take_reject();
+          a.verdict = why.empty() ? "no match" : "condition failed: " + why;
+          ex->attempts.push_back(std::move(a));
+        }
+        continue;
+      }
+      double after = 0;
+      const std::string verdict = admissibility_verdict(prog, *m, after);
+      if (ex != nullptr) {
+        RuleAttempt a;
+        a.rule = m->rule_name;
+        a.position = m->first;
+        a.matched = true;
+        a.verdict = verdict.empty() ? "candidate" : verdict;
+        a.note = m->note;
+        a.cost_before = current;
+        if (after > 0) {
+          a.cost_after = after;
+        } else {
+          try {
+            a.cost_after = model::program_time(m->apply(prog), machine_);
+          } catch (const Error&) {
+            a.cost_after = current;  // unevaluable rewrite: report no delta
+          }
+        }
+        ex->attempts.push_back(std::move(a));
+      }
+      if (verdict.empty()) out.push_back(std::move(*m));
+    }
+  }
   return out;
 }
 
@@ -94,6 +177,10 @@ OptimizeResult Optimizer::optimize(const ir::Program& prog) const {
 
     result.log.push_back(AppliedRule{best->rule_name, best->first, best->note,
                                      current, best_time, best_prog.show()});
+    if (options_.explain != nullptr)
+      options_.explain->attempts.push_back(RuleAttempt{
+          best->rule_name, best->first, true, "applied", best->note, current,
+          best_time});
     result.program = std::move(best_prog);
   }
   result.cost_final = model::program_time(result.program, machine_);

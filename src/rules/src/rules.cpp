@@ -68,8 +68,14 @@ class Sr2Reduction final : public Rule {
     if (!plain(red) && !plain(ared)) return std::nullopt;
     const ir::BinOpPtr oplus = red ? red->op : ared->op;
     const int w = sc->words;
-    if ((red ? red->words : ared->words) != w) return std::nullopt;
-    if (!sc->op->distributes_over(*oplus)) return std::nullopt;
+    if ((red ? red->words : ared->words) != w) {
+      reject("element widths differ");
+      return std::nullopt;
+    }
+    if (!sc->op->distributes_over(*oplus)) {
+      reject(sc->op->name() + " does not distribute over " + oplus->name());
+      return std::nullopt;
+    }
 
     RuleMatch m;
     m.rule_name = name();
@@ -109,8 +115,18 @@ class SrReduction final : public Rule {
     if (!plain(red) && !plain(ared)) return std::nullopt;
     const ir::BinOpPtr oplus = red ? red->op : ared->op;
     const int w = sc->words;
-    if ((red ? red->words : ared->words) != w) return std::nullopt;
-    if (!same_op(sc->op, oplus) || !oplus->commutative()) return std::nullopt;
+    if ((red ? red->words : ared->words) != w) {
+      reject("element widths differ");
+      return std::nullopt;
+    }
+    if (!same_op(sc->op, oplus)) {
+      reject("scan and reduce operators differ");
+      return std::nullopt;
+    }
+    if (!oplus->commutative()) {
+      reject(oplus->name() + " is not commutative");
+      return std::nullopt;
+    }
 
     RuleMatch m;
     m.rule_name = name();
@@ -148,8 +164,15 @@ class Ss2Scan final : public Rule {
                                                std::size_t at) const override {
     const auto* s1 = as_scan(prog, at);
     const auto* s2 = as_scan(prog, at + 1);
-    if (!plain(s1) || !plain(s2) || s1->words != s2->words) return std::nullopt;
-    if (!s1->op->distributes_over(*s2->op)) return std::nullopt;
+    if (!plain(s1) || !plain(s2)) return std::nullopt;
+    if (s1->words != s2->words) {
+      reject("element widths differ");
+      return std::nullopt;
+    }
+    if (!s1->op->distributes_over(*s2->op)) {
+      reject(s1->op->name() + " does not distribute over " + s2->op->name());
+      return std::nullopt;
+    }
 
     RuleMatch m;
     m.rule_name = name();
@@ -176,8 +199,19 @@ class SsScan final : public Rule {
                                                std::size_t at) const override {
     const auto* s1 = as_scan(prog, at);
     const auto* s2 = as_scan(prog, at + 1);
-    if (!plain(s1) || !plain(s2) || s1->words != s2->words) return std::nullopt;
-    if (!same_op(s1->op, s2->op) || !s1->op->commutative()) return std::nullopt;
+    if (!plain(s1) || !plain(s2)) return std::nullopt;
+    if (s1->words != s2->words) {
+      reject("element widths differ");
+      return std::nullopt;
+    }
+    if (!same_op(s1->op, s2->op)) {
+      reject("scan operators differ");
+      return std::nullopt;
+    }
+    if (!s1->op->commutative()) {
+      reject(s1->op->name() + " is not commutative");
+      return std::nullopt;
+    }
 
     RuleMatch m;
     m.rule_name = name();
@@ -235,7 +269,10 @@ class Bss2Comcast final : public Rule {
     const auto* s1 = as_scan(prog, at + 1);
     const auto* s2 = as_scan(prog, at + 2);
     if (!bc || !plain(s1) || !plain(s2)) return std::nullopt;
-    if (!s1->op->distributes_over(*s2->op)) return std::nullopt;
+    if (!s1->op->distributes_over(*s2->op)) {
+      reject(s1->op->name() + " does not distribute over " + s2->op->name());
+      return std::nullopt;
+    }
 
     RuleMatch m;
     m.rule_name = name();
@@ -263,7 +300,14 @@ class BssComcast final : public Rule {
     const auto* s1 = as_scan(prog, at + 1);
     const auto* s2 = as_scan(prog, at + 2);
     if (!bc || !plain(s1) || !plain(s2)) return std::nullopt;
-    if (!same_op(s1->op, s2->op) || !s1->op->commutative()) return std::nullopt;
+    if (!same_op(s1->op, s2->op)) {
+      reject("scan operators differ");
+      return std::nullopt;
+    }
+    if (!s1->op->commutative()) {
+      reject(s1->op->name() + " is not commutative");
+      return std::nullopt;
+    }
 
     RuleMatch m;
     m.rule_name = name();
@@ -292,8 +336,11 @@ class BrLocal final : public Rule {
                                                std::size_t at) const override {
     const auto* bc = as_bcast(prog, at);
     const auto* red = as_reduce(prog, at + 1);
-    if (!bc || bc->root != 0 || !plain(red) || red->root != 0)
+    if (!bc || !plain(red)) return std::nullopt;
+    if (bc->root != 0 || red->root != 0) {
+      reject("roots must be processor 0");
       return std::nullopt;
+    }
 
     RuleMatch m;
     m.rule_name = name();
@@ -320,9 +367,15 @@ class Bsr2Local final : public Rule {
     const auto* bc = as_bcast(prog, at);
     const auto* sc = as_scan(prog, at + 1);
     const auto* red = as_reduce(prog, at + 2);
-    if (!bc || bc->root != 0 || !plain(sc) || !plain(red) || red->root != 0)
+    if (!bc || !plain(sc) || !plain(red)) return std::nullopt;
+    if (bc->root != 0 || red->root != 0) {
+      reject("roots must be processor 0");
       return std::nullopt;
-    if (!sc->op->distributes_over(*red->op)) return std::nullopt;
+    }
+    if (!sc->op->distributes_over(*red->op)) {
+      reject(sc->op->name() + " does not distribute over " + red->op->name());
+      return std::nullopt;
+    }
 
     RuleMatch m;
     m.rule_name = name();
@@ -351,10 +404,19 @@ class BsrLocal final : public Rule {
     const auto* bc = as_bcast(prog, at);
     const auto* sc = as_scan(prog, at + 1);
     const auto* red = as_reduce(prog, at + 2);
-    if (!bc || bc->root != 0 || !plain(sc) || !plain(red) || red->root != 0)
+    if (!bc || !plain(sc) || !plain(red)) return std::nullopt;
+    if (bc->root != 0 || red->root != 0) {
+      reject("roots must be processor 0");
       return std::nullopt;
-    if (!same_op(sc->op, red->op) || !red->op->commutative())
+    }
+    if (!same_op(sc->op, red->op)) {
+      reject("scan and reduce operators differ");
       return std::nullopt;
+    }
+    if (!red->op->commutative()) {
+      reject(red->op->name() + " is not commutative");
+      return std::nullopt;
+    }
 
     RuleMatch m;
     m.rule_name = name();
@@ -381,7 +443,11 @@ class CrAlllocal final : public Rule {
                                                std::size_t at) const override {
     const auto* bc = as_bcast(prog, at);
     const auto* red = as_allreduce(prog, at + 1);
-    if (!bc || bc->root != 0 || !plain(red)) return std::nullopt;
+    if (!bc || !plain(red)) return std::nullopt;
+    if (bc->root != 0) {
+      reject("bcast root must be processor 0");
+      return std::nullopt;
+    }
 
     RuleMatch m;
     m.rule_name = name();
@@ -408,8 +474,15 @@ class Bsr2Alllocal final : public Rule {
     const auto* bc = as_bcast(prog, at);
     const auto* sc = as_scan(prog, at + 1);
     const auto* red = as_allreduce(prog, at + 2);
-    if (!bc || bc->root != 0 || !plain(sc) || !plain(red)) return std::nullopt;
-    if (!sc->op->distributes_over(*red->op)) return std::nullopt;
+    if (!bc || !plain(sc) || !plain(red)) return std::nullopt;
+    if (bc->root != 0) {
+      reject("bcast root must be processor 0");
+      return std::nullopt;
+    }
+    if (!sc->op->distributes_over(*red->op)) {
+      reject(sc->op->name() + " does not distribute over " + red->op->name());
+      return std::nullopt;
+    }
 
     RuleMatch m;
     m.rule_name = name();
@@ -438,9 +511,19 @@ class BsrAlllocal final : public Rule {
     const auto* bc = as_bcast(prog, at);
     const auto* sc = as_scan(prog, at + 1);
     const auto* red = as_allreduce(prog, at + 2);
-    if (!bc || bc->root != 0 || !plain(sc) || !plain(red)) return std::nullopt;
-    if (!same_op(sc->op, red->op) || !red->op->commutative())
+    if (!bc || !plain(sc) || !plain(red)) return std::nullopt;
+    if (bc->root != 0) {
+      reject("bcast root must be processor 0");
       return std::nullopt;
+    }
+    if (!same_op(sc->op, red->op)) {
+      reject("scan and allreduce operators differ");
+      return std::nullopt;
+    }
+    if (!red->op->commutative()) {
+      reject(red->op->name() + " is not commutative");
+      return std::nullopt;
+    }
 
     RuleMatch m;
     m.rule_name = name();
@@ -478,7 +561,10 @@ class RbAllreduce final : public Rule {
     m.count = 2;
     m.equivalence = Equivalence::full;
     if (const auto* red = as_reduce(prog, at)) {
-      if (red->root != bc->root) return std::nullopt;
+      if (red->root != bc->root) {
+        reject("reduce root differs from bcast root");
+        return std::nullopt;
+      }
       m.replacement.push_back(
           std::make_shared<ir::AllReduceStage>(red->op, red->words));
       m.note = "+=" + red->op->name();
@@ -487,7 +573,10 @@ class RbAllreduce final : public Rule {
     if (at < prog.size() &&
         prog.stage(at).kind() == Stage::Kind::ReduceBalanced) {
       const auto& red = static_cast<const ir::ReduceBalancedStage&>(prog.stage(at));
-      if (red.root != bc->root) return std::nullopt;
+      if (red.root != bc->root) {
+        reject("reduce root differs from bcast root");
+        return std::nullopt;
+      }
       m.replacement.push_back(
           std::make_shared<ir::AllReduceBalancedStage>(red.op));
       m.note = "op=" + red.op.name;
@@ -508,7 +597,11 @@ class SbElim final : public Rule {
                                                std::size_t at) const override {
     const auto* sc = as_scan(prog, at);
     const auto* bc = as_bcast(prog, at + 1);
-    if (!sc || !bc || bc->root != 0) return std::nullopt;
+    if (!sc || !bc) return std::nullopt;
+    if (bc->root != 0) {
+      reject("bcast root must be processor 0");
+      return std::nullopt;
+    }
 
     RuleMatch m;
     m.rule_name = name();
@@ -564,6 +657,7 @@ class MbSwap final : public Rule {
     try {
       pre_words = ir::shape_before(prog, at).words();
     } catch (const Error&) {
+      reject("shape inference failed before the map");
       return std::nullopt;  // shape-inconsistent program: don't touch it
     }
 
@@ -581,6 +675,18 @@ class MbSwap final : public Rule {
 };
 
 }  // namespace
+
+namespace {
+thread_local std::string g_reject_reason;  // explain-mode diagnostic slot
+}  // namespace
+
+void Rule::reject(std::string reason) { g_reject_reason = std::move(reason); }
+
+std::string Rule::take_reject() {
+  std::string r = std::move(g_reject_reason);
+  g_reject_reason.clear();
+  return r;
+}
 
 std::vector<RuleMatch> Rule::matches(const ir::Program& prog) const {
   std::vector<RuleMatch> out;

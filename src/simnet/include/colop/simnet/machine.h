@@ -16,9 +16,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "colop/obs/sink.h"
 #include "colop/support/error.h"
 
 namespace colop::simnet {
@@ -81,7 +83,23 @@ class SimMachine {
 
   void reset();
 
+  /// Attach an event sink; every send/recv/exchange/compute then emits a
+  /// complete event stamped with SIMULATED time (op units), tid = the
+  /// processor.  The machine-wide obs::set_sink is deliberately not used:
+  /// simulated and wall-clock timestamps must never mix in one stream.
+  void set_trace_sink(obs::Sink* sink) noexcept { trace_ = sink; }
+  [[nodiscard]] obs::Sink* trace_sink() const noexcept { return trace_; }
+
+  /// Label prepended to traced event names (e.g. the current schedule),
+  /// so a program-level driver can attribute machine ops to stages.
+  void set_trace_label(std::string label) { trace_label_ = std::move(label); }
+  [[nodiscard]] const std::string& trace_label() const noexcept {
+    return trace_label_;
+  }
+
  private:
+  void trace(const char* what, int proc, double start, double end,
+             double words) const;
   void check(int proc) const {
     COLOP_REQUIRE(proc >= 0 && proc < p_, "simnet: processor out of range");
   }
@@ -92,6 +110,8 @@ class SimMachine {
   std::map<std::pair<int, int>, std::deque<double>> inflight_;
   std::uint64_t messages_ = 0;
   double words_ = 0;
+  obs::Sink* trace_ = nullptr;
+  std::string trace_label_;
 };
 
 }  // namespace colop::simnet

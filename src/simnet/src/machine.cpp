@@ -10,9 +10,29 @@ SimMachine::SimMachine(int p, NetParams net)
   COLOP_REQUIRE(p >= 1, "simnet: need at least one processor");
 }
 
+void SimMachine::trace(const char* what, int proc, double start, double end,
+                       double words) const {
+  if (trace_ == nullptr) return;
+  obs::Event ev;
+  ev.phase = obs::Phase::complete;
+  ev.name = trace_label_.empty() ? std::string(what)
+                                 : trace_label_ + "." + what;
+  ev.cat = "simnet";
+  ev.ts = start;
+  ev.dur = end - start;
+  ev.tid = proc;
+  ev.value = words;
+  if (words > 0)
+    ev.args.emplace_back("words", std::to_string(words));
+  trace_->record(ev);
+}
+
 void SimMachine::compute(int proc, double ops) {
   check(proc);
-  clock_[static_cast<std::size_t>(proc)] += ops;
+  auto& c = clock_[static_cast<std::size_t>(proc)];
+  const double t0 = c;
+  c += ops;
+  trace("compute", proc, t0, c, 0);
 }
 
 int topology_hops(Topology topo, int p, int a, int b) {
@@ -48,10 +68,12 @@ void SimMachine::send(int from, int to, double words) {
   check(from);
   check(to);
   auto& c = clock_[static_cast<std::size_t>(from)];
+  const double t0 = c;
   c += transfer_time(from, to, words);
   inflight_[{from, to}].push_back(c);
   ++messages_;
   words_ += words;
+  trace("send", from, t0, c, words);
 }
 
 void SimMachine::recv(int at, int from) {
@@ -63,7 +85,9 @@ void SimMachine::recv(int at, int from) {
   const double arrival = it->second.front();
   it->second.pop_front();
   auto& c = clock_[static_cast<std::size_t>(at)];
+  const double t0 = c;
   c = std::max(c, arrival);
+  if (c > t0) trace("recv_wait", at, t0, c, 0);
 }
 
 void SimMachine::exchange(int a, int b, double words) {
@@ -76,6 +100,8 @@ void SimMachine::exchange(int a, int b, double words) {
   clock_[static_cast<std::size_t>(b)] = t1;
   messages_ += 2;
   words_ += 2 * words;
+  trace("exchange", a, t0, t1, words);
+  trace("exchange", b, t0, t1, words);
 }
 
 double SimMachine::makespan() const {

@@ -1,0 +1,174 @@
+// Traffic counter accuracy: the mpsim collectives must account exactly
+// the message counts their log-p schedules imply (binomial trees send
+// p-1 messages, the butterfly sends p*log2(p) at powers of two), the
+// rank-sharded TrafficStats must lose no increment under concurrency,
+// and the obs event stream must mirror the same sends.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "colop/mpsim/mpsim.h"
+#include "colop/obs/sink.h"
+
+namespace colop::mpsim {
+namespace {
+
+using i64 = std::int64_t;
+
+std::uint64_t u(int x) { return static_cast<std::uint64_t>(x); }
+
+int log2_floor(int p) {
+  int k = 0;
+  while ((2 << k) <= p) ++k;
+  return k;
+}
+
+bool is_pow2(int p) { return (p & (p - 1)) == 0; }
+
+// Butterfly allreduce: fold the p-q extra ranks in and out (one send
+// each way per pair), butterfly over q = 2^floor(log2 p) in between.
+std::uint64_t allreduce_messages(int p) {
+  if (p == 1) return 0;
+  const int q = 1 << log2_floor(p);
+  const int rem = p - q;
+  return u(2 * rem + q * log2_floor(q));
+}
+
+class TrafficP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, TrafficP,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 12, 16, 32,
+                                           64),
+                         [](const auto& pinfo) {
+                           return "p" + std::to_string(pinfo.param);
+                         });
+
+TEST_P(TrafficP, BcastBinomialSendsPMinusOneMessages) {
+  const int p = GetParam();
+  const auto traffic = run_spmd_traffic(p, [](Comm& comm) {
+    (void)bcast(comm, comm.rank() == 0 ? i64{7} : i64{0});
+  });
+  EXPECT_EQ(traffic.messages, u(p - 1));
+  EXPECT_GT(traffic.bytes, 0u);
+}
+
+TEST_P(TrafficP, ReduceBinomialSendsPMinusOneMessages) {
+  const int p = GetParam();
+  const auto plus = [](i64 a, i64 b) { return a + b; };
+  const auto traffic = run_spmd_traffic(p, [&](Comm& comm) {
+    (void)reduce(comm, i64{comm.rank() + 1}, plus);
+  });
+  EXPECT_EQ(traffic.messages, u(p - 1));
+}
+
+TEST_P(TrafficP, AllreduceButterflyMatchesTheClosedForm) {
+  const int p = GetParam();
+  const auto plus = [](i64 a, i64 b) { return a + b; };
+  const auto traffic = run_spmd_traffic(p, [&](Comm& comm) {
+    (void)allreduce(comm, i64{comm.rank()}, plus);
+  });
+  EXPECT_EQ(traffic.messages, allreduce_messages(p));
+  if (is_pow2(p)) {
+    EXPECT_EQ(traffic.messages, u(p * log2_floor(p)));
+  }
+}
+
+TEST_P(TrafficP, ScanButterflyIsPLogPAtPowersOfTwo) {
+  const int p = GetParam();
+  if (!is_pow2(p)) GTEST_SKIP() << "closed form asserted at powers of two";
+  const auto plus = [](i64 a, i64 b) { return a + b; };
+  const auto traffic = run_spmd_traffic(p, [&](Comm& comm) {
+    (void)scan(comm, i64{comm.rank() + 1}, plus);
+  });
+  EXPECT_EQ(traffic.messages, u(p * log2_floor(p)));
+}
+
+TEST_P(TrafficP, PerRankSnapshotsSumToTheAggregate) {
+  const int p = GetParam();
+  const auto plus = [](i64 a, i64 b) { return a + b; };
+  auto group = std::make_shared<Group>(p);
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r)
+      threads.emplace_back([&, r] {
+        Comm comm(group, r);
+        (void)allreduce(comm, i64{r}, plus);
+        (void)scan(comm, i64{r}, plus);
+      });
+  }
+  TrafficCounters sum;
+  for (int r = 0; r < p; ++r) sum = sum + group->stats().snapshot(r);
+  EXPECT_EQ(sum, group->stats().snapshot());
+  EXPECT_GT(sum.messages, 0u);
+}
+
+TEST(TrafficStats, ConcurrentCollectivesLoseNoCounts) {
+  // Repeated allreduces keep all ranks incrementing simultaneously; a
+  // racy counter would come up short of the exact total.
+  const int p = 8;
+  const int iters = 50;
+  const auto plus = [](i64 a, i64 b) { return a + b; };
+  const auto traffic = run_spmd_traffic(p, [&](Comm& comm) {
+    i64 acc = comm.rank() + 1;
+    for (int i = 0; i < iters; ++i) acc = allreduce(comm, acc, plus);
+  });
+  EXPECT_EQ(traffic.messages, u(iters) * allreduce_messages(p));
+}
+
+TEST(TrafficStats, ShardedCountersAreExactUnderContention) {
+  TrafficStats stats(4);
+  const int per_thread = 20000;
+  {
+    std::vector<std::jthread> threads;
+    for (int r = 0; r < 4; ++r)
+      threads.emplace_back([&, r] {
+        for (int i = 0; i < per_thread; ++i) stats.record_send(r, 8);
+      });
+  }
+  EXPECT_EQ(stats.snapshot().messages, u(4 * per_thread));
+  EXPECT_EQ(stats.snapshot().bytes, u(4 * per_thread) * 8u);
+  TrafficCounters sum;
+  for (int r = 0; r < stats.ranks(); ++r) sum = sum + stats.snapshot(r);
+  EXPECT_EQ(sum, stats.snapshot());
+  stats.reset();
+  EXPECT_EQ(stats.snapshot(), TrafficCounters{});
+}
+
+TEST(TrafficStats, OutOfRangeRanksFallBackToShardZero) {
+  TrafficStats stats(2);
+  stats.record_send(-1, 4);
+  stats.record_send(99, 4);
+  EXPECT_EQ(stats.snapshot().messages, 2u);
+  EXPECT_EQ(stats.snapshot(0).messages, 2u);
+  EXPECT_EQ(stats.snapshot(1).messages, 0u);
+}
+
+TEST(ObsMpsim, CollectivesEmitSpansAndSendInstants) {
+  obs::MemorySink sink;
+  {
+    obs::ScopedSink s(sink);
+    run_spmd(4, [](Comm& comm) {
+      (void)bcast(comm, comm.rank() == 0 ? i64{5} : i64{0});
+    });
+  }
+  int begins = 0, ends = 0, sends = 0;
+  for (const auto& e : sink.events()) {
+    if (e.name == "mpsim.bcast" && e.phase == obs::Phase::begin) ++begins;
+    if (e.name == "mpsim.bcast" && e.phase == obs::Phase::end) ++ends;
+    if (e.name == "send" && e.phase == obs::Phase::instant) {
+      ++sends;
+      EXPECT_EQ(e.cat, "mpsim");
+      EXPECT_GT(e.value, 0.0);  // payload bytes travel in `value`
+    }
+  }
+  EXPECT_EQ(begins, 4);
+  EXPECT_EQ(ends, 4);
+  EXPECT_EQ(sends, 3);  // binomial tree: p-1 messages
+}
+
+}  // namespace
+}  // namespace colop::mpsim

@@ -14,17 +14,29 @@
 #include <cstdlib>
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "colop/apps/polyeval.h"
 #include "colop/exec/sim_executor.h"
 #include "colop/exec/timeline.h"
 #include "colop/ir/ir.h"
 #include "colop/ir/parse.h"
+#include "colop/obs/chrome_trace.h"
+#include "colop/obs/drift.h"
+#include "colop/obs/metrics.h"
 #include "colop/rules/optimizer.h"
+#include "colop/support/error.h"
 #include "colop/support/table.h"
 
 namespace {
+
+std::ofstream open_output(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw colop::Error("cannot open " + path + " for writing");
+  return f;
+}
 
 void usage() {
   std::cerr <<
@@ -40,6 +52,20 @@ void usage() {
       "                 width exceeds N words (Section 4.2's caveat)\n"
       "  --timeline     render before/after per-processor timelines\n"
       "  --rules        list the rule catalog and exit\n"
+      "  --example NAME use a built-in program instead of the text syntax:\n"
+      "                 polyeval1|polyeval2|polyeval3|polyeval_sr2 (Section 5,\n"
+      "                 coefficients 1..p)\n"
+      "  --explain      log every rule attempt (rule x position) with its\n"
+      "                 condition/policy verdict and predicted cost delta\n"
+      "                 (greedy strategy only)\n"
+      "  --explain-json F  write the explain log as JSON to file F\n"
+      "  --trace F      write a Chrome trace (chrome://tracing, Perfetto) of\n"
+      "                 the optimized program's simulated execution to file F\n"
+      "  --metrics F    write prediction metrics to file F (.csv for CSV,\n"
+      "                 JSON otherwise)\n"
+      "  --drift        report model-vs-simnet drift (time, messages, words)\n"
+      "                 for p in {2,4,...,64}\n"
+      "  --drift-json F write the drift report as JSON to file F\n"
       "program syntax:  map(pair|triple|quadruple|pi1|id) | scan(OP) |\n"
       "                 reduce(OP[,root=K]) | allreduce(OP) | bcast[(root=K)]\n"
       "                 stages separated by ';'; OP: + * max min band bor gcd\n"
@@ -54,7 +80,11 @@ int main(int argc, char** argv) {
   model::Machine machine{.p = 64, .m = 1024, .ts = 400, .tw = 2};
   bool exhaustive = false;
   bool timeline = false;
+  bool explain = false;
+  bool drift = false;
+  std::string explain_json, trace_file, metrics_file, drift_json, example;
   rules::OptimizerOptions options;
+  rules::ExplainLog explain_log;
   std::string program_text;
 
   for (int i = 1; i < argc; ++i) {
@@ -82,6 +112,22 @@ int main(int argc, char** argv) {
       options.max_elem_words = std::atoi(next());
     } else if (arg == "--timeline") {
       timeline = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--explain-json") {
+      explain_json = next();
+      explain = true;
+    } else if (arg == "--trace") {
+      trace_file = next();
+    } else if (arg == "--metrics") {
+      metrics_file = next();
+    } else if (arg == "--drift") {
+      drift = true;
+    } else if (arg == "--drift-json") {
+      drift_json = next();
+      drift = true;
+    } else if (arg == "--example") {
+      example = next();
     } else if (arg == "--rules") {
       for (const auto& r : rules::all_rules())
         std::cout << r->name() << ":\n    " << r->description() << "\n";
@@ -97,13 +143,32 @@ int main(int argc, char** argv) {
       program_text = arg;
     }
   }
-  if (program_text.empty()) {
+  if (program_text.empty() && example.empty()) {
     usage();
     return 2;
   }
 
   try {
-    const ir::Program program = ir::parse_program(program_text);
+    ir::Program program;
+    if (!example.empty()) {
+      std::vector<double> coeffs(static_cast<std::size_t>(machine.p));
+      for (std::size_t i = 0; i < coeffs.size(); ++i)
+        coeffs[i] = static_cast<double>(i + 1);
+      if (example == "polyeval1")
+        program = apps::polyeval_1(coeffs);
+      else if (example == "polyeval2")
+        program = apps::polyeval_2(coeffs);
+      else if (example == "polyeval3")
+        program = apps::polyeval_3(coeffs);
+      else if (example == "polyeval_sr2")
+        program = apps::polyeval_sr2(coeffs);
+      else {
+        std::cerr << "unknown example: " << example << "\n";
+        return 2;
+      }
+    } else {
+      program = ir::parse_program(program_text);
+    }
     if (auto err = ir::check_shapes(program)) {
       std::cerr << "shape error: " << *err << "\n";
       return 1;
@@ -113,9 +178,24 @@ int main(int argc, char** argv) {
     std::cout << "machine : p=" << machine.p << " m=" << machine.m
               << " ts=" << machine.ts << " tw=" << machine.tw << "\n\n";
 
+    if (explain) options.explain = &explain_log;
     const rules::Optimizer optimizer(machine, rules::all_rules(), options);
     const auto result = exhaustive ? optimizer.optimize_exhaustive(program)
                                    : optimizer.optimize(program);
+
+    if (explain) {
+      if (exhaustive) {
+        std::cout << "(--explain records the greedy strategy only)\n";
+      } else {
+        std::cout << "rule attempts (every rule x position, per step):\n"
+                  << explain_log.render_text(true) << "\n";
+      }
+      if (!explain_json.empty()) {
+        auto f = open_output(explain_json);
+        explain_log.write_json(f);
+        std::cout << "explain log written to " << explain_json << "\n";
+      }
+    }
 
     if (result.log.empty()) {
       std::cout << "no profitable rewrite on this machine.\n";
@@ -151,6 +231,60 @@ int main(int argc, char** argv) {
       std::cout << "\nbefore (p=" << tl.p << "):\n"
                 << exec::render_timeline(tb, 72) << "\nafter:\n"
                 << exec::render_timeline(ta, 72, tb.makespan);
+    }
+
+    if (!trace_file.empty()) {
+      // Stage spans plus the fine-grained machine ops beneath them, all in
+      // simulated time.
+      obs::MemorySink machine_events;
+      const auto tr =
+          exec::trace_on_simnet(result.program, machine, {}, &machine_events);
+      auto events = exec::trace_events(tr);
+      for (const auto& ev : machine_events.events()) events.push_back(ev);
+      auto f = open_output(trace_file);
+      obs::write_chrome_trace(events, f, "colopt");
+      std::cout << "\nChrome trace (" << events.size() << " events) written to "
+                << trace_file << "\n";
+    }
+
+    if (drift) {
+      const auto ro = obs::drift_report(program, machine);
+      const auto rr = obs::drift_report(result.program, machine);
+      std::cout << "\n" << ro.render_text() << "\n" << rr.render_text();
+      if (!drift_json.empty()) {
+        auto f = open_output(drift_json);
+        f << "{\"original\":";
+        ro.write_json(f);
+        f << ",\"optimized\":";
+        rr.write_json(f);
+        f << "}\n";
+        std::cout << "drift report written to " << drift_json << "\n";
+      }
+    }
+
+    if (!metrics_file.empty()) {
+      obs::MetricsRegistry reg;
+      reg.set("p", machine.p);
+      reg.set("m", machine.m);
+      reg.set("ts", machine.ts);
+      reg.set("tw", machine.tw);
+      reg.set("model_time_before", model::program_time(program, machine));
+      reg.set("model_time_after", model::program_time(result.program, machine));
+      reg.set("sim_time_before", before.time);
+      reg.set("sim_time_after", after.time);
+      reg.set("messages_before", static_cast<double>(before.messages));
+      reg.set("messages_after", static_cast<double>(after.messages));
+      reg.set("words_before", before.words);
+      reg.set("words_after", after.words);
+      reg.set("rewrites_applied", static_cast<double>(result.log.size()));
+      if (after.time > 0) reg.set("speedup", before.time / after.time);
+      auto f = open_output(metrics_file);
+      if (metrics_file.size() > 4 &&
+          metrics_file.substr(metrics_file.size() - 4) == ".csv")
+        reg.write_csv(f);
+      else
+        reg.write_json(f);
+      std::cout << "metrics written to " << metrics_file << "\n";
     }
     return 0;
   } catch (const Error& e) {
