@@ -30,6 +30,19 @@ inline model::Machine parsytec(int p, double m) {
 
 inline double seconds(double ops) { return ops * kUnitSeconds; }
 
+/// Stamp the experimental configuration into the registry so every
+/// BENCH_*.json records WHAT was measured (p, m, machine parameters)
+/// alongside the measurements — bench_diff then compares like with like,
+/// and a baseline from a different configuration is visible as a changed
+/// scalar instead of a silently different experiment.
+inline void record_machine(obs::MetricsRegistry& reg,
+                           const model::Machine& mach) {
+  reg.set("machine_p", mach.p);
+  reg.set("machine_m", mach.m);
+  reg.set("machine_ts", mach.ts);
+  reg.set("machine_tw", mach.tw);
+}
+
 /// Write `reg` as BENCH_<name>.json in $COLOP_BENCH_DIR (or the working
 /// directory) — the machine-readable artifact CI uploads next to each
 /// harness's printed table.

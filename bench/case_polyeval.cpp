@@ -73,6 +73,7 @@ int main() {
   }
   t.print(std::cout);
   reg.set("ok", ok ? 1 : 0);
+  record_machine(reg, parsytec(64, 4096.0));  // p and m are the swept axes
   write_bench_json("case_polyeval", reg);
   std::cout << "\nPolyEval_3 faster + fewer messages + correct everywhere: "
             << (ok ? "yes" : "NO") << "\n";

@@ -53,6 +53,7 @@ int main() {
   fig7.print(std::cout);
   reg.set("block", kBlock);
   reg.set("shape_ok", shape_ok ? 1 : 0);
+  record_machine(reg, parsytec(64, kBlock));  // p is the swept axis
   write_bench_json("fig7_bs_comcast_procs", reg);
   std::cout << "\nordering bcast;repeat <= comcast <= bcast;scan at every p: "
             << (shape_ok ? "yes" : "NO") << "\n";

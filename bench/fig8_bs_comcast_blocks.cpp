@@ -53,6 +53,7 @@ int main() {
   fig8.print(std::cout);
   reg.set("p", kProcs);
   reg.set("shape_ok", shape_ok ? 1 : 0);
+  record_machine(reg, parsytec(kProcs, 32000.0));  // m is the swept axis
   write_bench_json("fig8_bs_comcast_blocks", reg);
   std::cout << "\nordering + monotone growth in block size: "
             << (shape_ok ? "yes" : "NO") << "\n";

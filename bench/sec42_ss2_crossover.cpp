@@ -64,6 +64,9 @@ int main() {
   sweep.print(std::cout);
 
   reg.set("ok", ok ? 1 : 0);
+  // Fixed experiment configuration (m and ts are the swept axes).
+  reg.set("machine_p", 64);
+  reg.set("machine_tw", 2);
   bench::write_bench_json("sec42_ss2_crossover", reg);
   std::cout << "\nmeasured crossover matches ts = 2m for every m: "
             << (ok ? "yes" : "NO") << "\n";

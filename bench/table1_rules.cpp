@@ -148,6 +148,10 @@ int main() {
   }
   measured.print(std::cout);
   reg.set("all_agree", all_agree ? 1 : 0);
+  // Fixed experiment configuration (ts is the swept axis, recorded per row).
+  reg.set("machine_p", 64);
+  reg.set("machine_m", 64);
+  reg.set("machine_tw", 2);
   colop::bench::write_bench_json("table1_rules", reg);
   std::cout << "\nall measured verdicts agree with the calculus: "
             << (all_agree ? "yes" : "NO") << "\n";

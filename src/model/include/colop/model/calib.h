@@ -1,0 +1,89 @@
+#pragma once
+// Cost-model auto-calibration (closing the loop of Section 4).
+//
+// The calculus' predictions stand or fall with the machine parameters ts
+// and tw, which are configured by hand everywhere else in the system.
+// This module fits them FROM MEASUREMENTS: given timings of the three
+// basic collectives across processor counts and block sizes, an ordinary
+// least-squares fit against the closed forms (15)-(17)
+//
+//   T_bcast  = log p * (ts + m*tw)
+//   T_reduce = log p * (ts + m*(tw + c))
+//   T_scan   = log p * (ts + m*(tw + 2c))
+//
+// recovers ts, tw and the per-element operation cost c, with residuals and
+// 95% confidence intervals so a caller can tell a sharp fit from noise.
+// obs::calibrate.h produces the timing samples (simnet or the mpsim thread
+// runtime); this header is pure math and stays below the executors.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "colop/model/machine.h"
+
+namespace colop::model {
+
+/// Which closed form a timing sample belongs to.  The integer value is the
+/// number of operator applications per element per butterfly phase.
+enum class Collective { bcast = 0, reduce = 1, scan = 2 };
+
+[[nodiscard]] const char* collective_name(Collective c);
+
+/// One measured (or synthesized) data point: collective `what` on p
+/// processors with blocks of m elements took `time` (any consistent unit;
+/// the fitted ts/tw/c come out in the same unit).
+struct Timing {
+  Collective what = Collective::bcast;
+  int p = 2;
+  double m = 1;
+  double time = 0;
+};
+
+/// Model-predicted time of one sample under the closed forms — the design
+/// function the fit inverts, also used to synthesize test data.
+[[nodiscard]] double predicted_time(Collective what, int p, double m,
+                                    const Machine& mach, double op_cost = 1);
+
+/// Synthesize exact timings from a known machine (round-trip tests and
+/// what-if analysis).
+[[nodiscard]] std::vector<Timing> synthesize_timings(
+    const Machine& mach, const std::vector<int>& procs,
+    const std::vector<double>& block_sizes, double op_cost = 1);
+
+/// One fitted parameter with its uncertainty.  `identifiable` is false
+/// when the sample set cannot determine the parameter (e.g. only bcast
+/// timings leave the op cost unconstrained); the value is then 0 and the
+/// intervals are meaningless.
+struct FittedParam {
+  double value = 0;
+  double stderr_ = 0;  ///< OLS standard error
+  double ci95 = 0;     ///< half-width of the 95% confidence interval
+  bool identifiable = true;
+};
+
+struct CalibrationResult {
+  FittedParam ts;
+  FittedParam tw;
+  FittedParam op_cost;  ///< fitted time per elementary operation
+  int samples = 0;
+  double rms_residual = 0;      ///< sqrt(mean squared residual)
+  double max_rel_residual = 0;  ///< worst |measured-fit| / max(|fit|, 1)
+  std::string source;           ///< where the timings came from
+
+  /// A machine with the fitted parameters, normalized so one elementary
+  /// operation costs one time unit (divides by op_cost when identifiable —
+  /// the calculus measures ts/tw in op units).
+  [[nodiscard]] Machine machine(int p, double m) const;
+
+  [[nodiscard]] std::string render_text() const;
+  void write_json(std::ostream& os) const;
+};
+
+/// Ordinary least-squares fit of (ts, tw, op_cost) from `timings`.
+/// Throws colop::Error when fewer than two samples are given or the design
+/// matrix is fully degenerate; individual unidentifiable parameters are
+/// flagged instead of failing.
+[[nodiscard]] CalibrationResult fit_machine(const std::vector<Timing>& timings);
+
+}  // namespace colop::model

@@ -1,0 +1,243 @@
+#include "colop/model/calib.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "colop/support/bits.h"
+#include "colop/support/error.h"
+
+namespace colop::model {
+namespace {
+
+constexpr int kParams = 3;  // ts, tw, op_cost
+
+// Design row of one sample: T = lg*ts + lg*m*tw + lg*m*k*c.
+std::array<double, kParams> design_row(Collective what, int p, double m) {
+  const double lg =
+      static_cast<double>(log2_ceil(static_cast<std::uint64_t>(p)));
+  const double k = static_cast<double>(static_cast<int>(what));
+  return {lg, lg * m, lg * m * k};
+}
+
+// Invert a symmetric positive-definite matrix restricted to `active`
+// columns via Gauss-Jordan; returns false if a pivot collapses (the
+// caller then shrinks the active set).
+bool invert_active(const std::array<std::array<double, kParams>, kParams>& a,
+                   const std::array<bool, kParams>& active,
+                   std::array<std::array<double, kParams>, kParams>& inv) {
+  std::vector<int> idx;
+  for (int j = 0; j < kParams; ++j)
+    if (active[j]) idx.push_back(j);
+  const int n = static_cast<int>(idx.size());
+  std::vector<std::vector<double>> w(static_cast<std::size_t>(n),
+                                     std::vector<double>(static_cast<std::size_t>(2 * n), 0.0));
+  double scale = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          a[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])]
+           [static_cast<std::size_t>(idx[static_cast<std::size_t>(j)])];
+      scale = std::max(scale, std::abs(w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]));
+    }
+    w[static_cast<std::size_t>(i)][static_cast<std::size_t>(n + i)] = 1.0;
+  }
+  if (scale <= 0) return false;
+  for (int col = 0; col < n; ++col) {
+    int piv = col;
+    for (int r = col + 1; r < n; ++r)
+      if (std::abs(w[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)]) >
+          std::abs(w[static_cast<std::size_t>(piv)][static_cast<std::size_t>(col)]))
+        piv = r;
+    if (std::abs(w[static_cast<std::size_t>(piv)][static_cast<std::size_t>(col)]) <
+        1e-12 * scale)
+      return false;
+    std::swap(w[static_cast<std::size_t>(piv)], w[static_cast<std::size_t>(col)]);
+    const double d = w[static_cast<std::size_t>(col)][static_cast<std::size_t>(col)];
+    for (int j = 0; j < 2 * n; ++j)
+      w[static_cast<std::size_t>(col)][static_cast<std::size_t>(j)] /= d;
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = w[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)];
+      if (f == 0) continue;
+      for (int j = 0; j < 2 * n; ++j)
+        w[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)] -=
+            f * w[static_cast<std::size_t>(col)][static_cast<std::size_t>(j)];
+    }
+  }
+  for (auto& row : inv) row.fill(0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      inv[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])]
+         [static_cast<std::size_t>(idx[static_cast<std::size_t>(j)])] =
+          w[static_cast<std::size_t>(i)][static_cast<std::size_t>(n + j)];
+  return true;
+}
+
+std::string param_line(const char* name, const FittedParam& fp) {
+  std::ostringstream os;
+  os << "  " << name << " = ";
+  if (!fp.identifiable) {
+    os << "(unidentifiable from these samples)";
+    return os.str();
+  }
+  os << fp.value << "  (+/- " << fp.ci95 << " at 95%)";
+  return os.str();
+}
+
+void param_json(std::ostream& os, const char* name, const FittedParam& fp) {
+  os << "\"" << name << "\":{\"value\":" << fp.value
+     << ",\"stderr\":" << fp.stderr_ << ",\"ci95\":" << fp.ci95
+     << ",\"identifiable\":" << (fp.identifiable ? "true" : "false") << "}";
+}
+
+}  // namespace
+
+const char* collective_name(Collective c) {
+  switch (c) {
+    case Collective::bcast: return "bcast";
+    case Collective::reduce: return "reduce";
+    case Collective::scan: return "scan";
+  }
+  return "?";
+}
+
+double predicted_time(Collective what, int p, double m, const Machine& mach,
+                      double op_cost) {
+  const auto row = design_row(what, p, m);
+  return row[0] * mach.ts + row[1] * mach.tw + row[2] * op_cost;
+}
+
+std::vector<Timing> synthesize_timings(const Machine& mach,
+                                       const std::vector<int>& procs,
+                                       const std::vector<double>& block_sizes,
+                                       double op_cost) {
+  std::vector<Timing> out;
+  for (const auto what :
+       {Collective::bcast, Collective::reduce, Collective::scan})
+    for (const int p : procs)
+      for (const double m : block_sizes)
+        out.push_back({what, p, m, predicted_time(what, p, m, mach, op_cost)});
+  return out;
+}
+
+CalibrationResult fit_machine(const std::vector<Timing>& timings) {
+  COLOP_REQUIRE(timings.size() >= 2,
+                "calibration: need at least two timing samples");
+
+  // Normal equations XtX beta = Xty.
+  std::array<std::array<double, kParams>, kParams> xtx{};
+  std::array<double, kParams> xty{};
+  for (const Timing& t : timings) {
+    COLOP_REQUIRE(t.p >= 1, "calibration: sample with p < 1");
+    const auto row = design_row(t.what, t.p, t.m);
+    for (int i = 0; i < kParams; ++i) {
+      xty[static_cast<std::size_t>(i)] += row[static_cast<std::size_t>(i)] * t.time;
+      for (int j = 0; j < kParams; ++j)
+        xtx[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +=
+            row[static_cast<std::size_t>(i)] * row[static_cast<std::size_t>(j)];
+    }
+  }
+
+  // Start with every parameter whose column is non-zero; shrink the active
+  // set while the reduced XtX stays singular (collinear columns — e.g.
+  // samples of a single collective kind cannot separate tw from op cost).
+  std::array<bool, kParams> active{};
+  for (int j = 0; j < kParams; ++j)
+    active[static_cast<std::size_t>(j)] =
+        xtx[static_cast<std::size_t>(j)][static_cast<std::size_t>(j)] > 0;
+  std::array<std::array<double, kParams>, kParams> inv{};
+  // Drop the highest-index dependent parameter first: op_cost before tw
+  // before ts, so the most physical parameters survive a collinear fit.
+  for (;;) {
+    int n_active = 0;
+    for (const bool a : active) n_active += a ? 1 : 0;
+    COLOP_REQUIRE(n_active > 0, "calibration: degenerate design matrix");
+    if (invert_active(xtx, active, inv)) break;
+    for (int j = kParams - 1; j >= 0; --j)
+      if (active[static_cast<std::size_t>(j)]) {
+        active[static_cast<std::size_t>(j)] = false;
+        break;
+      }
+  }
+
+  std::array<double, kParams> beta{};
+  for (int i = 0; i < kParams; ++i)
+    for (int j = 0; j < kParams; ++j)
+      beta[static_cast<std::size_t>(i)] +=
+          inv[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+          xty[static_cast<std::size_t>(j)];
+
+  // Residuals and parameter uncertainty (sigma^2 * inv(XtX) diagonal).
+  double ssr = 0, max_rel = 0;
+  for (const Timing& t : timings) {
+    const auto row = design_row(t.what, t.p, t.m);
+    double fit = 0;
+    for (int j = 0; j < kParams; ++j)
+      fit += row[static_cast<std::size_t>(j)] * beta[static_cast<std::size_t>(j)];
+    const double r = t.time - fit;
+    ssr += r * r;
+    max_rel = std::max(max_rel, std::abs(r) / std::max(std::abs(fit), 1.0));
+  }
+  int n_active = 0;
+  for (const bool a : active) n_active += a ? 1 : 0;
+  const int dof = std::max<int>(1, static_cast<int>(timings.size()) - n_active);
+  const double sigma2 = ssr / dof;
+
+  CalibrationResult res;
+  res.samples = static_cast<int>(timings.size());
+  res.rms_residual = std::sqrt(ssr / static_cast<double>(timings.size()));
+  res.max_rel_residual = max_rel;
+  FittedParam* params[kParams] = {&res.ts, &res.tw, &res.op_cost};
+  for (int j = 0; j < kParams; ++j) {
+    FittedParam& fp = *params[j];
+    fp.identifiable = active[static_cast<std::size_t>(j)];
+    if (!fp.identifiable) continue;
+    fp.value = beta[static_cast<std::size_t>(j)];
+    const double var =
+        sigma2 * inv[static_cast<std::size_t>(j)][static_cast<std::size_t>(j)];
+    fp.stderr_ = var > 0 ? std::sqrt(var) : 0;
+    fp.ci95 = 1.96 * fp.stderr_;
+  }
+  return res;
+}
+
+Machine CalibrationResult::machine(int p, double m) const {
+  Machine mach;
+  mach.p = p;
+  mach.m = m;
+  // The calculus counts time in op units; rescale when the fitted op cost
+  // is a trustworthy, positive time-per-operation.
+  const double unit =
+      op_cost.identifiable && op_cost.value > 1e-12 ? op_cost.value : 1.0;
+  mach.ts = ts.identifiable ? ts.value / unit : mach.ts;
+  mach.tw = tw.identifiable ? tw.value / unit : mach.tw;
+  return mach;
+}
+
+std::string CalibrationResult::render_text() const {
+  std::ostringstream os;
+  os << "calibration (" << (source.empty() ? "unknown source" : source)
+     << ", " << samples << " samples):\n"
+     << param_line("ts     ", ts) << "\n"
+     << param_line("tw     ", tw) << "\n"
+     << param_line("op_cost", op_cost) << "\n"
+     << "  rms residual " << rms_residual << ", max relative residual "
+     << max_rel_residual << "\n";
+  return os.str();
+}
+
+void CalibrationResult::write_json(std::ostream& os) const {
+  os << "{\"source\":\"" << source << "\",\"samples\":" << samples << ",";
+  param_json(os, "ts", ts);
+  os << ",";
+  param_json(os, "tw", tw);
+  os << ",";
+  param_json(os, "op_cost", op_cost);
+  os << ",\"rms_residual\":" << rms_residual
+     << ",\"max_rel_residual\":" << max_rel_residual << "}";
+}
+
+}  // namespace colop::model

@@ -13,6 +13,7 @@
 // which Perfetto renders proportionally — only relative lengths matter.
 
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -21,11 +22,14 @@
 namespace colop::obs {
 
 /// Write `events` as one complete Chrome trace-event JSON document.
-/// `process_name` labels pid 0 in the viewer; `tid_prefix` names each
-/// thread row ("P0", "P1", ... by default).
+/// `process_name` labels every process row (override individual pids via
+/// `pid_names`); `tid_prefix` names each thread row ("P0", "P1", ... by
+/// default), and every thread gets a `thread_sort_index` so ranks order
+/// numerically in Perfetto.
 void write_chrome_trace(const std::vector<Event>& events, std::ostream& os,
                         const std::string& process_name = "colop",
-                        const std::string& tid_prefix = "P");
+                        const std::string& tid_prefix = "P",
+                        const std::map<int, std::string>& pid_names = {});
 
 /// Sink that buffers events and writes the trace JSON on flush()/write().
 class ChromeTraceSink : public Sink {

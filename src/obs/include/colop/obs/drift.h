@@ -19,6 +19,7 @@
 
 #include "colop/exec/sim_executor.h"
 #include "colop/ir/program.h"
+#include "colop/model/calib.h"
 #include "colop/model/machine.h"
 
 namespace colop::obs {
@@ -71,5 +72,27 @@ struct DriftOptions {
 [[nodiscard]] DriftReport drift_report(const ir::Program& prog,
                                        const model::Machine& mach,
                                        const DriftOptions& opts = {});
+
+/// Drift between the CONFIGURED machine parameters and the ones a
+/// calibration fit recovered from measurements.  Where the per-program
+/// DriftReport checks that model and simulator agree on a given machine,
+/// this alert checks that the machine itself is what the optimizer was
+/// told it is — when it is not, every "Improved if" threshold
+/// (ts_crossover) the rules were selected by is suspect.
+struct MachineDriftAlert {
+  model::Machine configured;
+  model::Machine fitted;   ///< calibration result normalized to op units
+  double ts_rel_err = 0;
+  double tw_rel_err = 0;
+  double tolerance = 0;
+  bool ok = false;
+
+  [[nodiscard]] std::string render_text() const;
+  void write_json(std::ostream& os) const;
+};
+
+[[nodiscard]] MachineDriftAlert machine_drift(
+    const model::Machine& configured, const model::CalibrationResult& fit,
+    double tolerance = 0.15);
 
 }  // namespace colop::obs

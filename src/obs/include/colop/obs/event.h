@@ -9,6 +9,7 @@
 // Chrome trace-event exporter (chrome_trace.h) makes any event stream
 // loadable in chrome://tracing or Perfetto.
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,11 +18,14 @@ namespace colop::obs {
 
 /// Event phases, modeled on the Chrome trace-event phases they export to.
 enum class Phase {
-  begin,     ///< span start ("B")
-  end,       ///< span end ("E")
-  complete,  ///< span with a known duration ("X")
-  instant,   ///< point event ("i")
-  counter,   ///< sampled counter value ("C")
+  begin,       ///< span start ("B")
+  end,         ///< span end ("E")
+  complete,    ///< span with a known duration ("X")
+  instant,     ///< point event ("i")
+  counter,     ///< sampled counter value ("C")
+  flow_start,  ///< flow arrow origin ("s") — e.g. critical-path overlays
+  flow_step,   ///< flow arrow waypoint ("t")
+  flow_end,    ///< flow arrow target ("f", binding to the enclosing slice)
 };
 
 /// One structured event.  `ts` is microseconds for wall-clock sources and
@@ -32,8 +36,10 @@ struct Event {
   std::string cat;   ///< source subsystem: "mpsim", "simnet", "exec", "rules"
   double ts = 0;     ///< timestamp (us wall clock or simulated op units)
   double dur = 0;    ///< duration, complete events only
+  int pid = 0;       ///< process row in the viewer (0 unless an exporter groups)
   int tid = 0;       ///< per-rank / per-processor attribution
   double value = 0;  ///< counter events: the sampled value
+  std::uint64_t id = 0;  ///< flow events: arrows with equal id are connected
   /// Free-form key/value annotations, exported as Chrome `args`.
   std::vector<std::pair<std::string, std::string>> args;
 };

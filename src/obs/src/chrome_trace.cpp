@@ -1,7 +1,9 @@
 #include "colop/obs/chrome_trace.h"
 
+#include <map>
 #include <ostream>
 #include <set>
+#include <utility>
 
 #include "colop/obs/json.h"
 
@@ -15,17 +17,31 @@ const char* phase_code(Phase p) {
     case Phase::complete: return "X";
     case Phase::instant: return "i";
     case Phase::counter: return "C";
+    case Phase::flow_start: return "s";
+    case Phase::flow_step: return "t";
+    case Phase::flow_end: return "f";
   }
   return "i";
+}
+
+bool is_flow(Phase p) {
+  return p == Phase::flow_start || p == Phase::flow_step ||
+         p == Phase::flow_end;
 }
 
 void write_event(const Event& e, std::ostream& os) {
   os << "{\"name\":" << json::quote(e.name) << ",\"cat\":"
      << json::quote(e.cat.empty() ? "colop" : e.cat)
      << ",\"ph\":\"" << phase_code(e.phase) << "\",\"ts\":" << json::number(e.ts)
-     << ",\"pid\":0,\"tid\":" << e.tid;
+     << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
   if (e.phase == Phase::complete) os << ",\"dur\":" << json::number(e.dur);
   if (e.phase == Phase::instant) os << ",\"s\":\"t\"";
+  if (is_flow(e.phase)) {
+    os << ",\"id\":" << e.id;
+    // Bind the arrow end to the enclosing slice rather than the next one,
+    // so critical-path arrows land on the event that waited.
+    if (e.phase == Phase::flow_end) os << ",\"bp\":\"e\"";
+  }
   if (e.phase == Phase::counter) {
     os << ",\"args\":{" << json::quote(e.name) << ":" << json::number(e.value)
        << "}";
@@ -46,7 +62,8 @@ void write_event(const Event& e, std::ostream& os) {
 
 void write_chrome_trace(const std::vector<Event>& events, std::ostream& os,
                         const std::string& process_name,
-                        const std::string& tid_prefix) {
+                        const std::string& tid_prefix,
+                        const std::map<int, std::string>& pid_names) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto sep = [&] {
@@ -54,17 +71,31 @@ void write_chrome_trace(const std::vector<Event>& events, std::ostream& os,
     first = false;
   };
 
-  sep();
-  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
-        "\"args\":{\"name\":" << json::quote(process_name) << "}}";
-
-  std::set<int> tids;
-  for (const Event& e : events) tids.insert(e.tid);
-  for (const int tid : tids) {
+  // Metadata: name every process row and every per-rank thread row, and
+  // give threads an explicit sort index so rank 10 sorts after rank 2
+  // (Perfetto otherwise orders rows lexically).
+  std::set<std::pair<int, int>> tids;  // (pid, tid)
+  std::set<int> pids;
+  for (const Event& e : events) {
+    tids.insert({e.pid, e.tid});
+    pids.insert(e.pid);
+  }
+  if (pids.empty()) pids.insert(0);
+  for (const int pid : pids) {
+    const auto it = pid_names.find(pid);
+    const std::string& name = it != pid_names.end() ? it->second : process_name;
     sep();
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
-       << ",\"args\":{\"name\":"
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":" << json::quote(name) << "}}";
+  }
+  for (const auto& [pid, tid] : tids) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":"
        << json::quote(tid_prefix + std::to_string(tid)) << "}}";
+    sep();
+    os << "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"args\":{\"sort_index\":" << tid << "}}";
   }
 
   for (const Event& e : events) {

@@ -262,6 +262,54 @@ std::string DriftReport::render_text() const {
   return os.str();
 }
 
+MachineDriftAlert machine_drift(const model::Machine& configured,
+                                const model::CalibrationResult& fit,
+                                double tolerance) {
+  MachineDriftAlert alert;
+  alert.configured = configured;
+  alert.fitted = fit.machine(configured.p, configured.m);
+  alert.tolerance = tolerance;
+  auto rel = [](double fitted, double conf) {
+    return std::abs(fitted - conf) / std::max(std::abs(conf), 1e-12);
+  };
+  alert.ts_rel_err =
+      fit.ts.identifiable ? rel(alert.fitted.ts, configured.ts) : 0;
+  alert.tw_rel_err =
+      fit.tw.identifiable ? rel(alert.fitted.tw, configured.tw) : 0;
+  alert.ok =
+      alert.ts_rel_err <= tolerance && alert.tw_rel_err <= tolerance;
+  return alert;
+}
+
+std::string MachineDriftAlert::render_text() const {
+  std::ostringstream os;
+  os << "machine drift (configured vs fitted, tolerance " << tolerance
+     << "):\n"
+     << "  ts: configured " << configured.ts << ", fitted " << fitted.ts
+     << " (rel err " << ts_rel_err << ")\n"
+     << "  tw: configured " << configured.tw << ", fitted " << fitted.tw
+     << " (rel err " << tw_rel_err << ")\n";
+  if (ok) {
+    os << "  OK: the configured machine matches the measurements\n";
+  } else {
+    os << "  ALERT: fitted parameters disagree with the configured machine;"
+          " rule thresholds (ts_crossover) computed from the configured"
+          " parameters are unreliable — re-run with --machine=calibrated\n";
+  }
+  return os.str();
+}
+
+void MachineDriftAlert::write_json(std::ostream& os) const {
+  os << "{\"configured\":{\"ts\":" << json::number(configured.ts)
+     << ",\"tw\":" << json::number(configured.tw)
+     << "},\"fitted\":{\"ts\":" << json::number(fitted.ts)
+     << ",\"tw\":" << json::number(fitted.tw)
+     << "},\"ts_rel_err\":" << json::number(ts_rel_err)
+     << ",\"tw_rel_err\":" << json::number(tw_rel_err)
+     << ",\"tolerance\":" << json::number(tolerance)
+     << ",\"ok\":" << (ok ? "true" : "false") << "}";
+}
+
 void DriftReport::write_json(std::ostream& os) const {
   os << "{\"program\":" << json::quote(program)
      << ",\"tolerance\":" << json::number(tolerance)

@@ -83,6 +83,8 @@ struct OptimizerOptions {
 struct AppliedRule {
   std::string rule;
   std::size_t position = 0;
+  std::size_t count = 0;        ///< stages the match consumed
+  std::size_t replaced_by = 0;  ///< stages the rewrite produced
   std::string note;
   double cost_before = 0;  ///< predicted program time before this step
   double cost_after = 0;   ///< predicted program time after this step
@@ -101,6 +103,16 @@ struct OptimizeResult {
   /// Human-readable derivation transcript.
   [[nodiscard]] std::string report() const;
 };
+
+/// Per-stage rule provenance of an optimization: replay the derivation's
+/// splices (each AppliedRule replaced [position, position+count) by
+/// `replaced_by` stages) and return, for every stage of the FINAL program,
+/// the name of the rule that last produced it — "" for stages that survive
+/// from the source program.  `initial_stages` is the source program's
+/// length.  Feeds obs::ProfileOptions::provenance so the profiler can say
+/// which rule a critical-path stage came from.
+[[nodiscard]] std::vector<std::string> stage_provenance(
+    std::size_t initial_stages, const std::vector<AppliedRule>& log);
 
 class Optimizer {
  public:

@@ -3,6 +3,8 @@
 #include "colop/model/memory.h"
 #include "colop/obs/json.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <deque>
 #include <ostream>
 #include <set>
@@ -55,6 +57,25 @@ std::string OptimizeResult::report() const {
   }
   os << "final cost " << cost_final;
   return os.str();
+}
+
+std::vector<std::string> stage_provenance(std::size_t initial_stages,
+                                          const std::vector<AppliedRule>& log) {
+  std::vector<std::string> prov(initial_stages);
+  for (const auto& step : log) {
+    // Mirror Program::splice: replace [position, position+count) with
+    // replaced_by stages, all attributed to this step's rule.
+    const std::size_t first = std::min(step.position, prov.size());
+    const std::size_t count = std::min(step.count, prov.size() - first);
+    const auto begin =
+        prov.begin() + static_cast<std::ptrdiff_t>(first);
+    const auto end = begin + static_cast<std::ptrdiff_t>(count);
+    const std::vector<std::string> replacement(step.replaced_by, step.rule);
+    prov.erase(begin, end);
+    prov.insert(prov.begin() + static_cast<std::ptrdiff_t>(first),
+                replacement.begin(), replacement.end());
+  }
+  return prov;
 }
 
 Optimizer::Optimizer(model::Machine machine, std::vector<RulePtr> rules,
@@ -175,7 +196,8 @@ OptimizeResult Optimizer::optimize(const ir::Program& prog) const {
     }
     if (!best) break;  // no strict improvement available
 
-    result.log.push_back(AppliedRule{best->rule_name, best->first, best->note,
+    result.log.push_back(AppliedRule{best->rule_name, best->first, best->count,
+                                     best->replacement.size(), best->note,
                                      current, best_time, best_prog.show()});
     if (options_.explain != nullptr)
       options_.explain->attempts.push_back(RuleAttempt{
@@ -221,8 +243,9 @@ OptimizeResult Optimizer::optimize_exhaustive(const ir::Program& prog) const {
         const double t = model::program_time(next, machine_);
         Node child{next, node.log};
         child.log.push_back(
-            AppliedRule{m.rule_name, m.first, m.note,
-                        model::program_time(node.program, machine_), t, key});
+            AppliedRule{m.rule_name, m.first, m.count, m.replacement.size(),
+                        m.note, model::program_time(node.program, machine_), t,
+                        key});
         if (t < best.cost_final) {
           best.cost_final = t;
           best.program = next;

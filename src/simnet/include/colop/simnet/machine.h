@@ -98,8 +98,12 @@ class SimMachine {
   }
 
  private:
+  /// `peer` is the partner processor of a send/recv_wait/exchange (the
+  /// message counterpart), -1 for local computation.  Recorded as an event
+  /// arg so trace consumers (obs::profile) can rebuild the happens-before
+  /// graph without re-running the schedule.
   void trace(const char* what, int proc, double start, double end,
-             double words) const;
+             double words, int peer = -1) const;
   void check(int proc) const {
     COLOP_REQUIRE(proc >= 0 && proc < p_, "simnet: processor out of range");
   }

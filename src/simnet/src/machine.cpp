@@ -11,7 +11,7 @@ SimMachine::SimMachine(int p, NetParams net)
 }
 
 void SimMachine::trace(const char* what, int proc, double start, double end,
-                       double words) const {
+                       double words, int peer) const {
   if (trace_ == nullptr) return;
   obs::Event ev;
   ev.phase = obs::Phase::complete;
@@ -22,6 +22,8 @@ void SimMachine::trace(const char* what, int proc, double start, double end,
   ev.dur = end - start;
   ev.tid = proc;
   ev.value = words;
+  ev.args.emplace_back("kind", what);
+  if (peer >= 0) ev.args.emplace_back("peer", std::to_string(peer));
   if (words > 0)
     ev.args.emplace_back("words", std::to_string(words));
   trace_->record(ev);
@@ -73,7 +75,7 @@ void SimMachine::send(int from, int to, double words) {
   inflight_[{from, to}].push_back(c);
   ++messages_;
   words_ += words;
-  trace("send", from, t0, c, words);
+  trace("send", from, t0, c, words, to);
 }
 
 void SimMachine::recv(int at, int from) {
@@ -87,7 +89,7 @@ void SimMachine::recv(int at, int from) {
   auto& c = clock_[static_cast<std::size_t>(at)];
   const double t0 = c;
   c = std::max(c, arrival);
-  if (c > t0) trace("recv_wait", at, t0, c, 0);
+  if (c > t0) trace("recv_wait", at, t0, c, 0, from);
 }
 
 void SimMachine::exchange(int a, int b, double words) {
@@ -100,8 +102,8 @@ void SimMachine::exchange(int a, int b, double words) {
   clock_[static_cast<std::size_t>(b)] = t1;
   messages_ += 2;
   words_ += 2 * words;
-  trace("exchange", a, t0, t1, words);
-  trace("exchange", b, t0, t1, words);
+  trace("exchange", a, t0, t1, words, b);
+  trace("exchange", b, t0, t1, words, a);
 }
 
 double SimMachine::makespan() const {

@@ -1,0 +1,114 @@
+// Benchmark regression comparison: identical runs pass, cost-like metrics
+// fail only on increase, other metrics fail on drift in either direction,
+// foreign schemas are skipped with a note, and one-sided metrics become
+// notes instead of failures.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "colop/obs/bench_compare.h"
+#include "colop/obs/json.h"
+#include "colop/support/error.h"
+
+namespace colop::obs {
+namespace {
+
+std::string doc(const std::string& scalars) {
+  return "{\"scalars\":{" + scalars + "},\"series\":{}}";
+}
+
+TEST(BenchDiff, IdenticalRunsPass) {
+  const auto d = doc("\"sim_time_s\":2.5,\"speedup\":1.4");
+  const auto report = compare_bench_json("b", d, d);
+  EXPECT_FALSE(report.skipped);
+  EXPECT_FALSE(report.regressed());
+  EXPECT_EQ(report.deltas.size(), 2u);
+}
+
+TEST(BenchDiff, TimeIncreaseBeyondThresholdRegresses) {
+  const auto report = compare_bench_json(
+      "b", doc("\"sim_time_s\":1.0"), doc("\"sim_time_s\":1.2"));
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_TRUE(report.deltas[0].higher_is_worse);
+  EXPECT_TRUE(report.deltas[0].regressed);
+  EXPECT_TRUE(report.regressed());
+}
+
+TEST(BenchDiff, TimeDecreaseIsAnImprovementNotARegression) {
+  const auto report = compare_bench_json(
+      "b", doc("\"sim_time_s\":1.0"), doc("\"sim_time_s\":0.5"));
+  EXPECT_FALSE(report.regressed());
+}
+
+TEST(BenchDiff, TimeIncreaseWithinThresholdPasses) {
+  const auto report = compare_bench_json(
+      "b", doc("\"sim_time_s\":1.0"), doc("\"sim_time_s\":1.1"));
+  EXPECT_FALSE(report.regressed());
+}
+
+TEST(BenchDiff, NonCostMetricsFailInEitherDirection) {
+  EXPECT_TRUE(compare_bench_json("b", doc("\"speedup\":2.0"),
+                                 doc("\"speedup\":1.5"))
+                  .regressed());
+  EXPECT_TRUE(compare_bench_json("b", doc("\"speedup\":2.0"),
+                                 doc("\"speedup\":2.5"))
+                  .regressed());
+  EXPECT_FALSE(compare_bench_json("b", doc("\"speedup\":2.0"),
+                                  doc("\"speedup\":2.1"))
+                   .regressed());
+}
+
+TEST(BenchDiff, TrafficCountsAreCostLike) {
+  EXPECT_TRUE(higher_is_worse("messages_after"));
+  EXPECT_TRUE(higher_is_worse("total_words"));
+  EXPECT_TRUE(higher_is_worse("model_time_before"));
+  EXPECT_FALSE(higher_is_worse("speedup"));
+  EXPECT_FALSE(higher_is_worse("all_agree"));
+}
+
+TEST(BenchDiff, ForeignSchemaIsSkippedNotFailed) {
+  // micro_collectives exports the google-benchmark schema, which has no
+  // "scalars" object — skip with a note, never fail.
+  const std::string gbench =
+      "{\"context\":{\"date\":\"x\"},\"benchmarks\":[{\"name\":\"BM\"}]}";
+  const auto report = compare_bench_json("micro", gbench, gbench);
+  EXPECT_TRUE(report.skipped);
+  EXPECT_FALSE(report.regressed());
+  ASSERT_EQ(report.notes.size(), 1u);
+}
+
+TEST(BenchDiff, OneSidedMetricsBecomeNotes) {
+  const auto report = compare_bench_json(
+      "b", doc("\"old_metric\":1.0,\"sim_time_s\":1.0"),
+      doc("\"new_metric\":2.0,\"sim_time_s\":1.0"));
+  EXPECT_FALSE(report.regressed());
+  EXPECT_EQ(report.deltas.size(), 1u);  // only the shared metric
+  EXPECT_EQ(report.notes.size(), 2u);   // one missing + one new
+}
+
+TEST(BenchDiff, ZeroBaselineDoesNotDivideByZero) {
+  const auto report = compare_bench_json("b", doc("\"sim_time_s\":0.0"),
+                                         doc("\"sim_time_s\":0.0"));
+  EXPECT_FALSE(report.regressed());
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_EQ(report.deltas[0].rel_change, 0.0);
+}
+
+TEST(BenchDiff, MalformedJsonThrows) {
+  EXPECT_THROW((void)compare_bench_json("b", "{", "{}"), Error);
+}
+
+TEST(BenchDiff, JsonReportParses) {
+  const auto report = compare_bench_json(
+      "b", doc("\"sim_time_s\":1.0"), doc("\"sim_time_s\":2.0"));
+  std::ostringstream os;
+  report.write_json(os);
+  const auto parsed = json::parse(os.str());
+  EXPECT_TRUE(parsed.get("regressed")->b);
+  EXPECT_EQ(parsed.get("deltas")->items.size(), 1u);
+  EXPECT_EQ(parsed.get("deltas")->items[0]->get("metric")->str, "sim_time_s");
+}
+
+}  // namespace
+}  // namespace colop::obs

@@ -1,0 +1,159 @@
+// Cost-model auto-calibration: the least-squares fit must round-trip a
+// known machine from exact timings, stay within 5% under measurement
+// noise, flag parameters the sample set cannot identify, and close the
+// loop end to end (simnet measurement -> fit -> machine) with the drift
+// alert firing exactly when the configured machine disagrees.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "colop/model/calib.h"
+#include "colop/obs/calibrate.h"
+#include "colop/obs/drift.h"
+#include "colop/obs/json.h"
+#include "colop/support/error.h"
+#include "colop/support/rng.h"
+
+namespace colop::model {
+namespace {
+
+const Machine kTrue{.p = 16, .m = 64, .ts = 350, .tw = 3};
+const std::vector<int> kProcs{2, 4, 8, 16};
+const std::vector<double> kBlocks{1, 4, 16, 64};
+
+TEST(Calibration, RoundTripsExactTimings) {
+  const auto fit = fit_machine(synthesize_timings(kTrue, kProcs, kBlocks));
+  ASSERT_TRUE(fit.ts.identifiable);
+  ASSERT_TRUE(fit.tw.identifiable);
+  ASSERT_TRUE(fit.op_cost.identifiable);
+  EXPECT_NEAR(fit.ts.value, kTrue.ts, 1e-6);
+  EXPECT_NEAR(fit.tw.value, kTrue.tw, 1e-8);
+  EXPECT_NEAR(fit.op_cost.value, 1.0, 1e-8);
+  EXPECT_LT(fit.rms_residual, 1e-6);
+
+  const Machine recovered = fit.machine(kTrue.p, kTrue.m);
+  EXPECT_EQ(recovered.p, kTrue.p);
+  EXPECT_EQ(recovered.m, kTrue.m);
+  EXPECT_NEAR(recovered.ts, kTrue.ts, 1e-6);
+  EXPECT_NEAR(recovered.tw, kTrue.tw, 1e-8);
+}
+
+TEST(Calibration, RoundTripsScaledUnits) {
+  // Timings measured in microseconds on a machine where one elementary
+  // operation takes 2.5 us: ts and tw fit out in microseconds alongside
+  // op_cost = 2.5, and machine() normalizes them back to op units (the
+  // unit the calculus and kTrue use).
+  const double unit = 2.5;
+  Machine scaled = kTrue;
+  scaled.ts = kTrue.ts * unit;
+  scaled.tw = kTrue.tw * unit;
+  const auto fit =
+      fit_machine(synthesize_timings(scaled, kProcs, kBlocks, unit));
+  EXPECT_NEAR(fit.op_cost.value, unit, 1e-8);
+  const Machine recovered = fit.machine(kTrue.p, kTrue.m);
+  EXPECT_NEAR(recovered.ts, kTrue.ts, 1e-6);
+  EXPECT_NEAR(recovered.tw, kTrue.tw, 1e-8);
+}
+
+TEST(Calibration, RecoversWithinFivePercentUnderNoise) {
+  auto timings = synthesize_timings(kTrue, kProcs, kBlocks);
+  Rng rng(7);
+  for (auto& t : timings)
+    t.time *= 1.0 + 0.02 * (rng.uniform01() * 2 - 1);  // +/-2% noise
+  const auto fit = fit_machine(timings);
+  const Machine recovered = fit.machine(kTrue.p, kTrue.m);
+  EXPECT_NEAR(recovered.ts, kTrue.ts, 0.05 * kTrue.ts);
+  EXPECT_NEAR(recovered.tw, kTrue.tw, 0.05 * kTrue.tw);
+  EXPECT_GT(fit.rms_residual, 0.0);
+  // The confidence intervals widen with the noise but stay meaningful.
+  EXPECT_GT(fit.ts.ci95, 0.0);
+  EXPECT_LT(fit.ts.ci95, kTrue.ts);
+}
+
+TEST(Calibration, BcastOnlySamplesCannotIdentifyTheOpCost) {
+  std::vector<Timing> bcast_only;
+  for (const auto& t : synthesize_timings(kTrue, kProcs, kBlocks))
+    if (t.what == Collective::bcast) bcast_only.push_back(t);
+  const auto fit = fit_machine(bcast_only);
+  EXPECT_FALSE(fit.op_cost.identifiable);
+  EXPECT_TRUE(fit.ts.identifiable);
+  EXPECT_TRUE(fit.tw.identifiable);
+  EXPECT_NEAR(fit.ts.value, kTrue.ts, 1e-6);
+  EXPECT_NEAR(fit.tw.value, kTrue.tw, 1e-8);
+}
+
+TEST(Calibration, RejectsDegenerateSampleSets) {
+  EXPECT_THROW((void)fit_machine({}), Error);
+  EXPECT_THROW(
+      (void)fit_machine({{Collective::bcast, 2, 1, 10}}), Error);
+}
+
+TEST(Calibration, PredictedTimeMatchesClosedForms) {
+  // predicted_time is the design function: bcast/reduce/scan add 0/1/2 op
+  // applications per element per phase (Eqs 15-17).
+  const Machine mach{.p = 8, .m = 10, .ts = 100, .tw = 2};
+  const double lg = 3;
+  EXPECT_DOUBLE_EQ(predicted_time(Collective::bcast, 8, 10, mach),
+                   lg * (100 + 10 * 2));
+  EXPECT_DOUBLE_EQ(predicted_time(Collective::reduce, 8, 10, mach),
+                   lg * (100 + 10 * (2 + 1)));
+  EXPECT_DOUBLE_EQ(predicted_time(Collective::scan, 8, 10, mach),
+                   lg * (100 + 10 * (2 + 2)));
+}
+
+TEST(Calibration, JsonExportParses) {
+  const auto fit = fit_machine(synthesize_timings(kTrue, kProcs, kBlocks));
+  std::ostringstream os;
+  fit.write_json(os);
+  const auto doc = obs::json::parse(os.str());
+  ASSERT_NE(doc.get("ts"), nullptr);
+  EXPECT_NEAR(doc.get("ts")->get("value")->num, kTrue.ts, 1e-6);
+  EXPECT_TRUE(doc.get("ts")->get("identifiable")->b);
+}
+
+TEST(CalibrationLoop, SimnetMeasurementsMatchTheClosedFormsAtPowersOfTwo) {
+  const auto timings = obs::measure_simnet_timings(kTrue);
+  ASSERT_FALSE(timings.empty());
+  for (const auto& t : timings)
+    EXPECT_NEAR(t.time, predicted_time(t.what, t.p, t.m, kTrue), 1e-9)
+        << collective_name(t.what) << " p=" << t.p << " m=" << t.m;
+}
+
+TEST(CalibrationLoop, CalibratedMachineRecoversTsTwWithinFivePercent) {
+  // The acceptance criterion: measure on simnet, fit, and land within 5%
+  // of the machine the simulator was configured with.
+  CalibrationResult fit;
+  const Machine calibrated = obs::calibrated_machine(kTrue, {}, &fit);
+  EXPECT_NEAR(calibrated.ts, kTrue.ts, 0.05 * kTrue.ts);
+  EXPECT_NEAR(calibrated.tw, kTrue.tw, 0.05 * kTrue.tw);
+  EXPECT_EQ(fit.source, "simnet");
+  EXPECT_EQ(fit.samples, 48);
+}
+
+TEST(CalibrationLoop, DriftAlertStaysQuietWhenConfigurationIsTrue) {
+  const auto fit =
+      fit_machine(obs::measure_simnet_timings(kTrue));
+  const auto alert = obs::machine_drift(kTrue, fit);
+  EXPECT_TRUE(alert.ok) << alert.render_text();
+  EXPECT_LT(alert.ts_rel_err, 0.05);
+  EXPECT_LT(alert.tw_rel_err, 0.05);
+}
+
+TEST(CalibrationLoop, DriftAlertFiresWhenConfigurationLies) {
+  // The operator THINKS start-up costs 900 ops; the measured machine says
+  // 350.  Every ts_crossover threshold computed from 900 is suspect.
+  Machine lied = kTrue;
+  lied.ts = 900;
+  const auto fit = fit_machine(obs::measure_simnet_timings(kTrue));
+  const auto alert = obs::machine_drift(lied, fit);
+  EXPECT_FALSE(alert.ok);
+  EXPECT_GT(alert.ts_rel_err, 0.5);
+  std::ostringstream os;
+  alert.write_json(os);
+  const auto doc = obs::json::parse(os.str());
+  EXPECT_FALSE(doc.get("ok")->b);
+}
+
+}  // namespace
+}  // namespace colop::model

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "colop/ir/ir.h"
 #include "colop/model/cost.h"
 #include "colop/rules/rules.h"
@@ -216,6 +218,53 @@ TEST(ImprovementCondition, NeverWhenAfterDominates) {
   const Cost before{.logp_ts = 1, .logp_mtw = 1, .logp_m = 1};
   const Cost after{.logp_ts = 2, .logp_mtw = 1, .logp_m = 2};
   EXPECT_EQ(improvement_condition(before, after), "never");
+}
+
+TEST(ImprovementCondition, AlwaysWhenAfterStrictlyCheaper) {
+  const Cost before{.logp_ts = 2, .logp_mtw = 2, .logp_m = 1};
+  const Cost after{.logp_ts = 1, .logp_mtw = 2, .logp_m = 1};
+  EXPECT_EQ(improvement_condition(before, after), "always");
+}
+
+TEST(ImprovementCondition, EqualCostProgramsNeverImprove) {
+  // "Improved if" is a STRICT inequality: a rewrite to an identical cost
+  // must not be reported as an improvement.
+  const Cost c{.logp_ts = 1, .logp_mtw = 1, .logp_m = 2};
+  EXPECT_EQ(improvement_condition(c, c), "never");
+  EXPECT_EQ(ts_crossover(c, c, 64, 2),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Crossovers, NoStartupDeltaDegeneratesToAllOrNothing) {
+  // d.logp_ts == 0: the threshold is not a ts value at all — the verdict
+  // is the sign of the remaining terms, encoded as -inf (always) / +inf
+  // (never).
+  const Cost before{.logp_ts = 1, .logp_mtw = 1, .logp_m = 2};
+  const Cost cheaper{.logp_ts = 1, .logp_mtw = 1, .logp_m = 1};
+  EXPECT_EQ(ts_crossover(before, cheaper, 64, 2),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(ts_crossover(cheaper, before, 64, 2),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Crossovers, ZeroBlockSizeLeavesOnlyTheStartupTerm) {
+  // At m = 0 every m-proportional saving vanishes: SS2-Scan (saves one
+  // start-up per phase, pays 2m ops) improves for every ts > 0.
+  Program lhs;
+  lhs.scan(ir::op_mul()).scan(ir::op_add());
+  Cost after;
+  const Cost before = lhs_rhs_cost(rules::rule_ss2_scan(), lhs, &after);
+  EXPECT_DOUBLE_EQ(ts_crossover(before, after, 0, 2), 0.0);
+  // And the improvement condition at m = 0 follows from its ts > 2m form.
+  EXPECT_EQ(improvement_condition(before, after), "ts > 2*m");
+}
+
+TEST(Crossovers, ZeroBlockZeroDeltaIsNever) {
+  // m = 0 AND no start-up delta: nothing left to trade; never improves.
+  const Cost before{.logp_ts = 1, .logp_mtw = 2, .logp_m = 3};
+  const Cost after{.logp_ts = 1, .logp_mtw = 1, .logp_m = 1};
+  EXPECT_EQ(ts_crossover(before, after, 0, 2),
+            std::numeric_limits<double>::infinity());
 }
 
 }  // namespace

@@ -220,8 +220,9 @@ TEST(ObsChromeTrace, ExportRoundTripsThroughTheStrictParser) {
     }
     ++phases[code];
   }
-  // One process_name plus one thread_name per distinct tid {0, 2}.
-  EXPECT_EQ(phases["M"], 3);
+  // One process_name plus one thread_name and one thread_sort_index per
+  // distinct tid {0, 2}.
+  EXPECT_EQ(phases["M"], 5);
   EXPECT_EQ(phases["B"], 1);
   EXPECT_EQ(phases["E"], 1);
   EXPECT_EQ(phases["X"], 1);
@@ -235,11 +236,17 @@ TEST(ObsChromeTrace, MetadataNamesProcessAndThreads) {
   const auto doc = json::parse(os.str());
   const auto* evs = doc.get("traceEvents");
   ASSERT_NE(evs, nullptr);
-  bool proc_named = false, thread2_named = false;
+  bool proc_named = false, thread2_named = false, thread2_sorted = false;
   for (const auto& item : evs->items) {
     if (item->get("ph")->str != "M") continue;
     const auto* args = item->get("args");
     ASSERT_NE(args, nullptr);
+    if (item->get("name")->str == "thread_sort_index") {
+      const auto* idx = args->get("sort_index");
+      ASSERT_NE(idx, nullptr);
+      if (item->get("tid")->num == 2.0) thread2_sorted = idx->num == 2.0;
+      continue;
+    }
     const auto* nm = args->get("name");
     ASSERT_NE(nm, nullptr);
     if (item->get("name")->str == "process_name")
@@ -250,6 +257,7 @@ TEST(ObsChromeTrace, MetadataNamesProcessAndThreads) {
   }
   EXPECT_TRUE(proc_named);
   EXPECT_TRUE(thread2_named);
+  EXPECT_TRUE(thread2_sorted);
 }
 
 TEST(ObsChromeTrace, SinkBuffersAndWritesOnDemand) {
@@ -264,8 +272,9 @@ TEST(ObsChromeTrace, SinkBuffersAndWritesOnDemand) {
   sink.write(os);
   const auto doc = json::parse(os.str());
   ASSERT_NE(doc.get("traceEvents"), nullptr);
-  // 3 recorded events + process_name + one thread row (tid 1).
-  EXPECT_EQ(doc.get("traceEvents")->items.size(), 5u);
+  // 3 recorded events + process_name + one thread row (tid 1) with its
+  // thread_name and thread_sort_index metadata.
+  EXPECT_EQ(doc.get("traceEvents")->items.size(), 6u);
 }
 
 TEST(ObsMetrics, ScalarsAndSeriesExportAsJson) {

@@ -1,0 +1,170 @@
+// bench_diff — benchmark regression gate.
+//
+// Compare the BENCH_*.json documents of a current run against committed
+// baselines and exit nonzero when any cost-like metric regressed beyond
+// the threshold.  All table/figure benchmarks are simnet-deterministic,
+// so the committed baselines are exact; the threshold exists for metrics
+// that may legitimately move a little as the model evolves.
+//
+// Usage:
+//   bench_diff --baseline-dir bench/baselines --current-dir build/bench
+//              [--threshold 0.15] [--json report.json]
+//
+// Exit status: 0 = no regression, 1 = regression beyond threshold,
+// 2 = usage / IO error.
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "colop/obs/bench_compare.h"
+#include "colop/obs/json.h"
+#include "colop/support/error.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void usage() {
+  std::cerr <<
+      "usage: bench_diff --baseline-dir DIR --current-dir DIR\n"
+      "                  [--threshold X] [--json FILE]\n"
+      "  --baseline-dir DIR  committed BENCH_*.json baselines\n"
+      "  --current-dir DIR   BENCH_*.json files of the current run\n"
+      "  --threshold X       relative regression threshold (default 0.15)\n"
+      "  --json FILE         write the combined report as JSON\n";
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream f(path);
+  if (!f) throw colop::Error("cannot read " + path.string());
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+std::vector<fs::path> bench_files(const fs::path& dir) {
+  std::vector<fs::path> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json")
+      out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_dir, current_dir, json_out;
+  double threshold = 0.15;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--baseline-dir") {
+      baseline_dir = next();
+    } else if (arg == "--current-dir") {
+      current_dir = next();
+    } else if (arg == "--threshold") {
+      const char* text = next();
+      char* end = nullptr;
+      errno = 0;
+      threshold = std::strtod(text, &end);
+      if (end == text || *end != '\0' || errno == ERANGE || threshold < 0) {
+        std::cerr << "bad value for --threshold: '" << text << "'\n\n";
+        usage();
+        return 2;
+      }
+    } else if (arg == "--json") {
+      json_out = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n\n";
+      usage();
+      return 2;
+    }
+  }
+  if (baseline_dir.empty() || current_dir.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    if (!fs::is_directory(baseline_dir))
+      throw colop::Error("baseline dir not found: " + baseline_dir);
+    if (!fs::is_directory(current_dir))
+      throw colop::Error("current dir not found: " + current_dir);
+
+    std::vector<colop::obs::BenchDiffReport> reports;
+    bool regressed = false;
+    int compared = 0;
+
+    for (const auto& base_path : bench_files(baseline_dir)) {
+      const fs::path cur_path =
+          fs::path(current_dir) / base_path.filename();
+      if (!fs::exists(cur_path)) {
+        std::cout << base_path.filename().string()
+                  << ": missing from current run — FAIL\n";
+        regressed = true;
+        continue;
+      }
+      auto report = colop::obs::compare_bench_json(
+          base_path.filename().string(), slurp(base_path), slurp(cur_path),
+          threshold);
+      std::cout << report.render_text() << "\n";
+      if (!report.skipped) ++compared;
+      regressed = regressed || report.regressed();
+      reports.push_back(std::move(report));
+    }
+    for (const auto& cur_path : bench_files(current_dir))
+      if (!fs::exists(fs::path(baseline_dir) / cur_path.filename()))
+        std::cout << "note: " << cur_path.filename().string()
+                  << " has no baseline (new benchmark?)\n";
+
+    if (compared == 0) {
+      std::cerr << "no comparable BENCH_*.json pairs found\n";
+      return 2;
+    }
+
+    if (!json_out.empty()) {
+      std::ofstream f(json_out);
+      if (!f) throw colop::Error("cannot open " + json_out + " for writing");
+      f << "{\"threshold\":" << colop::obs::json::number(threshold)
+        << ",\"regressed\":" << (regressed ? "true" : "false")
+        << ",\"benchmarks\":[";
+      bool first = true;
+      for (const auto& r : reports) {
+        if (!first) f << ",";
+        first = false;
+        r.write_json(f);
+      }
+      f << "]}\n";
+      std::cout << "report written to " << json_out << "\n";
+    }
+
+    std::cout << (regressed ? "bench_diff: REGRESSION detected"
+                            : "bench_diff: all benchmarks within threshold")
+              << "\n";
+    return regressed ? 1 : 0;
+  } catch (const colop::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -11,8 +11,10 @@
 // Example:
 //   $ colopt --p 64 --m 32 --ts 400 "bcast ; scan(+) ; scan(+)"
 
-#include <cstdlib>
 #include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -23,9 +25,12 @@
 #include "colop/exec/timeline.h"
 #include "colop/ir/ir.h"
 #include "colop/ir/parse.h"
+#include "colop/model/calib.h"
+#include "colop/obs/calibrate.h"
 #include "colop/obs/chrome_trace.h"
 #include "colop/obs/drift.h"
 #include "colop/obs/metrics.h"
+#include "colop/obs/profile.h"
 #include "colop/rules/optimizer.h"
 #include "colop/support/error.h"
 #include "colop/support/table.h"
@@ -36,6 +41,38 @@ std::ofstream open_output(const std::string& path) {
   std::ofstream f(path);
   if (!f) throw colop::Error("cannot open " + path + " for writing");
   return f;
+}
+
+void usage();
+
+// Strict numeric flag parsing: the whole operand must be a number.  A typo
+// like `--p 6x4` or `--ts fast` must fail loudly with the usage hint, not
+// silently truncate to whatever atoi salvages.
+[[noreturn]] void bad_value(const std::string& flag, const char* text,
+                            const char* expected) {
+  std::cerr << "bad value for " << flag << ": '" << text << "' (expected "
+            << expected << ")\n\n";
+  usage();
+  std::exit(2);
+}
+
+int parse_int(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < INT_MIN ||
+      v > INT_MAX)
+    bad_value(flag, text, "an integer");
+  return static_cast<int>(v);
+}
+
+double parse_double(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE)
+    bad_value(flag, text, "a number");
+  return v;
 }
 
 void usage() {
@@ -66,6 +103,21 @@ void usage() {
       "  --drift        report model-vs-simnet drift (time, messages, words)\n"
       "                 for p in {2,4,...,64}\n"
       "  --drift-json F write the drift report as JSON to file F\n"
+      "  --profile      critical-path profile of the optimized program:\n"
+      "                 per-rank busy/comm/idle, the critical path, and\n"
+      "                 per-stage attribution with rule provenance\n"
+      "  --profile-json F   write the profile as JSON to file F\n"
+      "  --profile-trace F  write the profile as a Chrome trace (critical\n"
+      "                 path drawn as flow arrows) to file F\n"
+      "  --calibrate    fit ts/tw/op-cost from measured collective timings\n"
+      "                 and report the fit plus drift vs the configured\n"
+      "                 machine\n"
+      "  --calibrate-from S  timing source: simnet (deterministic, default)\n"
+      "                 or mpsim (wall-clock threads)\n"
+      "  --calibrate-json F  write the calibration fit as JSON to file F\n"
+      "  --machine S    optimize against the 'configured' machine (default)\n"
+      "                 or the 'calibrated' one (measure + fit, then use\n"
+      "                 the fitted ts/tw)\n"
       "program syntax:  map(pair|triple|quadruple|pi1|id) | scan(OP) |\n"
       "                 reduce(OP[,root=K]) | allreduce(OP) | bcast[(root=K)]\n"
       "                 stages separated by ';'; OP: + * max min band bor gcd\n"
@@ -82,7 +134,12 @@ int main(int argc, char** argv) {
   bool timeline = false;
   bool explain = false;
   bool drift = false;
+  bool profile = false;
+  bool calibrate = false;
+  bool use_calibrated = false;
+  std::string calibrate_from = "simnet";
   std::string explain_json, trace_file, metrics_file, drift_json, example;
+  std::string profile_json, profile_trace, calibrate_json;
   rules::OptimizerOptions options;
   rules::ExplainLog explain_log;
   std::string program_text;
@@ -97,19 +154,23 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--p") {
-      machine.p = std::atoi(next());
+      machine.p = parse_int(arg, next());
+      if (machine.p < 1) bad_value(arg, argv[i], "a positive integer");
     } else if (arg == "--m") {
-      machine.m = std::atof(next());
+      machine.m = parse_double(arg, next());
+      if (machine.m < 0) bad_value(arg, argv[i], "a non-negative number");
     } else if (arg == "--ts") {
-      machine.ts = std::atof(next());
+      machine.ts = parse_double(arg, next());
+      if (machine.ts < 0) bad_value(arg, argv[i], "a non-negative number");
     } else if (arg == "--tw") {
-      machine.tw = std::atof(next());
+      machine.tw = parse_double(arg, next());
+      if (machine.tw < 0) bad_value(arg, argv[i], "a non-negative number");
     } else if (arg == "--exhaustive") {
       exhaustive = true;
     } else if (arg == "--strict") {
       options.policy = rules::EquivalencePolicy::strict;
     } else if (arg == "--max-mem") {
-      options.max_elem_words = std::atoi(next());
+      options.max_elem_words = parse_int(arg, next());
     } else if (arg == "--timeline") {
       timeline = true;
     } else if (arg == "--explain") {
@@ -126,6 +187,30 @@ int main(int argc, char** argv) {
     } else if (arg == "--drift-json") {
       drift_json = next();
       drift = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--profile-json") {
+      profile_json = next();
+      profile = true;
+    } else if (arg == "--profile-trace") {
+      profile_trace = next();
+      profile = true;
+    } else if (arg == "--calibrate") {
+      calibrate = true;
+    } else if (arg == "--calibrate-from") {
+      calibrate_from = next();
+      calibrate = true;
+      if (calibrate_from != "simnet" && calibrate_from != "mpsim")
+        bad_value(arg, calibrate_from.c_str(), "simnet or mpsim");
+    } else if (arg == "--calibrate-json") {
+      calibrate_json = next();
+      calibrate = true;
+    } else if (arg == "--machine") {
+      const std::string which = next();
+      if (which == "calibrated")
+        use_calibrated = true;
+      else if (which != "configured")
+        bad_value(arg, which.c_str(), "configured or calibrated");
     } else if (arg == "--example") {
       example = next();
     } else if (arg == "--rules") {
@@ -177,6 +262,28 @@ int main(int argc, char** argv) {
     std::cout << "program : " << program.show() << "\n";
     std::cout << "machine : p=" << machine.p << " m=" << machine.m
               << " ts=" << machine.ts << " tw=" << machine.tw << "\n\n";
+
+    if (calibrate || use_calibrated) {
+      const auto timings = calibrate_from == "mpsim"
+                               ? obs::measure_mpsim_timings()
+                               : obs::measure_simnet_timings(machine);
+      auto fit = model::fit_machine(timings);
+      fit.source = calibrate_from;
+      if (calibrate) {
+        std::cout << fit.render_text();
+        std::cout << obs::machine_drift(machine, fit).render_text() << "\n";
+        if (!calibrate_json.empty()) {
+          auto f = open_output(calibrate_json);
+          fit.write_json(f);
+          std::cout << "calibration written to " << calibrate_json << "\n\n";
+        }
+      }
+      if (use_calibrated) {
+        machine = fit.machine(machine.p, machine.m);
+        std::cout << "machine : (calibrated from " << calibrate_from
+                  << ") ts=" << machine.ts << " tw=" << machine.tw << "\n\n";
+      }
+    }
 
     if (explain) options.explain = &explain_log;
     const rules::Optimizer optimizer(machine, rules::all_rules(), options);
@@ -259,6 +366,23 @@ int main(int argc, char** argv) {
         rr.write_json(f);
         f << "}\n";
         std::cout << "drift report written to " << drift_json << "\n";
+      }
+    }
+
+    if (profile) {
+      obs::ProfileOptions popts;
+      popts.provenance = rules::stage_provenance(program.size(), result.log);
+      const auto prof = obs::profile_program(result.program, machine, popts);
+      std::cout << "\n" << prof.render_text();
+      if (!profile_json.empty()) {
+        auto f = open_output(profile_json);
+        prof.write_json(f);
+        std::cout << "profile written to " << profile_json << "\n";
+      }
+      if (!profile_trace.empty()) {
+        auto f = open_output(profile_trace);
+        prof.write_chrome_trace(f);
+        std::cout << "profile trace written to " << profile_trace << "\n";
       }
     }
 
