@@ -4,9 +4,17 @@
 // real collective schedules moving data.  This is the "MPI execution" of
 // a program; tests use it to confirm that every optimization rule is a
 // semantic equality on the wire, not just in the reference semantics.
+//
+// When the program and data are packable (colop/ir/packed_eval.h) the
+// executor runs on the flat data plane instead: rank-local state is a
+// PackedBlock, the collective schedules move flat buffers, and local
+// stages call the compiled kernels.  Results, traffic byte counts and
+// message counts are identical to the boxed path — the fuzz tests assert
+// this bit for bit.
 
 #include <chrono>
 
+#include "colop/ir/packed_eval.h"
 #include "colop/ir/program.h"
 #include "colop/mpsim/mpsim.h"
 
@@ -14,19 +22,30 @@ namespace colop::exec {
 
 /// Execute `prog` with input.size() ranks; element i of the result is the
 /// final block held by processor i.
-[[nodiscard]] ir::Dist run_on_threads(const ir::Program& prog, ir::Dist input);
+[[nodiscard]] ir::Dist run_on_threads(const ir::Program& prog, ir::Dist input,
+                                      ir::DataPlane plane = ir::DataPlane::Auto);
 
 struct ThreadRunResult {
   ir::Dist output;
   mpsim::TrafficCounters traffic;  ///< messages/bytes actually sent
   double wall_seconds = 0;
+  bool used_packed = false;  ///< ran on the flat data plane
 };
 
 /// As run_on_threads, plus traffic counters and wall-clock time.
-[[nodiscard]] ThreadRunResult run_on_threads_instrumented(const ir::Program& prog,
-                                                          ir::Dist input);
+/// `plane` Auto defers to $COLOP_DATA_PLANE, then to packability; Boxed
+/// and Packed force the path (Packed throws when the program or data do
+/// not fit the flat plane).
+[[nodiscard]] ThreadRunResult run_on_threads_instrumented(
+    const ir::Program& prog, ir::Dist input,
+    ir::DataPlane plane = ir::DataPlane::Auto);
 
 /// Execute a single stage on one rank (exposed for custom SPMD drivers).
 void exec_stage(const ir::Stage& stage, mpsim::Comm& comm, ir::Block& block);
+
+/// Flat-plane twin of exec_stage.  Requires the stage to be packable
+/// (every kernel present — the callers check with ir::packable()).
+void exec_stage_packed(const ir::Stage& stage, mpsim::Comm& comm,
+                       ir::PackedBlock& block);
 
 }  // namespace colop::exec

@@ -3,12 +3,14 @@
 #include <utility>
 
 #include "colop/obs/sink.h"
+#include "colop/support/bits.h"
 #include "colop/support/error.h"
 
 namespace colop::exec {
 namespace {
 
 using ir::Block;
+using ir::PackedBlock;
 using ir::Value;
 
 // Lift a Value binary operator to blocks (MPI count semantics: collectives
@@ -30,6 +32,30 @@ auto lift1(F f) {
     for (std::size_t j = 0; j < a.size(); ++j) out[j] = f(a[j]);
     return out;
   };
+}
+
+// One rank's stage loop, shared by both data planes.
+template <typename B, typename ExecStage>
+B run_rank(const ir::Program& prog, mpsim::Comm& comm, B block,
+           ExecStage exec) {
+  for (const auto& stage : prog.stages()) {
+    if (obs::enabled()) {
+      obs::Event ev;
+      ev.phase = obs::Phase::begin;
+      ev.name = stage->show();
+      ev.cat = "exec";
+      ev.ts = obs::now_us();
+      ev.tid = comm.rank();
+      obs::record(ev);
+      exec(*stage, comm, block);
+      ev.phase = obs::Phase::end;
+      ev.ts = obs::now_us();
+      obs::record(ev);
+    } else {
+      exec(*stage, comm, block);
+    }
+  }
+  return block;
 }
 
 }  // namespace
@@ -120,40 +146,123 @@ void exec_stage(const ir::Stage& stage, mpsim::Comm& comm, Block& block) {
   COLOP_ASSERT(false, "unhandled stage kind");
 }
 
-ir::Dist run_on_threads(const ir::Program& prog, ir::Dist input) {
-  return run_on_threads_instrumented(prog, std::move(input)).output;
+void exec_stage_packed(const ir::Stage& stage, mpsim::Comm& comm,
+                       PackedBlock& block) {
+  using Kind = ir::Stage::Kind;
+  switch (stage.kind()) {
+    case Kind::Map: {
+      const auto& s = static_cast<const ir::MapStage&>(stage);
+      block = s.fn.packed_fn(std::move(block));
+      return;
+    }
+    case Kind::MapIndexed: {
+      const auto& s = static_cast<const ir::MapIndexedStage&>(stage);
+      block = s.fn.packed_fn(comm.rank(), std::move(block));
+      return;
+    }
+    case Kind::Scan: {
+      const auto& s = static_cast<const ir::ScanStage&>(stage);
+      block = mpsim::scan(comm, std::move(block), s.op->packed());
+      return;
+    }
+    case Kind::Reduce: {
+      const auto& s = static_cast<const ir::ReduceStage&>(stage);
+      block = mpsim::reduce(comm, std::move(block), s.op->packed(), s.root);
+      return;
+    }
+    case Kind::AllReduce: {
+      const auto& s = static_cast<const ir::AllReduceStage&>(stage);
+      block = mpsim::allreduce(comm, std::move(block), s.op->packed());
+      return;
+    }
+    case Kind::Bcast: {
+      const auto& s = static_cast<const ir::BcastStage&>(stage);
+      block = mpsim::bcast(comm, std::move(block), s.root);
+      return;
+    }
+    case Kind::ScanBalanced: {
+      const auto& s = static_cast<const ir::ScanBalancedStage&>(stage);
+      block = mpsim::scan_balanced(comm, std::move(block),
+                                   s.op2.packed_combine2, s.op2.packed_degrade,
+                                   s.op2.packed_strip);
+      return;
+    }
+    case Kind::ReduceBalanced: {
+      const auto& s = static_cast<const ir::ReduceBalancedStage&>(stage);
+      block = mpsim::reduce_balanced(comm, std::move(block),
+                                     s.op.packed_combine, s.op.packed_unit,
+                                     s.root);
+      return;
+    }
+    case Kind::AllReduceBalanced: {
+      const auto& s = static_cast<const ir::AllReduceBalancedStage&>(stage);
+      block = mpsim::allreduce_balanced(comm, std::move(block),
+                                        s.op.packed_combine, s.op.packed_unit);
+      return;
+    }
+    case Kind::Iter: {
+      // packable() admits iter only for p = 2^k, where the doubling step
+      // applies verbatim (IterStage::apply_local, power-of-two branch).
+      const auto& s = static_cast<const ir::IterStage&>(stage);
+      const auto p = static_cast<std::uint64_t>(comm.size());
+      COLOP_REQUIRE(is_pow2(p), "iter: packed plane requires a power-of-two p");
+      if (comm.rank() == 0) {
+        for (unsigned i = 0; i < log2_floor(p); ++i)
+          block = s.step.packed_fn(std::move(block));
+      } else {
+        block = PackedBlock::wild(block.size());
+      }
+      return;
+    }
+  }
+  COLOP_ASSERT(false, "unhandled stage kind");
+}
+
+ir::Dist run_on_threads(const ir::Program& prog, ir::Dist input,
+                        ir::DataPlane plane) {
+  return run_on_threads_instrumented(prog, std::move(input), plane).output;
 }
 
 ThreadRunResult run_on_threads_instrumented(const ir::Program& prog,
-                                            ir::Dist input) {
+                                            ir::Dist input,
+                                            ir::DataPlane plane) {
   COLOP_REQUIRE(!input.empty(), "run_on_threads: empty input");
   const auto p = static_cast<int>(input.size());
+  if (plane == ir::DataPlane::Auto) plane = ir::data_plane_from_env();
+
+  if (plane != ir::DataPlane::Boxed) {
+    if (auto packed = ir::try_pack_for(prog, input)) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto [output, traffic] = mpsim::run_spmd_collect_traffic<PackedBlock>(
+          p, [&](mpsim::Comm& comm) {
+            return run_rank(
+                prog, comm,
+                std::move((*packed)[static_cast<std::size_t>(comm.rank())]),
+                exec_stage_packed);
+          });
+      const auto t1 = std::chrono::steady_clock::now();
+      return {ir::unpack_dist(output), traffic,
+              std::chrono::duration<double>(t1 - t0).count(), true};
+    }
+    COLOP_REQUIRE(plane != ir::DataPlane::Packed,
+                  "run_on_threads: packed plane forced but the program or "
+                  "data is not packable: " + prog.show());
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   auto [output, traffic] = mpsim::run_spmd_collect_traffic<Block>(
       p, [&](mpsim::Comm& comm) {
-        Block block = input[static_cast<std::size_t>(comm.rank())];
-        for (const auto& stage : prog.stages()) {
-          if (obs::enabled()) {
-            obs::Event ev;
-            ev.phase = obs::Phase::begin;
-            ev.name = stage->show();
-            ev.cat = "exec";
-            ev.ts = obs::now_us();
-            ev.tid = comm.rank();
-            obs::record(ev);
-            exec_stage(*stage, comm, block);
-            ev.phase = obs::Phase::end;
-            ev.ts = obs::now_us();
-            obs::record(ev);
-          } else {
-            exec_stage(*stage, comm, block);
-          }
-        }
-        return block;
+        // Each rank owns exactly its slot — move, don't copy, the block in.
+        return run_rank(
+            prog, comm,
+            std::move(input[static_cast<std::size_t>(comm.rank())]),
+            [](const ir::Stage& st, mpsim::Comm& c, Block& b) {
+              exec_stage(st, c, b);
+            });
       });
   const auto t1 = std::chrono::steady_clock::now();
   return {std::move(output), traffic,
-          std::chrono::duration<double>(t1 - t0).count()};
+          std::chrono::duration<double>(t1 - t0).count(), false};
 }
 
 }  // namespace colop::exec

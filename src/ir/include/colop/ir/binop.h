@@ -14,6 +14,7 @@
 #include <set>
 #include <string>
 
+#include "colop/ir/packed.h"
 #include "colop/ir/value.h"
 #include "colop/support/rng.h"
 
@@ -38,6 +39,10 @@ class BinOp {
     double ops_cost = 1.0;
     /// Identity element, if any (used by workload generators/tests).
     std::optional<Value> unit;
+    /// Optional compiled block kernel for the flat data plane: must equal
+    /// apply() mapped over a whole block, undefined gating included
+    /// (packed_kernels.h).  Operators without one evaluate boxed.
+    PackedBinFn packed_fn;
   };
 
   explicit BinOp(Spec spec) : spec_(std::move(spec)) {}
@@ -58,6 +63,8 @@ class BinOp {
   }
   [[nodiscard]] double ops_cost() const { return spec_.ops_cost; }
   [[nodiscard]] const std::optional<Value>& unit() const { return spec_.unit; }
+  [[nodiscard]] bool has_packed() const { return spec_.packed_fn != nullptr; }
+  [[nodiscard]] const PackedBinFn& packed() const { return spec_.packed_fn; }
 
   [[nodiscard]] static BinOpPtr make(Spec spec) {
     return std::make_shared<const BinOp>(std::move(spec));

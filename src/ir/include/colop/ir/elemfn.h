@@ -5,6 +5,7 @@
 #include <functional>
 #include <string>
 
+#include "colop/ir/packed.h"
 #include "colop/ir/shape.h"
 #include "colop/ir/value.h"
 
@@ -24,6 +25,9 @@ struct ElemFn {
   double ops_cost = 0.0;
   /// Element-shape transformer (nullptr = preserves the shape).
   ShapeFn shape_fn;
+  /// Optional compiled whole-block kernel for the flat data plane (must
+  /// equal fn mapped over the block); nullptr = boxed evaluation only.
+  PackedMapFn packed_fn;
 
   Value operator()(const Value& v) const { return fn(v); }
   [[nodiscard]] Shape apply_shape(const Shape& in) const {
@@ -39,6 +43,7 @@ struct ElemIdxFn {
   double ops_per_logp = 0.0;   ///< ops per application per log2(p) level
                                ///< (the repeat schema's per-digit cost)
   ShapeFn shape_fn;            ///< nullptr = preserves the shape
+  PackedIdxMapFn packed_fn;    ///< optional flat-plane kernel (as ElemFn)
 
   Value operator()(int k, const Value& v) const { return fn(k, v); }
   [[nodiscard]] Shape apply_shape(const Shape& in) const {

@@ -1,0 +1,160 @@
+#pragma once
+// PackedBlock: the flat typed data plane.
+//
+// The boxed representation (value.h) models one list element as a
+// heap-allocated std::variant, and a block as a vector of those — perfect
+// for the formal semantics, hopeless for throughput: every elementwise
+// operation is a virtual-ish dispatch plus allocator traffic, and every
+// mpsim hop deep-copies the boxes.  The paper's rules trade communication
+// for "cheap local arithmetic on auxiliary variables"; for that arithmetic
+// to actually be cheap the common case (scalars and fixed-arity tuples of
+// ints/doubles, with the paper's `_` sprinkled in) must live in contiguous
+// arrays.
+//
+// PackedBlock is a struct-of-arrays view of one block:
+//   * `arity` classifies the element shape: kWildArity (every element is
+//     the paper's `_`, e.g. non-root blocks after `iter`), 0 (scalars), or
+//     n >= 1 (flat n-tuples);
+//   * one Lane per tuple component (one lane total for scalars): a dtype
+//     tag (i64/f64), m 64-bit words of payload, and a defined-bitmask;
+//   * tuples additionally carry an element-level defined mask: bit r says
+//     "element r IS a tuple" — clear bits are whole-element `_`, which is
+//     different from a tuple whose components are all `_` (both occur in
+//     the derived operators and must round-trip losslessly).
+//
+// Canonical form (maintained by canonicalize(), assumed everywhere):
+//   * undefined payload words are zero (ops may compute over them blindly);
+//   * lane masks are subsets of the element mask; mask tail bits are zero;
+//   * lanes with no defined word have dtype i64;
+//   * a block with no defined element at all IS the wild block.
+//
+// pack() is partial: heterogeneous lanes (int and real in one component),
+// nested tuples, or mixed scalar/tuple blocks return nullopt and the
+// caller stays on the boxed path (see packed_eval.h).  unpack() is total
+// and exact: unpack(pack(b)) == b structurally, bit for bit.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "colop/ir/value.h"
+
+namespace colop::ir {
+
+enum class DType : std::uint8_t { i64 = 0, f64 = 1 };
+
+/// Bitmask over the m elements of a block, 64 elements per word.
+using Mask = std::vector<std::uint64_t>;
+
+[[nodiscard]] std::size_t mask_words(std::size_t m);
+[[nodiscard]] bool mask_get(const Mask& mask, std::size_t i);
+void mask_set(Mask& mask, std::size_t i, bool bit);
+/// All-ones over m elements (tail bits zero).
+[[nodiscard]] Mask mask_full(std::size_t m);
+[[nodiscard]] Mask mask_and(const Mask& a, const Mask& b);
+[[nodiscard]] bool mask_none(const Mask& mask);
+/// True when every set bit of `inner` is set in `outer`.
+[[nodiscard]] bool mask_subset(const Mask& inner, const Mask& outer);
+[[nodiscard]] std::size_t mask_popcount(const Mask& mask);
+
+class PackedBlock {
+ public:
+  /// arity() of the all-undefined block (no lanes at all).
+  static constexpr int kWildArity = -1;
+
+  struct Lane {
+    DType dtype = DType::i64;
+    std::vector<std::uint64_t> data;  ///< m words (bit pattern of i64/f64)
+    Mask defined;                     ///< per-element defined bit
+
+    friend bool operator==(const Lane&, const Lane&) = default;
+  };
+
+  PackedBlock() = default;
+
+  /// Every element is the paper's `_`.
+  [[nodiscard]] static PackedBlock wild(std::size_t m);
+  /// m scalar slots, all undefined (fill data/defined, then canonicalize).
+  [[nodiscard]] static PackedBlock scalars(std::size_t m, DType dtype);
+  /// m arity-tuples, all elements undefined.
+  [[nodiscard]] static PackedBlock tuples(int arity, std::size_t m);
+
+  [[nodiscard]] std::size_t size() const { return m_; }
+  [[nodiscard]] int arity() const { return arity_; }
+  [[nodiscard]] bool is_wild() const { return arity_ == kWildArity; }
+  [[nodiscard]] bool is_scalar() const { return arity_ == 0; }
+  [[nodiscard]] bool is_tuple() const { return arity_ >= 1; }
+  [[nodiscard]] std::size_t lane_count() const { return lanes_.size(); }
+
+  [[nodiscard]] Lane& lane(std::size_t i) { return lanes_[i]; }
+  [[nodiscard]] const Lane& lane(std::size_t i) const { return lanes_[i]; }
+
+  /// Element-level defined mask.  For scalars this aliases lane(0).defined
+  /// (an undefined scalar and an undefined element are the same thing);
+  /// for wild blocks it is all zeros.
+  [[nodiscard]] const Mask& elem_mask() const {
+    return is_scalar() ? lanes_[0].defined : elem_;
+  }
+  /// Set the element mask of a tuple block (callers then fill lanes and
+  /// canonicalize).
+  void set_elem_mask(Mask mask) { elem_ = std::move(mask); }
+
+  [[nodiscard]] bool elem_defined(std::size_t i) const {
+    return !is_wild() && mask_get(elem_mask(), i);
+  }
+
+  /// Restore the canonical form after kernels wrote raw data: clamp lane
+  /// masks to the element mask, zero undefined payload words and mask tail
+  /// bits, reset empty lanes to i64, and collapse to wild when no element
+  /// is defined.
+  void canonicalize();
+
+  /// Defined scalar slots — the block's wire size in 8-byte words.  This
+  /// matches the boxed accounting exactly (undefined costs nothing), so
+  /// traffic counters agree between the two data planes.
+  [[nodiscard]] std::size_t defined_words() const;
+
+  // --- boxed conversion --------------------------------------------------
+
+  /// nullopt when the block does not fit the flat representation (nested
+  /// tuples, mixed arities, int/real mixed within one lane, non-numeric
+  /// leaves).  Lossless: unpack(*pack(b)) == b.
+  [[nodiscard]] static std::optional<PackedBlock> pack(const Block& boxed);
+  [[nodiscard]] Block unpack() const;
+
+  // --- flat wire format --------------------------------------------------
+
+  /// Serialize to a contiguous buffer (fixed header + memcpy of lane data
+  /// and masks).  deserialize() is the exact inverse.
+  [[nodiscard]] std::vector<std::byte> to_bytes() const;
+  [[nodiscard]] static PackedBlock from_bytes(const std::byte* data,
+                                              std::size_t size);
+
+  friend bool operator==(const PackedBlock&, const PackedBlock&) = default;
+
+ private:
+  std::size_t m_ = 0;
+  int arity_ = kWildArity;
+  Mask elem_;                ///< tuples only; empty for scalar/wild
+  std::vector<Lane> lanes_;  ///< 0 (wild), 1 (scalar) or arity lanes
+};
+
+/// Wire-size accounting hook for the mpsim runtime (found by ADL), same
+/// contract as payload_bytes(const Value&): 8 bytes per defined scalar.
+[[nodiscard]] std::size_t payload_bytes(const PackedBlock& b);
+
+/// Elementwise kernels over packed blocks.  A PackedBinFn is the packed
+/// counterpart of BinOp::apply lifted to whole blocks (undefined gating
+/// included); the map forms are the counterparts of ElemFn / ElemIdxFn.
+using PackedBinFn =
+    std::function<PackedBlock(const PackedBlock&, const PackedBlock&)>;
+using PackedMapFn = std::function<PackedBlock(PackedBlock)>;
+using PackedIdxMapFn = std::function<PackedBlock(int, PackedBlock)>;
+using PackedBinFn2 = std::function<std::pair<PackedBlock, PackedBlock>(
+    const PackedBlock&, const PackedBlock&)>;
+
+}  // namespace colop::ir

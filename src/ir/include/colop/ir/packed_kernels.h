@@ -1,0 +1,173 @@
+#pragma once
+// Compiled elementwise kernels over PackedBlock.
+//
+// A kernel mirrors the boxed semantics EXACTLY — including undefined
+// gating (BinOp::apply yields `_` when either element is `_`), int/real
+// widening (binop.cpp's numeric()), and the operation ORDER of the
+// derived operators, so that doubles come out bit-for-bit identical to
+// the boxed evaluator.  The differential fuzz suite
+// (tests/test_fuzz_dataplane.cpp) holds this equivalence to exact
+// structural equality.
+//
+// Scalar kernels run one tight loop over the lane arrays; masked-out
+// slots compute garbage over the canonical zeros and are re-zeroed by
+// canonicalize().  Tuple kernels (the derived operators) are composed
+// from scalar kernels over individual lanes via lane_scalar()/tuple_of(),
+// which keeps every formula literally parallel to its boxed twin in
+// rules/derived_ops.cpp.
+
+#include <bit>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "colop/ir/packed.h"
+#include "colop/support/error.h"
+
+namespace colop::ir::pk {
+
+/// View lane `l` of a tuple block as a standalone scalar block (undefined
+/// components become undefined scalars; an empty lane collapses to wild).
+[[nodiscard]] PackedBlock lane_scalar(const PackedBlock& b, std::size_t l);
+
+/// Assemble a tuple block from per-component scalar blocks (wild
+/// components become all-undefined lanes) under the given element mask.
+[[nodiscard]] PackedBlock tuple_of(std::vector<PackedBlock> components,
+                                   const Mask& elem, std::size_t m);
+
+/// Shorthand: all-undefined scalar component for tuple_of().
+[[nodiscard]] inline PackedBlock undef_component(std::size_t m) {
+  return PackedBlock::wild(m);
+}
+
+namespace detail {
+
+[[nodiscard]] inline double slot_as_double(const PackedBlock::Lane& lane,
+                                           std::size_t i) {
+  if (lane.dtype == DType::f64) return std::bit_cast<double>(lane.data[i]);
+  return static_cast<double>(std::bit_cast<std::int64_t>(lane.data[i]));
+}
+
+/// Common scalar-zip prologue.  Returns the all-undefined result when one
+/// side is wild or no element is defined on both sides; otherwise checks
+/// that both operands really are scalar blocks of equal size.
+[[nodiscard]] inline bool zip_trivial(const PackedBlock& a,
+                                      const PackedBlock& b,
+                                      const std::string& name,
+                                      PackedBlock& out) {
+  COLOP_REQUIRE(a.size() == b.size(), name + ": packed block size mismatch");
+  if (a.is_wild() || b.is_wild()) {
+    out = PackedBlock::wild(a.size());
+    return true;
+  }
+  COLOP_REQUIRE(a.is_scalar() && b.is_scalar(),
+                name + ": packed kernel expects scalar elements");
+  if (mask_none(mask_and(a.lane(0).defined, b.lane(0).defined))) {
+    out = PackedBlock::wild(a.size());
+    return true;
+  }
+  return false;
+}
+
+// Mirror of binop.cpp's numeric(): both lanes integer -> integer kernel,
+// anything real -> real kernel over widened operands.  force_real models
+// fadd/fmul, which always produce reals.
+template <typename IntFn, typename RealFn>
+PackedBlock zip_numeric(const PackedBlock& a, const PackedBlock& b, IntFn fi,
+                        RealFn fr, bool force_real, const std::string& name) {
+  PackedBlock out;
+  if (zip_trivial(a, b, name, out)) return out;
+  const auto& la = a.lane(0);
+  const auto& lb = b.lane(0);
+  const std::size_t m = a.size();
+  const bool int_path =
+      !force_real && la.dtype == DType::i64 && lb.dtype == DType::i64;
+  out = PackedBlock::scalars(m, int_path ? DType::i64 : DType::f64);
+  auto& lo = out.lane(0);
+  if (int_path) {
+    for (std::size_t i = 0; i < m; ++i)
+      lo.data[i] = std::bit_cast<std::uint64_t>(
+          fi(std::bit_cast<std::int64_t>(la.data[i]),
+             std::bit_cast<std::int64_t>(lb.data[i])));
+  } else {
+    for (std::size_t i = 0; i < m; ++i)
+      lo.data[i] = std::bit_cast<std::uint64_t>(
+          fr(slot_as_double(la, i), slot_as_double(lb, i)));
+  }
+  lo.defined = mask_and(la.defined, lb.defined);
+  out.canonicalize();
+  return out;
+}
+
+// Integer-only operators (band, gcd, modadd, ...): a real operand is the
+// boxed as_int() error — but only when a defined pair actually exists
+// (zip_trivial already returned `_` otherwise), matching where the boxed
+// path throws.
+template <typename IntFn>
+PackedBlock zip_int(const PackedBlock& a, const PackedBlock& b, IntFn fi,
+                    const std::string& name) {
+  PackedBlock out;
+  if (zip_trivial(a, b, name, out)) return out;
+  const auto& la = a.lane(0);
+  const auto& lb = b.lane(0);
+  COLOP_REQUIRE(la.dtype == DType::i64 && lb.dtype == DType::i64,
+                name + ": not an integer");
+  const std::size_t m = a.size();
+  out = PackedBlock::scalars(m, DType::i64);
+  auto& lo = out.lane(0);
+  for (std::size_t i = 0; i < m; ++i)
+    lo.data[i] = std::bit_cast<std::uint64_t>(
+        fi(std::bit_cast<std::int64_t>(la.data[i]),
+           std::bit_cast<std::int64_t>(lb.data[i])));
+  lo.defined = mask_and(la.defined, lb.defined);
+  out.canonicalize();
+  return out;
+}
+
+}  // namespace detail
+
+/// Kernel for a numeric operator with int/real widening (op_add & co).
+template <typename IntFn, typename RealFn>
+[[nodiscard]] PackedBinFn bin_numeric(std::string name, IntFn fi, RealFn fr) {
+  return [name = std::move(name), fi, fr](const PackedBlock& a,
+                                          const PackedBlock& b) {
+    return detail::zip_numeric(a, b, fi, fr, /*force_real=*/false, name);
+  };
+}
+
+/// Kernel for an integer-only operator (band, bor, gcd, modadd, modmul).
+template <typename IntFn>
+[[nodiscard]] PackedBinFn bin_int(std::string name, IntFn fi) {
+  return [name = std::move(name), fi](const PackedBlock& a,
+                                      const PackedBlock& b) {
+    return detail::zip_int(a, b, fi, name);
+  };
+}
+
+/// Kernel for an always-real operator (fadd, fmul: number() widening).
+template <typename RealFn>
+[[nodiscard]] PackedBinFn bin_real(std::string name, RealFn fr) {
+  return [name = std::move(name), fr](const PackedBlock& a,
+                                      const PackedBlock& b) {
+    return detail::zip_numeric(
+        a, b, [](std::int64_t, std::int64_t) { return std::int64_t{0}; }, fr,
+        /*force_real=*/true, name);
+  };
+}
+
+/// op_first: keep the left element wherever both sides are defined.
+[[nodiscard]] PackedBinFn bin_first();
+
+/// op_mat2: 2x2 integer matrix product on 4-tuples.
+[[nodiscard]] PackedBinFn bin_mat2();
+
+// --- map kernels (auxiliary-variable builders) ---------------------------
+
+/// pair/triple/quadruple: n copies of a scalar element (an undefined
+/// scalar becomes a tuple of undefineds, exactly like the boxed builders).
+[[nodiscard]] PackedMapFn map_replicate(int n, std::string name);
+/// pi_1: first component; undefined elements pass through.
+[[nodiscard]] PackedMapFn map_proj1();
+[[nodiscard]] PackedMapFn map_id();
+
+}  // namespace colop::ir::pk

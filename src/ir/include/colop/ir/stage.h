@@ -30,6 +30,10 @@ struct BalancedOp {
   std::function<Value(const Value&)> unit_case;
   double ops_cost = 1.0;  ///< elementary ops per combine
   int words = 1;          ///< transmitted words per element
+  /// Optional flat-plane block kernels (combine/unit_case over a whole
+  /// block); both present or the stage evaluates boxed.
+  PackedBinFn packed_combine;
+  PackedMapFn packed_unit;
 };
 
 /// Paired operator for scan_balanced (rule SS-Scan): one exchange yields
@@ -43,6 +47,10 @@ struct BalancedOp2 {
   std::function<Value(const Value&)> strip;
   double ops_cost = 1.0;
   int words = 1;
+  /// Optional flat-plane block kernels; all three present or boxed.
+  PackedBinFn2 packed_combine2;
+  PackedMapFn packed_degrade;
+  PackedMapFn packed_strip;
 };
 
 class Stage;

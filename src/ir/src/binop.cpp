@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "colop/ir/packed_kernels.h"
+
 namespace colop::ir {
 namespace {
 
@@ -30,6 +32,9 @@ BinOpPtr op_add() {
       .distributes_over = {"max", "min"},
       .ops_cost = 1.0,
       .unit = Value(std::int64_t{0}),
+      .packed_fn = pk::bin_numeric(
+          "+", [](std::int64_t x, std::int64_t y) { return x + y; },
+          [](double x, double y) { return x + y; }),
   });
   return op;
 }
@@ -48,6 +53,9 @@ BinOpPtr op_mul() {
       .distributes_over = {"+"},
       .ops_cost = 1.0,
       .unit = Value(std::int64_t{1}),
+      .packed_fn = pk::bin_numeric(
+          "*", [](std::int64_t x, std::int64_t y) { return x * y; },
+          [](double x, double y) { return x * y; }),
   });
   return op;
 }
@@ -65,6 +73,9 @@ BinOpPtr op_max() {
       .commutative = true,
       .distributes_over = {"min", "max"},
       .ops_cost = 1.0,
+      .packed_fn = pk::bin_numeric(
+          "max", [](std::int64_t x, std::int64_t y) { return std::max(x, y); },
+          [](double x, double y) { return std::max(x, y); }),
   });
   return op;
 }
@@ -82,6 +93,9 @@ BinOpPtr op_min() {
       .commutative = true,
       .distributes_over = {"max", "min"},
       .ops_cost = 1.0,
+      .packed_fn = pk::bin_numeric(
+          "min", [](std::int64_t x, std::int64_t y) { return std::min(x, y); },
+          [](double x, double y) { return std::min(x, y); }),
   });
   return op;
 }
@@ -95,6 +109,8 @@ BinOpPtr op_band() {
       .distributes_over = {"bor", "band"},
       .ops_cost = 1.0,
       .unit = Value(std::int64_t{-1}),
+      .packed_fn = pk::bin_int(
+          "band", [](std::int64_t x, std::int64_t y) { return x & y; }),
   });
   return op;
 }
@@ -108,6 +124,8 @@ BinOpPtr op_bor() {
       .distributes_over = {"band", "bor"},
       .ops_cost = 1.0,
       .unit = Value(std::int64_t{0}),
+      .packed_fn = pk::bin_int(
+          "bor", [](std::int64_t x, std::int64_t y) { return x | y; }),
   });
   return op;
 }
@@ -124,6 +142,8 @@ BinOpPtr op_gcd() {
       .distributes_over = {"gcd"},
       .ops_cost = 1.0,
       .unit = Value(std::int64_t{0}),
+      .packed_fn = pk::bin_int(
+          "gcd", [](std::int64_t x, std::int64_t y) { return std::gcd(x, y); }),
   });
   return op;
 }
@@ -139,6 +159,10 @@ BinOpPtr op_modadd(std::int64_t m) {
       .commutative = true,
       .ops_cost = 1.0,
       .unit = Value(std::int64_t{0}),
+      .packed_fn = pk::bin_int("+mod" + std::to_string(m),
+                               [m](std::int64_t x, std::int64_t y) {
+                                 return (((x + y) % m) + m) % m;
+                               }),
   });
 }
 
@@ -154,6 +178,10 @@ BinOpPtr op_modmul(std::int64_t m) {
       .distributes_over = {"+mod" + std::to_string(m)},
       .ops_cost = 1.0,
       .unit = Value(std::int64_t{1}),
+      .packed_fn = pk::bin_int("*mod" + std::to_string(m),
+                               [m](std::int64_t x, std::int64_t y) {
+                                 return (((x * y) % m) + m) % m;
+                               }),
   });
 }
 
@@ -165,6 +193,8 @@ BinOpPtr op_fadd() {
       .commutative = true,
       .ops_cost = 1.0,
       .unit = Value(0.0),
+      .packed_fn =
+          pk::bin_real("f+", [](double x, double y) { return x + y; }),
   });
   return op;
 }
@@ -178,6 +208,8 @@ BinOpPtr op_fmul() {
       .distributes_over = {"f+"},
       .ops_cost = 1.0,
       .unit = Value(1.0),
+      .packed_fn =
+          pk::bin_real("f*", [](double x, double y) { return x * y; }),
   });
   return op;
 }
@@ -202,6 +234,7 @@ BinOpPtr op_mat2() {
       .commutative = false,
       .ops_cost = 12.0,
       .unit = Value(Tuple{Value(1), Value(0), Value(0), Value(1)}),
+      .packed_fn = pk::bin_mat2(),
   });
   return op;
 }
@@ -213,6 +246,7 @@ BinOpPtr op_first() {
       .associative = true,
       .commutative = false,
       .ops_cost = 0.0,
+      .packed_fn = pk::bin_first(),
   });
   return op;
 }

@@ -1,21 +1,26 @@
 #include "colop/ir/elemfn.h"
 
+#include "colop/ir/packed_kernels.h"
+
 namespace colop::ir {
 
 ElemFn fn_pair() {
   return {"pair", [](const Value& v) { return Value(Tuple{v, v}); }, 0.0,
-          [](const Shape& s) { return Shape::replicate(s, 2); }};
+          [](const Shape& s) { return Shape::replicate(s, 2); },
+          pk::map_replicate(2, "pair")};
 }
 
 ElemFn fn_triple() {
   return {"triple", [](const Value& v) { return Value(Tuple{v, v, v}); }, 0.0,
-          [](const Shape& s) { return Shape::replicate(s, 3); }};
+          [](const Shape& s) { return Shape::replicate(s, 3); },
+          pk::map_replicate(3, "triple")};
 }
 
 ElemFn fn_quadruple() {
   return {"quadruple",
           [](const Value& v) { return Value(Tuple{v, v, v, v}); }, 0.0,
-          [](const Shape& s) { return Shape::replicate(s, 4); }};
+          [](const Shape& s) { return Shape::replicate(s, 4); },
+          pk::map_replicate(4, "quadruple")};
 }
 
 ElemFn fn_proj1() {
@@ -26,11 +31,12 @@ ElemFn fn_proj1() {
             return v.is_undefined() ? Value::undefined() : v.at(0);
           },
           0.0,
-          [](const Shape& s) { return s.components().at(0); }};
+          [](const Shape& s) { return s.components().at(0); },
+          pk::map_proj1()};
 }
 
 ElemFn fn_id() {
-  return {"id", [](const Value& v) { return v; }, 0.0, nullptr};
+  return {"id", [](const Value& v) { return v; }, 0.0, nullptr, pk::map_id()};
 }
 
 ElemFn fn_compose(ElemFn f, ElemFn g) {
@@ -41,11 +47,18 @@ ElemFn fn_compose(ElemFn f, ElemFn g) {
       return gs ? gs(mid) : mid;
     };
   }
+  // The composition stays on the flat plane only when both halves can.
+  PackedMapFn packed;
+  if (f.packed_fn && g.packed_fn) {
+    packed = [pf = f.packed_fn, pg = g.packed_fn](PackedBlock b) {
+      return pg(pf(std::move(b)));
+    };
+  }
   return {f.name + ";" + g.name,
           [f = std::move(f.fn), g = std::move(g.fn)](const Value& v) {
             return g(f(v));
           },
-          f.ops_cost + g.ops_cost, std::move(shape)};
+          f.ops_cost + g.ops_cost, std::move(shape), std::move(packed)};
 }
 
 }  // namespace colop::ir

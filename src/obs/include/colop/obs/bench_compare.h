@@ -9,8 +9,10 @@
 //
 //   * cost-like metrics (time, words, messages, ...) regress only when
 //     they INCREASE beyond the threshold — getting faster is fine;
-//   * everything else (speedups, counts that encode correctness) must
-//     match within the threshold in either direction;
+//   * throughput-like metrics (speedups, elements/sec, bytes/sec) regress
+//     only when they DECREASE beyond the threshold;
+//   * everything else (counts that encode correctness) must match within
+//     the threshold in either direction;
 //   * metrics present on one side only are reported as notes, not
 //     failures (benches grow new metrics across PRs);
 //   * documents that are not MetricsRegistry exports (e.g. the
@@ -33,6 +35,7 @@ struct BenchDelta {
   double current = 0;
   double rel_change = 0;  ///< (current - baseline) / max(|baseline|, eps)
   bool higher_is_worse = false;
+  bool higher_is_better = false;
   bool regressed = false;
 };
 
@@ -49,9 +52,14 @@ struct BenchDiffReport {
 };
 
 /// True for metric names where only an increase is a regression (times,
-/// traffic); false where any drift beyond the threshold fails (speedups,
-/// exact counts).
+/// traffic); false where any drift beyond the threshold fails (exact
+/// counts).
 [[nodiscard]] bool higher_is_worse(const std::string& metric);
+
+/// True for metric names where only a decrease is a regression (speedups,
+/// throughput).  Checked after higher_is_worse; a metric matching neither
+/// is two-sided.
+[[nodiscard]] bool higher_is_better(const std::string& metric);
 
 /// Compare the "scalars" of two MetricsRegistry JSON documents (full
 /// document text in, as read from disk).  Throws colop::Error on JSON

@@ -26,6 +26,15 @@ bool higher_is_worse(const std::string& metric) {
   return false;
 }
 
+bool higher_is_better(const std::string& metric) {
+  // Throughput-like quantities: more work per second, or a larger speedup
+  // ratio, is an improvement, never a regression.
+  for (const char* token :
+       {"per_sec", "throughput", "speedup", "elems_per", "bytes_per"})
+    if (contains_token(metric, token)) return true;
+  return false;
+}
+
 bool BenchDiffReport::regressed() const {
   return std::any_of(deltas.begin(), deltas.end(),
                      [](const BenchDelta& d) { return d.regressed; });
@@ -66,8 +75,10 @@ BenchDiffReport compare_bench_json(const std::string& name,
     d.rel_change = (d.current - d.baseline) /
                    std::max(std::abs(d.baseline), 1e-12);
     d.higher_is_worse = higher_is_worse(metric);
-    d.regressed = d.higher_is_worse ? d.rel_change > threshold
-                                    : std::abs(d.rel_change) > threshold;
+    d.higher_is_better = !d.higher_is_worse && higher_is_better(metric);
+    d.regressed = d.higher_is_worse   ? d.rel_change > threshold
+                  : d.higher_is_better ? d.rel_change < -threshold
+                                       : std::abs(d.rel_change) > threshold;
     report.deltas.push_back(std::move(d));
   }
   for (const auto& [metric, cur_val] : cur_scalars->fields) {
@@ -92,9 +103,10 @@ std::string BenchDiffReport::render_text() const {
   for (const auto& d : deltas)
     t.add(d.metric, d.baseline, d.current, d.rel_change,
           d.regressed ? "REGRESSED"
-                      : (d.higher_is_worse && d.rel_change < -threshold
-                             ? "improved"
-                             : "ok"));
+          : (d.higher_is_worse && d.rel_change < -threshold) ||
+                  (d.higher_is_better && d.rel_change > threshold)
+              ? "improved"
+              : "ok");
   t.print(os);
   for (const auto& n : notes) os << "  note: " << n << "\n";
   os << name << ": "
@@ -118,6 +130,7 @@ void BenchDiffReport::write_json(std::ostream& os) const {
        << ",\"current\":" << json::number(d.current)
        << ",\"rel_change\":" << json::number(d.rel_change)
        << ",\"higher_is_worse\":" << (d.higher_is_worse ? "true" : "false")
+       << ",\"higher_is_better\":" << (d.higher_is_better ? "true" : "false")
        << ",\"regressed\":" << (d.regressed ? "true" : "false") << "}";
   }
   os << "],\"notes\":[";

@@ -2,12 +2,42 @@
 
 #include <optional>
 #include <utility>
+#include <vector>
 
+#include "colop/ir/packed_kernels.h"
 #include "colop/support/error.h"
 
 namespace colop::rules {
 
+using ir::Mask;
+using ir::PackedBlock;
 using ir::Tuple;
+namespace pk = ir::pk;
+
+namespace {
+
+// Tuples are built with reserve + emplace to avoid the extra Value copies
+// of initializer-list construction (these run once per element per hop on
+// the boxed path).
+template <typename... Vs>
+Value make_tuple(Vs&&... vs) {
+  Tuple t;
+  t.reserve(sizeof...(Vs));
+  (t.push_back(std::forward<Vs>(vs)), ...);
+  return Value(std::move(t));
+}
+
+// Packed-kernel preamble for a derived operator over n-tuples whose boxed
+// twin as_tuple()s every element unconditionally (no undefined gating).
+void require_full_tuple(const PackedBlock& b, int arity, const char* name) {
+  COLOP_REQUIRE(b.arity() == arity,
+                std::string(name) + ": packed kernel expects " +
+                    std::to_string(arity) + "-tuples");
+  COLOP_REQUIRE(ir::mask_popcount(b.elem_mask()) == b.size(),
+                std::string(name) + ": undefined element");
+}
+
+}  // namespace
 
 Value pow_assoc(const ir::BinOp& op, const Value& base, std::uint64_t n) {
   COLOP_REQUIRE(n >= 1, "pow_assoc: exponent must be >= 1");
@@ -26,18 +56,39 @@ BinOpPtr make_op_sr2(BinOpPtr otimes, BinOpPtr oplus) {
                 "op_sr2 requires " + otimes->name() + " to distribute over " +
                     oplus->name());
   const double ops = 2 * otimes->ops_cost() + oplus->ops_cost();
+  ir::PackedBinFn packed;
+  if (otimes->has_packed() && oplus->has_packed()) {
+    packed = [pt = otimes->packed(), pp = oplus->packed()](
+                 const PackedBlock& a, const PackedBlock& b) {
+      COLOP_REQUIRE(a.size() == b.size(), "op_sr2: packed size mismatch");
+      if (a.is_wild() || b.is_wild()) return PackedBlock::wild(a.size());
+      COLOP_REQUIRE(a.arity() == 2 && b.arity() == 2,
+                    "op_sr2: packed kernel expects pairs");
+      const PackedBlock x0 = pk::lane_scalar(a, 0);
+      const PackedBlock x1 = pk::lane_scalar(a, 1);
+      const PackedBlock y0 = pk::lane_scalar(b, 0);
+      const PackedBlock y1 = pk::lane_scalar(b, 1);
+      std::vector<PackedBlock> out;
+      out.reserve(2);
+      out.push_back(pp(x0, pt(x1, y0)));
+      out.push_back(pt(x1, y1));
+      return pk::tuple_of(std::move(out),
+                          ir::mask_and(a.elem_mask(), b.elem_mask()), a.size());
+    };
+  }
   return ir::BinOp::make({
       .name = "op_sr2[" + otimes->name() + "," + oplus->name() + "]",
       .fn =
           [ot = otimes, op = oplus](const Value& a, const Value& b) {
             const auto& x = a.as_tuple();
             const auto& y = b.as_tuple();
-            return Value(Tuple{(*op)(x[0], (*ot)(x[1], y[0])),
-                               (*ot)(x[1], y[1])});
+            return make_tuple((*op)(x[0], (*ot)(x[1], y[0])),
+                              (*ot)(x[1], y[1]));
           },
       .associative = true,
       .commutative = false,
       .ops_cost = ops,
+      .packed_fn = std::move(packed),
   });
 }
 
@@ -50,14 +101,41 @@ ir::BalancedOp make_op_sr(BinOpPtr oplus, int elem_words) {
     const auto& x = a.as_tuple();
     const auto& y = b.as_tuple();
     const Value uu = (*o)(x[1], y[1]);
-    return Value(Tuple{(*o)((*o)(x[0], y[0]), x[1]), (*o)(uu, uu)});
+    return make_tuple((*o)((*o)(x[0], y[0]), x[1]), (*o)(uu, uu));
   };
   op.unit_case = [o = oplus](const Value& v) {
     const auto& x = v.as_tuple();
-    return Value(Tuple{x[0], (*o)(x[1], x[1])});
+    return make_tuple(x[0], (*o)(x[1], x[1]));
   };
   op.ops_cost = 4 * oplus->ops_cost();
   op.words = 2 * elem_words;
+  if (oplus->has_packed()) {
+    op.packed_combine = [po = oplus->packed()](const PackedBlock& a,
+                                               const PackedBlock& b) {
+      COLOP_REQUIRE(a.size() == b.size(), "op_sr: packed size mismatch");
+      require_full_tuple(a, 2, "op_sr");
+      require_full_tuple(b, 2, "op_sr");
+      const PackedBlock x0 = pk::lane_scalar(a, 0);
+      const PackedBlock x1 = pk::lane_scalar(a, 1);
+      const PackedBlock y0 = pk::lane_scalar(b, 0);
+      const PackedBlock y1 = pk::lane_scalar(b, 1);
+      const PackedBlock uu = po(x1, y1);
+      std::vector<PackedBlock> out;
+      out.reserve(2);
+      out.push_back(po(po(x0, y0), x1));
+      out.push_back(po(uu, uu));
+      return pk::tuple_of(std::move(out), ir::mask_full(a.size()), a.size());
+    };
+    op.packed_unit = [po = oplus->packed()](PackedBlock v) {
+      require_full_tuple(v, 2, "op_sr");
+      const PackedBlock x1 = pk::lane_scalar(v, 1);
+      std::vector<PackedBlock> out;
+      out.reserve(2);
+      out.push_back(pk::lane_scalar(v, 0));
+      out.push_back(po(x1, x1));
+      return pk::tuple_of(std::move(out), ir::mask_full(v.size()), v.size());
+    };
+  }
   return op;
 }
 
@@ -73,22 +151,81 @@ ir::BalancedOp2 make_op_ss(BinOpPtr oplus, int elem_words) {
     const Value uu = (*o)(x[2], y[2]);
     const Value uuuu = (*o)(uu, uu);
     const Value vv = (*o)(x[3], y[3]);
-    Value lo(Tuple{x[0], ttu, uuuu, vv});
-    Value hi(Tuple{(*o)((*o)(y[0], x[1]), x[3]), ttu, uuuu, (*o)(uu, vv)});
+    Value lo = make_tuple(x[0], ttu, uuuu, vv);
+    Value hi = make_tuple((*o)((*o)(y[0], x[1]), x[3]), ttu, uuuu,
+                          (*o)(uu, vv));
     return std::make_pair(std::move(lo), std::move(hi));
   };
   op.degrade = [](const Value& v) {
     const auto& x = v.as_tuple();
-    return Value(Tuple{x[0], Value::undefined(), Value::undefined(),
-                       Value::undefined()});
+    return make_tuple(x[0], Value::undefined(), Value::undefined(),
+                      Value::undefined());
   };
   // The scan component s stays local: only (t,u,v) travel (3 words).
   op.strip = [](const Value& v) {
     const auto& x = v.as_tuple();
-    return Value(Tuple{Value::undefined(), x[1], x[2], x[3]});
+    return make_tuple(Value::undefined(), x[1], x[2], x[3]);
   };
   op.ops_cost = 8 * oplus->ops_cost();
   op.words = 3 * elem_words;
+  if (oplus->has_packed()) {
+    op.packed_combine2 = [po = oplus->packed()](const PackedBlock& a,
+                                                const PackedBlock& b) {
+      COLOP_REQUIRE(a.size() == b.size(), "op_ss: packed size mismatch");
+      require_full_tuple(a, 4, "op_ss");
+      require_full_tuple(b, 4, "op_ss");
+      const std::size_t m = a.size();
+      const Mask full = ir::mask_full(m);
+      const PackedBlock x0 = pk::lane_scalar(a, 0);
+      const PackedBlock x1 = pk::lane_scalar(a, 1);
+      const PackedBlock x2 = pk::lane_scalar(a, 2);
+      const PackedBlock x3 = pk::lane_scalar(a, 3);
+      const PackedBlock y0 = pk::lane_scalar(b, 0);
+      const PackedBlock y1 = pk::lane_scalar(b, 1);
+      const PackedBlock y2 = pk::lane_scalar(b, 2);
+      const PackedBlock y3 = pk::lane_scalar(b, 3);
+      const PackedBlock ttu = po(po(x1, y1), x2);
+      const PackedBlock uu = po(x2, y2);
+      const PackedBlock uuuu = po(uu, uu);
+      const PackedBlock vv = po(x3, y3);
+      std::vector<PackedBlock> lo;
+      lo.reserve(4);
+      lo.push_back(x0);
+      lo.push_back(ttu);
+      lo.push_back(uuuu);
+      lo.push_back(vv);
+      std::vector<PackedBlock> hi;
+      hi.reserve(4);
+      hi.push_back(po(po(y0, x1), x3));
+      hi.push_back(ttu);
+      hi.push_back(uuuu);
+      hi.push_back(po(uu, vv));
+      return std::make_pair(pk::tuple_of(std::move(lo), full, m),
+                            pk::tuple_of(std::move(hi), full, m));
+    };
+    op.packed_degrade = [](PackedBlock v) {
+      require_full_tuple(v, 4, "op_ss");
+      const std::size_t m = v.size();
+      std::vector<PackedBlock> out;
+      out.reserve(4);
+      out.push_back(pk::lane_scalar(v, 0));
+      out.push_back(pk::undef_component(m));
+      out.push_back(pk::undef_component(m));
+      out.push_back(pk::undef_component(m));
+      return pk::tuple_of(std::move(out), ir::mask_full(m), m);
+    };
+    op.packed_strip = [](PackedBlock v) {
+      require_full_tuple(v, 4, "op_ss");
+      const std::size_t m = v.size();
+      std::vector<PackedBlock> out;
+      out.reserve(4);
+      out.push_back(pk::undef_component(m));
+      out.push_back(pk::lane_scalar(v, 1));
+      out.push_back(pk::lane_scalar(v, 2));
+      out.push_back(pk::lane_scalar(v, 3));
+      return pk::tuple_of(std::move(out), ir::mask_full(m), m);
+    };
+  }
   return op;
 }
 
@@ -107,6 +244,22 @@ ir::ElemIdxFn make_op_comp_bs(BinOpPtr oplus) {
     return t;
   };
   f.ops_per_logp = 2 * oplus->ops_cost();
+  if (oplus->has_packed()) {
+    // Same digit loop with whole blocks as the auxiliary variables; the
+    // base kernel enforces its own element shape (scalars, mat2 4-tuples).
+    f.packed_fn = [po = oplus->packed()](int k, PackedBlock b) {
+      if (b.is_wild()) return b;
+      PackedBlock t = b;
+      PackedBlock u = std::move(b);
+      auto kk = static_cast<unsigned>(k);
+      while (kk != 0) {
+        if (kk & 1u) t = po(t, u);
+        u = po(u, u);
+        kk >>= 1u;
+      }
+      return t;
+    };
+  }
   return f;
 }
 
@@ -132,6 +285,23 @@ ir::ElemIdxFn make_op_comp_bss2(BinOpPtr otimes, BinOpPtr oplus) {
     return s;
   };
   f.ops_per_logp = 3 * otimes->ops_cost() + 2 * oplus->ops_cost();
+  if (otimes->has_packed() && oplus->has_packed()) {
+    f.packed_fn = [pt = otimes->packed(), pp = oplus->packed()](
+                      int k, PackedBlock b) {
+      if (b.is_wild()) return b;
+      PackedBlock s = b, t = b;
+      PackedBlock u = std::move(b);
+      auto kk = static_cast<unsigned>(k);
+      while (kk != 0) {
+        PackedBlock t_new = pp(t, pt(t, u));
+        if (kk & 1u) s = pp(t, pt(s, u));
+        t = std::move(t_new);
+        u = pt(u, u);
+        kk >>= 1u;
+      }
+      return s;
+    };
+  }
   return f;
 }
 
@@ -160,13 +330,38 @@ ir::ElemIdxFn make_op_comp_bss(BinOpPtr oplus) {
     return s;
   };
   f.ops_per_logp = 8 * oplus->ops_cost();
+  if (oplus->has_packed()) {
+    f.packed_fn = [po = oplus->packed()](int k, PackedBlock b) {
+      if (b.is_wild()) return b;
+      PackedBlock s = b, t = b, u = b;
+      PackedBlock v = std::move(b);
+      auto kk = static_cast<unsigned>(k);
+      while (kk != 0) {
+        const PackedBlock uu = po(u, u);
+        PackedBlock t_new = po(po(t, t), u);
+        PackedBlock u_new = po(uu, uu);
+        PackedBlock v_new = (kk & 1u) ? po(po(uu, v), v) : po(v, v);
+        if (kk & 1u) s = po(po(s, t), v);
+        t = std::move(t_new);
+        u = std::move(u_new);
+        v = std::move(v_new);
+        kk >>= 1u;
+      }
+      return s;
+    };
+  }
   return f;
 }
 
 ir::ElemFn make_op_br(BinOpPtr oplus) {
-  return {"op_br[" + oplus->name() + "]",
-          [o = oplus](const Value& s) { return (*o)(s, s); },
-          oplus->ops_cost()};
+  ir::ElemFn f;
+  f.name = "op_br[" + oplus->name() + "]";
+  f.fn = [o = oplus](const Value& s) { return (*o)(s, s); };
+  f.ops_cost = oplus->ops_cost();
+  if (oplus->has_packed()) {
+    f.packed_fn = [po = oplus->packed()](PackedBlock v) { return po(v, v); };
+  }
+  return f;
 }
 
 std::function<Value(int, const Value&)> make_general_br(BinOpPtr oplus) {
@@ -179,13 +374,27 @@ ir::ElemFn make_op_bsr2(BinOpPtr otimes, BinOpPtr oplus) {
   COLOP_REQUIRE(otimes->distributes_over(*oplus),
                 "op_bsr2 requires " + otimes->name() + " to distribute over " +
                     oplus->name());
-  return {"op_bsr2[" + otimes->name() + "," + oplus->name() + "]",
-          [ot = otimes, op = oplus](const Value& v) {
-            const auto& x = v.as_tuple();  // (s, t)
-            return Value(Tuple{(*op)(x[0], (*ot)(x[0], x[1])),
-                               (*ot)(x[1], x[1])});
-          },
-          2 * otimes->ops_cost() + oplus->ops_cost()};
+  ir::ElemFn f;
+  f.name = "op_bsr2[" + otimes->name() + "," + oplus->name() + "]";
+  f.fn = [ot = otimes, op = oplus](const Value& v) {
+    const auto& x = v.as_tuple();  // (s, t)
+    return make_tuple((*op)(x[0], (*ot)(x[0], x[1])), (*ot)(x[1], x[1]));
+  };
+  f.ops_cost = 2 * otimes->ops_cost() + oplus->ops_cost();
+  if (otimes->has_packed() && oplus->has_packed()) {
+    f.packed_fn = [pt = otimes->packed(), pp = oplus->packed()](
+                      PackedBlock v) {
+      require_full_tuple(v, 2, "op_bsr2");
+      const PackedBlock x0 = pk::lane_scalar(v, 0);
+      const PackedBlock x1 = pk::lane_scalar(v, 1);
+      std::vector<PackedBlock> out;
+      out.reserve(2);
+      out.push_back(pp(x0, pt(x0, x1)));
+      out.push_back(pt(x1, x1));
+      return pk::tuple_of(std::move(out), ir::mask_full(v.size()), v.size());
+    };
+  }
+  return f;
 }
 
 std::function<Value(int, const Value&)> make_general_bsr2(BinOpPtr otimes,
@@ -201,13 +410,28 @@ std::function<Value(int, const Value&)> make_general_bsr2(BinOpPtr otimes,
 ir::ElemFn make_op_bsr(BinOpPtr oplus) {
   COLOP_REQUIRE(oplus->commutative(),
                 "op_bsr requires a commutative base operator");
-  return {"op_bsr[" + oplus->name() + "]",
-          [o = oplus](const Value& v) {
-            const auto& x = v.as_tuple();  // (t, u)
-            const Value uu = (*o)(x[1], x[1]);
-            return Value(Tuple{(*o)((*o)(x[0], x[0]), x[1]), (*o)(uu, uu)});
-          },
-          4 * oplus->ops_cost()};
+  ir::ElemFn f;
+  f.name = "op_bsr[" + oplus->name() + "]";
+  f.fn = [o = oplus](const Value& v) {
+    const auto& x = v.as_tuple();  // (t, u)
+    const Value uu = (*o)(x[1], x[1]);
+    return make_tuple((*o)((*o)(x[0], x[0]), x[1]), (*o)(uu, uu));
+  };
+  f.ops_cost = 4 * oplus->ops_cost();
+  if (oplus->has_packed()) {
+    f.packed_fn = [po = oplus->packed()](PackedBlock v) {
+      require_full_tuple(v, 2, "op_bsr");
+      const PackedBlock x0 = pk::lane_scalar(v, 0);
+      const PackedBlock x1 = pk::lane_scalar(v, 1);
+      const PackedBlock uu = po(x1, x1);
+      std::vector<PackedBlock> out;
+      out.reserve(2);
+      out.push_back(po(po(x0, x0), x1));
+      out.push_back(po(uu, uu));
+      return pk::tuple_of(std::move(out), ir::mask_full(v.size()), v.size());
+    };
+  }
+  return f;
 }
 
 std::function<Value(int, const Value&)> make_general_bsr(BinOpPtr oplus) {
@@ -216,7 +440,7 @@ std::function<Value(int, const Value&)> make_general_bsr(BinOpPtr oplus) {
   return [o = oplus](int p, const Value& x) {
     const auto n = static_cast<std::uint64_t>(p);
     const Value& b = x.at(0);
-    return Value(Tuple{pow_assoc(*o, b, n * (n + 1) / 2), Value::undefined()});
+    return make_tuple(pow_assoc(*o, b, n * (n + 1) / 2), Value::undefined());
   };
 }
 

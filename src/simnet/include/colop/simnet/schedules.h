@@ -8,6 +8,11 @@
 // exactly:  T_bcast  = log p * (ts + m*tw)                    (Eq 15)
 //           T_reduce = log p * (ts + m*(tw + 1))              (Eq 16)
 //           T_scan   = log p * (ts + m*(tw + 2))              (Eq 17)
+//
+// Word counts are data-plane independent: `m * w` is the number of defined
+// 8-byte payload words (an undefined `_` costs zero), and both the boxed
+// and the packed executors (colop/ir/packed.h) charge exactly this via
+// payload_bytes — so simnet predictions stay valid whichever plane runs.
 
 #include "colop/mpsim/balanced_tree.h"
 #include "colop/simnet/machine.h"

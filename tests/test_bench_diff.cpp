@@ -1,7 +1,7 @@
 // Benchmark regression comparison: identical runs pass, cost-like metrics
-// fail only on increase, other metrics fail on drift in either direction,
-// foreign schemas are skipped with a note, and one-sided metrics become
-// notes instead of failures.
+// fail only on increase, throughput-like metrics only on decrease, other
+// metrics fail on drift in either direction, foreign schemas are skipped
+// with a note, and one-sided metrics become notes instead of failures.
 
 #include <gtest/gtest.h>
 
@@ -47,16 +47,31 @@ TEST(BenchDiff, TimeIncreaseWithinThresholdPasses) {
   EXPECT_FALSE(report.regressed());
 }
 
-TEST(BenchDiff, NonCostMetricsFailInEitherDirection) {
+TEST(BenchDiff, ThroughputMetricsFailOnlyOnDecrease) {
   EXPECT_TRUE(compare_bench_json("b", doc("\"speedup\":2.0"),
                                  doc("\"speedup\":1.5"))
                   .regressed());
-  EXPECT_TRUE(compare_bench_json("b", doc("\"speedup\":2.0"),
-                                 doc("\"speedup\":2.5"))
-                  .regressed());
+  EXPECT_FALSE(compare_bench_json("b", doc("\"speedup\":2.0"),
+                                  doc("\"speedup\":2.5"))
+                   .regressed());
   EXPECT_FALSE(compare_bench_json("b", doc("\"speedup\":2.0"),
                                   doc("\"speedup\":2.1"))
                    .regressed());
+  EXPECT_TRUE(compare_bench_json("b", doc("\"map_elems_per_sec\":4e8"),
+                                 doc("\"map_elems_per_sec\":1e8"))
+                  .regressed());
+  EXPECT_FALSE(compare_bench_json("b", doc("\"map_elems_per_sec\":4e8"),
+                                  doc("\"map_elems_per_sec\":9e8"))
+                   .regressed());
+}
+
+TEST(BenchDiff, NonCostNonThroughputMetricsFailInEitherDirection) {
+  EXPECT_TRUE(compare_bench_json("b", doc("\"rules_applied\":4.0"),
+                                 doc("\"rules_applied\":6.0"))
+                  .regressed());
+  EXPECT_TRUE(compare_bench_json("b", doc("\"rules_applied\":4.0"),
+                                 doc("\"rules_applied\":2.0"))
+                  .regressed());
 }
 
 TEST(BenchDiff, TrafficCountsAreCostLike) {
@@ -65,6 +80,14 @@ TEST(BenchDiff, TrafficCountsAreCostLike) {
   EXPECT_TRUE(higher_is_worse("model_time_before"));
   EXPECT_FALSE(higher_is_worse("speedup"));
   EXPECT_FALSE(higher_is_worse("all_agree"));
+}
+
+TEST(BenchDiff, ThroughputMetricsAreHigherIsBetter) {
+  EXPECT_TRUE(higher_is_better("speedup_scan_local"));
+  EXPECT_TRUE(higher_is_better("map_elems_per_sec"));
+  EXPECT_TRUE(higher_is_better("serialize_bytes_per_sec"));
+  EXPECT_FALSE(higher_is_better("sim_time_s"));
+  EXPECT_FALSE(higher_is_better("all_agree"));
 }
 
 TEST(BenchDiff, ForeignSchemaIsSkippedNotFailed) {
