@@ -27,6 +27,7 @@
 #include "colop/ir/packed_eval.h"
 #include "colop/ir/packed_kernels.h"
 #include "colop/obs/metrics.h"
+#include "colop/rt/flight_recorder.h"
 #include "colop/rules/derived_ops.h"
 #include "colop/support/rng.h"
 
@@ -188,6 +189,43 @@ Measurement bench_e2e(const std::string& name, const ir::Program& prog,
           static_cast<double>(elems) / tp};
 }
 
+// --- Phase C: flight-recorder overhead -----------------------------------
+
+// The rt telemetry layer claims always-on, low-overhead.  Hold it to that:
+// the same pipeline with the recorder on vs off must agree to within a few
+// percent (best-of-reps on both sides absorbs scheduler noise).
+double bench_rt_overhead(const ir::Program& prog, const ir::Dist& input,
+                         int reps, obs::MetricsRegistry& reg) {
+  auto& cfg = rt::mutable_config();
+  const rt::Config saved = cfg;
+  auto one_run = [&](bool enabled) {
+    cfg.enabled = enabled;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = exec::run_on_threads_instrumented(prog, input,
+                                                     ir::DataPlane::Boxed);
+    const auto t1 = std::chrono::steady_clock::now();
+    g_sink += r.output.size();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+  // Interleave the two configurations so frequency scaling and background
+  // load hit both sides alike; best-of-reps absorbs the remaining noise.
+  one_run(false);
+  one_run(true);
+  double off = std::numeric_limits<double>::max();
+  double on = std::numeric_limits<double>::max();
+  for (int i = 0; i < 2 * reps; ++i) {
+    off = std::min(off, one_run(false));
+    on = std::min(on, one_run(true));
+  }
+  cfg = saved;
+  const double overhead = on / off - 1.0;
+  reg.set("rt_overhead_e2e", overhead);
+  reg.add_row("micro_dataplane",
+              {{"rt_e2e_recorder_on_sec", on},
+               {"rt_e2e_recorder_off_sec", off}});
+  return overhead;
+}
+
 }  // namespace
 }  // namespace colop::bench
 
@@ -210,6 +248,7 @@ int main(int argc, char** argv) {
   reg.set("quick", quick ? 1 : 0);
 
   std::vector<Measurement> ms;
+  double rt_overhead = 0;
 
   // Phase A: local kernels.
   ms.push_back(bench_map_pair(m_local, reps));
@@ -258,6 +297,8 @@ int main(int argc, char** argv) {
     ir::Program bcast_scan;  // Table 1 LHS of BS-Comcast
     bcast_scan.bcast().scan(ir::op_add());
     ms.push_back(bench_e2e("e2e_bcast_scan", bcast_scan, ints, e2e_reps));
+
+    rt_overhead = bench_rt_overhead(scan_reduce, ints, e2e_reps, reg);
   }
 
   std::cout << "micro_dataplane (m_local=" << m_local << ", m_e2e=" << m_e2e
@@ -277,6 +318,17 @@ int main(int argc, char** argv) {
   }
   reg.set("speedup_e2e_min", e2e_speedup_min);
 
+  std::printf("  rt recorder overhead on e2e_scan_reduce: %+.2f%%\n",
+              rt_overhead * 100);
+
   write_bench_json("micro_dataplane", reg);
+
+  // Gate: the flight recorder must stay cheap on the e2e path.  Quick runs
+  // are too short for a stable ratio, so they only report.
+  if (!quick && rt_overhead > 0.05) {
+    std::cerr << "FAIL: rt recorder overhead " << rt_overhead * 100
+              << "% exceeds the 5% budget\n";
+    return 1;
+  }
   return 0;
 }

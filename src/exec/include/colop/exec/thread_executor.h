@@ -17,6 +17,7 @@
 #include "colop/ir/packed_eval.h"
 #include "colop/ir/program.h"
 #include "colop/mpsim/mpsim.h"
+#include "colop/rt/flight_recorder.h"
 
 namespace colop::exec {
 
@@ -30,6 +31,10 @@ struct ThreadRunResult {
   mpsim::TrafficCounters traffic;  ///< messages/bytes actually sent
   double wall_seconds = 0;
   bool used_packed = false;  ///< ran on the flat data plane
+  /// Flight-recorder capture of the run (stage spans, send/recv, waits,
+  /// queue depths).  `rt.enabled` is false when COLOP_RT=0 or the layer is
+  /// compiled out; feed an enabled capture to rt::build_report.
+  rt::FleetSnapshot rt;
 };
 
 /// As run_on_threads, plus traffic counters and wall-clock time.

@@ -1,8 +1,10 @@
 #include "colop/exec/thread_executor.h"
 
+#include <string>
 #include <utility>
 
 #include "colop/obs/sink.h"
+#include "colop/rt/flight_recorder.h"
 #include "colop/support/bits.h"
 #include "colop/support/error.h"
 
@@ -34,28 +36,55 @@ auto lift1(F f) {
   };
 }
 
-// One rank's stage loop, shared by both data planes.
+// One rank's stage loop, shared by both data planes.  A stage that throws
+// is rethrown as colop::Error carrying rank + stage context; the SPMD
+// launcher's group abort then releases peers blocked in recv/barrier, so
+// the caller sees the annotated failure instead of a deadlock.
 template <typename B, typename ExecStage>
-B run_rank(const ir::Program& prog, mpsim::Comm& comm, B block,
+B run_rank(const ir::Program& prog, mpsim::Comm& comm, B block, bool packed,
            ExecStage exec) {
-  for (const auto& stage : prog.stages()) {
-    if (obs::enabled()) {
-      obs::Event ev;
-      ev.phase = obs::Phase::begin;
-      ev.name = stage->show();
-      ev.cat = "exec";
-      ev.ts = obs::now_us();
-      ev.tid = comm.rank();
-      obs::record(ev);
-      exec(*stage, comm, block);
-      ev.phase = obs::Phase::end;
-      ev.ts = obs::now_us();
-      obs::record(ev);
-    } else {
-      exec(*stage, comm, block);
+  rt::Recorder* rec = comm.flight_recorder();
+  if (rec != nullptr) rec->log(rt::Ev::plane, -1, 0, packed ? 1 : 0);
+  for (std::size_t i = 0; i < prog.stages().size(); ++i) {
+    const auto& stage = prog.stages()[i];
+    if (rec != nullptr) {
+      rec->set_stage(static_cast<std::uint16_t>(i));
+      rec->log(rt::Ev::stage_begin);
+    }
+    try {
+      if (obs::enabled()) {
+        obs::Event ev;
+        ev.phase = obs::Phase::begin;
+        ev.name = stage->show();
+        ev.cat = "exec";
+        ev.ts = obs::now_us();
+        ev.tid = comm.rank();
+        obs::record(ev);
+        exec(*stage, comm, block);
+        ev.phase = obs::Phase::end;
+        ev.ts = obs::now_us();
+        obs::record(ev);
+      } else {
+        exec(*stage, comm, block);
+      }
+    } catch (const std::exception& e) {
+      throw Error("run_on_threads: rank " + std::to_string(comm.rank()) +
+                  " failed in stage " + std::to_string(i) + " (" +
+                  stage->show() + "): " + e.what());
+    }
+    if (rec != nullptr) {
+      rec->log(rt::Ev::stage_end);
+      rec->set_stage(rt::Record::kNoStage);
     }
   }
   return block;
+}
+
+std::vector<std::string> stage_labels(const ir::Program& prog) {
+  std::vector<std::string> labels;
+  labels.reserve(prog.size());
+  for (const auto& stage : prog.stages()) labels.push_back(stage->show());
+  return labels;
 }
 
 }  // namespace
@@ -232,37 +261,44 @@ ThreadRunResult run_on_threads_instrumented(const ir::Program& prog,
 
   if (plane != ir::DataPlane::Boxed) {
     if (auto packed = ir::try_pack_for(prog, input)) {
+      auto group = std::make_shared<mpsim::Group>(p);
+      group->fleet().set_stage_labels(stage_labels(prog));
       const auto t0 = std::chrono::steady_clock::now();
-      auto [output, traffic] = mpsim::run_spmd_collect_traffic<PackedBlock>(
-          p, [&](mpsim::Comm& comm) {
-            return run_rank(
-                prog, comm,
-                std::move((*packed)[static_cast<std::size_t>(comm.rank())]),
-                exec_stage_packed);
-          });
+      auto [output, traffic] =
+          mpsim::run_spmd_collect_traffic_on<PackedBlock>(
+              group, [&](mpsim::Comm& comm) {
+                return run_rank(
+                    prog, comm,
+                    std::move((*packed)[static_cast<std::size_t>(comm.rank())]),
+                    true, exec_stage_packed);
+              });
       const auto t1 = std::chrono::steady_clock::now();
       return {ir::unpack_dist(output), traffic,
-              std::chrono::duration<double>(t1 - t0).count(), true};
+              std::chrono::duration<double>(t1 - t0).count(), true,
+              group->fleet().snapshot()};
     }
     COLOP_REQUIRE(plane != ir::DataPlane::Packed,
                   "run_on_threads: packed plane forced but the program or "
                   "data is not packable: " + prog.show());
   }
 
+  auto group = std::make_shared<mpsim::Group>(p);
+  group->fleet().set_stage_labels(stage_labels(prog));
   const auto t0 = std::chrono::steady_clock::now();
-  auto [output, traffic] = mpsim::run_spmd_collect_traffic<Block>(
-      p, [&](mpsim::Comm& comm) {
+  auto [output, traffic] = mpsim::run_spmd_collect_traffic_on<Block>(
+      group, [&](mpsim::Comm& comm) {
         // Each rank owns exactly its slot — move, don't copy, the block in.
         return run_rank(
             prog, comm,
-            std::move(input[static_cast<std::size_t>(comm.rank())]),
+            std::move(input[static_cast<std::size_t>(comm.rank())]), false,
             [](const ir::Stage& st, mpsim::Comm& c, Block& b) {
               exec_stage(st, c, b);
             });
       });
   const auto t1 = std::chrono::steady_clock::now();
   return {std::move(output), traffic,
-          std::chrono::duration<double>(t1 - t0).count(), false};
+          std::chrono::duration<double>(t1 - t0).count(), false,
+          group->fleet().snapshot()};
 }
 
 }  // namespace colop::exec

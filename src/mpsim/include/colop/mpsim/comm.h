@@ -18,6 +18,7 @@
 
 #include "colop/mpsim/group.h"
 #include "colop/obs/sink.h"
+#include "colop/rt/flight_recorder.h"
 #include "colop/support/error.h"
 
 namespace colop::mpsim {
@@ -29,7 +30,10 @@ class Comm {
  public:
   Comm() = default;  ///< invalid communicator (e.g. split with color < 0)
   Comm(std::shared_ptr<Group> group, int rank)
-      : group_(std::move(group)), rank_(rank) {}
+      : group_(std::move(group)),
+        rank_(rank),
+        rec_(group_ ? group_->fleet().recorder(rank) : nullptr),
+        rt_stats_(group_ ? group_->fleet().stats(rank) : nullptr) {}
 
   [[nodiscard]] bool valid() const noexcept { return group_ != nullptr; }
   [[nodiscard]] int rank() const noexcept { return rank_; }
@@ -73,7 +77,24 @@ class Comm {
     return group_->mailbox(rank_).pending();
   }
 
-  void barrier() const { group_->barrier(); }
+  void barrier() const {
+    if (rec_ != nullptr) {
+      rec_->log(rt::Ev::barrier_begin);
+      rt_stats_->blocked.store(1, std::memory_order_relaxed);
+      const std::uint64_t t0 = rec_->now_ns();
+      group_->barrier();
+      rt_stats_->barrier_wait_ns.fetch_add(rec_->now_ns() - t0,
+                                           std::memory_order_relaxed);
+      rt_stats_->blocked.store(0, std::memory_order_relaxed);
+      rt_stats_->barriers.fetch_add(1, std::memory_order_relaxed);
+      rec_->log(rt::Ev::barrier_end);
+    } else {
+      group_->barrier();
+    }
+  }
+
+  /// This rank's flight recorder; nullptr when telemetry is disabled.
+  [[nodiscard]] rt::Recorder* flight_recorder() const noexcept { return rec_; }
 
   /// MPI_Comm_split analogue.  Collective over the group.  Ranks passing
   /// color < 0 receive an invalid Comm.  Within a color, new ranks are
@@ -99,6 +120,11 @@ class Comm {
     COLOP_REQUIRE(dest >= 0 && dest < size(), "mpsim: send to invalid rank");
     const std::size_t bytes = wire_size(value);
     group_->stats().record_send(rank_, bytes);
+    if (rec_ != nullptr) {
+      rec_->log(rt::Ev::send, dest, bytes, static_cast<std::uint64_t>(tag));
+      rt_stats_->sends.fetch_add(1, std::memory_order_relaxed);
+      rt_stats_->send_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    }
     if (obs::enabled()) {
       obs::Event ev;
       ev.phase = obs::Phase::instant;
@@ -119,7 +145,14 @@ class Comm {
   [[nodiscard]] T recv_raw(int source, int tag) const {
     COLOP_REQUIRE(source >= 0 && source < size(),
                   "mpsim: recv from invalid rank");
+    if (rec_ != nullptr)
+      rec_->log(rt::Ev::recv_begin, source, 0, static_cast<std::uint64_t>(tag));
     Message msg = group_->mailbox(rank_).take(source, tag);
+    if (rec_ != nullptr) {
+      rec_->log(rt::Ev::recv_end, source, msg.bytes,
+                static_cast<std::uint64_t>(tag));
+      rt_stats_->recvs.fetch_add(1, std::memory_order_relaxed);
+    }
     T* v = std::any_cast<T>(&msg.payload);
     COLOP_REQUIRE(v != nullptr, "mpsim: recv type does not match sent type");
     return std::move(*v);
@@ -128,6 +161,8 @@ class Comm {
  private:
   std::shared_ptr<Group> group_;
   int rank_ = -1;
+  rt::Recorder* rec_ = nullptr;       ///< this rank's flight recorder
+  rt::RankStats* rt_stats_ = nullptr; ///< this rank's telemetry slot
   mutable std::uint64_t collective_seq_ = 0;
 };
 

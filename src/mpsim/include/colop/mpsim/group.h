@@ -14,6 +14,7 @@
 
 #include "colop/mpsim/mailbox.h"
 #include "colop/mpsim/stats.h"
+#include "colop/rt/flight_recorder.h"
 
 namespace colop::mpsim {
 
@@ -27,6 +28,12 @@ class Group {
   [[nodiscard]] int size() const noexcept { return size_; }
   [[nodiscard]] Mailbox& mailbox(int rank);
   [[nodiscard]] TrafficStats& stats() noexcept { return stats_; }
+
+  /// The group's runtime-telemetry fleet (flight recorders + wait/queue
+  /// accounting, one slot per rank).  Disabled fleets hand out nullptr
+  /// recorders, which is the whole hot-path check.
+  [[nodiscard]] rt::Fleet& fleet() noexcept { return fleet_; }
+  [[nodiscard]] const rt::Fleet& fleet() const noexcept { return fleet_; }
 
   /// Block until all `size()` ranks have entered; reusable (generational).
   /// Throws colop::Error if the group is aborted while waiting.
@@ -54,6 +61,7 @@ class Group {
 
  private:
   int size_;
+  rt::Fleet fleet_;  // before mailboxes_: they hold pointers into it
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   TrafficStats stats_;
   std::atomic<bool> aborted_{false};

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "colop/mpsim/message.h"
+#include "colop/rt/flight_recorder.h"
 
 namespace colop::mpsim {
 
@@ -37,6 +38,11 @@ class Mailbox {
   /// Install the group's abort flag (set once at group construction).
   void set_abort_flag(const std::atomic<bool>* aborted) { aborted_ = aborted; }
 
+  /// Install the owning rank's telemetry slot (rt::Fleet; may be null).
+  /// put() then accounts queue depth / bytes in flight, take() accounts
+  /// blocked receive time.
+  void set_telemetry(rt::RankStats* stats) { stats_ = stats; }
+
  private:
   struct Key {
     int source;
@@ -55,6 +61,7 @@ class Mailbox {
   std::condition_variable cv_;
   std::unordered_map<Key, std::deque<Message>, KeyHash> queues_;
   const std::atomic<bool>* aborted_ = nullptr;
+  rt::RankStats* stats_ = nullptr;
 };
 
 }  // namespace colop::mpsim

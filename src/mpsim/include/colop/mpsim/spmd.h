@@ -5,14 +5,25 @@
 // Exception safety: if any rank throws, the group is aborted so that ranks
 // blocked in recv/barrier wake up and unwind; the first "real" exception is
 // rethrown to the caller after all threads joined.
+//
+// Runtime telemetry: when the group's rt::Fleet is enabled and a watchdog
+// deadline is configured (COLOP_RT_WATCHDOG_MS or rt::mutable_config()),
+// every launch is supervised by an rt::Watchdog — a rank that stops
+// logging flight-recorder events past the deadline triggers a post-mortem
+// dump and a group abort, and the launcher reports the stall as a
+// colop::Error instead of hanging forever.  An uncaught rank exception
+// also dumps a post-mortem when COLOP_RT_DUMP is set.
 
 #include <exception>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "colop/mpsim/comm.h"
+#include "colop/rt/watchdog.h"
 #include "colop/support/error.h"
 
 namespace colop::mpsim {
@@ -23,6 +34,13 @@ template <typename Body>
 void run_spmd_impl(int nprocs, Body&& body,
                    const std::shared_ptr<Group>& group) {
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs));
+
+  std::optional<rt::Watchdog> watchdog;
+  if (group->fleet().enabled() && rt::config().watchdog_ms > 0)
+    watchdog.emplace(group->fleet(),
+                     rt::watchdog_options_from_config(rt::config()),
+                     [g = group.get()] { g->abort(); });
+
   {
     std::vector<std::jthread> threads;
     threads.reserve(static_cast<std::size_t>(nprocs));
@@ -31,6 +49,8 @@ void run_spmd_impl(int nprocs, Body&& body,
         Comm comm(group, r);
         try {
           body(comm);
+          if (rt::RankStats* st = group->fleet().stats(r))
+            st->done.store(1, std::memory_order_release);
         } catch (...) {
           errors[static_cast<std::size_t>(r)] = std::current_exception();
           group->abort();
@@ -38,26 +58,53 @@ void run_spmd_impl(int nprocs, Body&& body,
       });
     }
   }  // join
+  if (watchdog) watchdog->stop();
 
   // Prefer the originating exception over secondary "group aborted" ones.
   std::exception_ptr first;
+  bool first_is_abort = false;
   for (const auto& e : errors) {
     if (!e) continue;
-    if (!first) first = e;
+    if (!first) {
+      first = e;
+      first_is_abort = true;
+    }
     try {
       std::rethrow_exception(e);
     } catch (const Error& err) {
       const std::string what = err.what();
       if (what.find("group aborted") == std::string::npos) {
         first = e;
+        first_is_abort = false;
         break;
       }
     } catch (...) {
       first = e;
+      first_is_abort = false;
       break;
     }
   }
-  if (first) std::rethrow_exception(first);
+  if (watchdog && watchdog->stalled() && (!first || first_is_abort)) {
+    // The only failures are the watchdog's own abort waking blocked ranks:
+    // surface the stall itself, post-mortem already dumped.
+    throw Error(watchdog->describe() +
+                " — post-mortem dumped, group aborted to release blocked "
+                "ranks");
+  }
+  if (first) {
+    if (!first_is_abort && group->fleet().enabled() &&
+        !rt::config().dump_path.empty()) {
+      std::string reason = "uncaught rank exception";
+      try {
+        std::rethrow_exception(first);
+      } catch (const std::exception& e) {
+        reason += std::string(": ") + e.what();
+      } catch (...) {
+      }
+      rt::dump_post_mortem(group->fleet(), reason, rt::config().dump_path);
+    }
+    std::rethrow_exception(first);
+  }
 }
 
 }  // namespace detail
@@ -75,6 +122,9 @@ void run_spmd(int nprocs, Body&& body) {
 /// vector is exactly the paper's distributed list [x1, ..., xn].
 template <typename R, typename Body>
 [[nodiscard]] std::vector<R> run_spmd_collect(int nprocs, Body&& body) {
+  static_assert(!std::is_same_v<R, bool>,
+                "run_spmd_collect<bool> races: vector<bool> bit-packs and "
+                "ranks write their slots concurrently — collect int or char");
   COLOP_REQUIRE(nprocs >= 1, "mpsim: need at least one rank");
   auto group = std::make_shared<Group>(nprocs);
   std::vector<R> results(static_cast<std::size_t>(nprocs));
@@ -85,18 +135,31 @@ template <typename R, typename Body>
   return results;
 }
 
+/// As run_spmd_collect, but on a caller-constructed group — the thread
+/// executor uses this to prime the group's rt::Fleet (stage labels) before
+/// the ranks start and to snapshot it after they finish.
+template <typename R, typename Body>
+[[nodiscard]] std::pair<std::vector<R>, TrafficCounters>
+run_spmd_collect_traffic_on(const std::shared_ptr<Group>& group, Body&& body) {
+  static_assert(!std::is_same_v<R, bool>,
+                "collecting bool races: vector<bool> bit-packs and ranks "
+                "write their slots concurrently — collect int or char");
+  COLOP_REQUIRE(group != nullptr, "mpsim: null group");
+  std::vector<R> results(static_cast<std::size_t>(group->size()));
+  detail::run_spmd_impl(
+      group->size(),
+      [&](Comm& comm) { results[static_cast<std::size_t>(comm.rank())] = body(comm); },
+      group);
+  return {std::move(results), group->stats().snapshot()};
+}
+
 /// As run_spmd_collect, but also returns the group's traffic counters.
 template <typename R, typename Body>
 [[nodiscard]] std::pair<std::vector<R>, TrafficCounters> run_spmd_collect_traffic(
     int nprocs, Body&& body) {
   COLOP_REQUIRE(nprocs >= 1, "mpsim: need at least one rank");
   auto group = std::make_shared<Group>(nprocs);
-  std::vector<R> results(static_cast<std::size_t>(nprocs));
-  detail::run_spmd_impl(
-      nprocs,
-      [&](Comm& comm) { results[static_cast<std::size_t>(comm.rank())] = body(comm); },
-      group);
-  return {std::move(results), group->stats().snapshot()};
+  return run_spmd_collect_traffic_on<R>(group, std::forward<Body>(body));
 }
 
 /// As run_spmd, but also returns the group's traffic counters.

@@ -6,6 +6,7 @@ namespace colop::mpsim {
 
 Group::Group(int size)
     : size_(size),
+      fleet_(size, rt::config()),
       stats_(size),
       split_slots_(static_cast<std::size_t>(size), {-1, 0}) {
   COLOP_REQUIRE(size >= 1, "mpsim: group size must be >= 1");
@@ -13,6 +14,7 @@ Group::Group(int size)
   for (int i = 0; i < size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
     mailboxes_.back()->set_abort_flag(&aborted_);
+    mailboxes_.back()->set_telemetry(fleet_.stats(i));
   }
 }
 

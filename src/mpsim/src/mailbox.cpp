@@ -1,15 +1,46 @@
 #include "colop/mpsim/mailbox.h"
 
 #include <atomic>
+#include <chrono>
 
 #include "colop/support/error.h"
 
 namespace colop::mpsim {
+namespace {
+
+// Monotone max for relaxed atomics (telemetry only; exactness under a lost
+// race is irrelevant, absence of data races is not).
+void relaxed_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 void Mailbox::put(Message msg) {
+  const std::size_t bytes = msg.bytes;
   {
     std::lock_guard lk(mutex_);
     queues_[Key{msg.source, msg.tag}].push_back(std::move(msg));
+  }
+  if (stats_ != nullptr) {
+    const std::uint64_t depth =
+        stats_->queue_depth.fetch_add(1, std::memory_order_relaxed) + 1;
+    relaxed_max(stats_->queue_depth_max, depth);
+    stats_->queue_depth_sum.fetch_add(depth, std::memory_order_relaxed);
+    stats_->queued_total.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t qb =
+        stats_->queue_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    relaxed_max(stats_->queue_bytes_max, qb);
   }
   cv_.notify_all();
 }
@@ -17,11 +48,25 @@ void Mailbox::put(Message msg) {
 Message Mailbox::take(int source, int tag) {
   std::unique_lock lk(mutex_);
   const Key key{source, tag};
-  cv_.wait(lk, [&] {
+  auto ready = [&] {
     if (aborted_ && aborted_->load(std::memory_order_acquire)) return true;
     auto it = queues_.find(key);
     return it != queues_.end() && !it->second.empty();
-  });
+  };
+  if (!ready()) {
+    // About to block: account the wait so per-rank blocked time and the
+    // watchdog's liveness view reflect real contention, not just traffic.
+    if (stats_ != nullptr) {
+      stats_->blocked.store(1, std::memory_order_relaxed);
+      const std::uint64_t t0 = steady_ns();
+      cv_.wait(lk, ready);
+      stats_->recv_wait_ns.fetch_add(steady_ns() - t0,
+                                     std::memory_order_relaxed);
+      stats_->blocked.store(0, std::memory_order_relaxed);
+    } else {
+      cv_.wait(lk, ready);
+    }
+  }
   if (aborted_ && aborted_->load(std::memory_order_acquire)) {
     auto it = queues_.find(key);
     if (it == queues_.end() || it->second.empty())
@@ -30,6 +75,10 @@ Message Mailbox::take(int source, int tag) {
   auto& q = queues_[key];
   Message msg = std::move(q.front());
   q.pop_front();
+  if (stats_ != nullptr) {
+    stats_->queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    stats_->queue_bytes.fetch_sub(msg.bytes, std::memory_order_relaxed);
+  }
   return msg;
 }
 

@@ -1,0 +1,185 @@
+// Self-contained HTML runtime report: summary + per-rank/per-stage tables
+// and an SVG timeline reconstructed from the flight-recorder events.  No
+// scripts, no external assets — the file CI uploads renders anywhere.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "colop/obs/json.h"
+#include "colop/rt/report.h"
+
+namespace colop::rt {
+namespace {
+
+struct Span {
+  int rank = 0;
+  double t0 = 0, t1 = 0;  // us
+  std::string label;
+  bool wait = false;  // recv/barrier wait (drawn as overlay)
+  int stage = -1;
+};
+
+std::string esc(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '<') out += "&lt;";
+    else if (c == '>') out += "&gt;";
+    else if (c == '&') out += "&amp;";
+    else out += c;
+  }
+  return out;
+}
+
+std::string fmt(double v, int prec = 3) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+// Qualitative palette (colorblind-safe, from the shared dataviz set).
+const char* stage_color(int i) {
+  static const char* kPalette[] = {"#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+                                   "#b07aa1", "#76b7b2", "#edc948", "#9c755f"};
+  return kPalette[i >= 0 ? i % 8 : 0];
+}
+
+}  // namespace
+
+void RtReport::write_html(std::ostream& os) const {
+  // Reconstruct spans from the begin/end event stream, one stack per rank.
+  std::vector<Span> spans;
+  std::map<int, std::vector<Span>> open;  // rank -> stack
+  double tmax = 0;
+  for (const obs::Event& ev : events) {
+    tmax = std::max(tmax, ev.ts);
+    if (ev.cat != "rt") continue;
+    if (ev.phase == obs::Phase::begin) {
+      Span s;
+      s.rank = ev.tid;
+      s.t0 = ev.ts;
+      s.label = ev.name;
+      s.wait = ev.name == "recv" || ev.name == "barrier";
+      open[ev.tid].push_back(s);
+    } else if (ev.phase == obs::Phase::end) {
+      auto& stack = open[ev.tid];
+      // Close the innermost span with this name (rings may truncate pairs).
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (it->label != ev.name) continue;
+        Span s = *it;
+        s.t1 = ev.ts;
+        stack.erase(std::next(it).base());
+        spans.push_back(std::move(s));
+        break;
+      }
+    }
+  }
+  // Stage index for coloring, from the label order in `stages`.
+  std::map<std::string, int> stage_idx;
+  for (const StageReport& s : stages) stage_idx.emplace(s.label, s.index);
+  for (Span& s : spans)
+    if (!s.wait) {
+      auto it = stage_idx.find(s.label);
+      s.stage = it == stage_idx.end() ? 0 : it->second;
+    }
+
+  os << "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
+     << "<title>colop runtime report</title><style>\n"
+     << "body{font:14px/1.5 system-ui,sans-serif;margin:24px;color:#1a1a2e}\n"
+     << "table{border-collapse:collapse;margin:12px 0}\n"
+     << "th,td{border:1px solid #d4d4dc;padding:4px 10px;text-align:right}\n"
+     << "th{background:#f4f4f8}td:first-child,th:first-child{text-align:left}\n"
+     << "h1{font-size:20px}h2{font-size:16px;margin-top:28px}\n"
+     << ".legend span{display:inline-block;margin-right:14px}\n"
+     << ".legend i{display:inline-block;width:11px;height:11px;"
+     << "margin-right:4px;border-radius:2px}\n"
+     << "</style></head><body>\n";
+  os << "<h1>colop runtime telemetry</h1>\n<p>program: <code>" << esc(program)
+     << "</code><br>p=" << procs << ", plane="
+     << (used_packed ? "packed" : "boxed") << ", wall " << fmt(wall_ms)
+     << " ms";
+  if (timing.repeats > 1)
+    os << " (" << timing.repeats << " repeats: min " << fmt(timing.min_ms)
+       << " / median " << fmt(timing.median_ms) << " / stddev "
+       << fmt(timing.stddev_ms) << " ms)";
+  if (dropped_total > 0)
+    os << "<br><b>note:</b> flight recorder dropped " << dropped_total
+       << " records";
+  os << "</p>\n";
+
+  // --- timeline ----------------------------------------------------------
+  if (!spans.empty() && tmax > 0) {
+    const int width = 960, row_h = 26, left = 54;
+    const int height = procs * row_h + 24;
+    const double sx = (width - left - 10) / tmax;
+    os << "<h2>timeline</h2>\n<svg width=\"" << width << "\" height=\""
+       << height << "\" role=\"img\">\n";
+    for (int r = 0; r < procs; ++r) {
+      const int y = 12 + r * row_h;
+      os << "<text x=\"4\" y=\"" << y + 15
+         << "\" font-size=\"11\" fill=\"#555\">P" << r << "</text>\n"
+         << "<line x1=\"" << left << "\" y1=\"" << y + row_h - 3 << "\" x2=\""
+         << width - 8 << "\" y2=\"" << y + row_h - 3
+         << "\" stroke=\"#e4e4ea\"/>\n";
+    }
+    std::size_t drawn = 0;
+    for (const Span& s : spans) {
+      if (drawn++ > 4000) break;  // keep the file bounded
+      const double x = left + s.t0 * sx;
+      const double w = std::max(0.75, (s.t1 - s.t0) * sx);
+      const int y = 12 + s.rank * row_h;
+      if (s.wait) {
+        os << "<rect x=\"" << fmt(x, 2) << "\" y=\"" << y + 12 << "\" width=\""
+           << fmt(w, 2) << "\" height=\"6\" fill=\"#c8c8d2\"><title>"
+           << esc(s.label) << " P" << s.rank << " " << fmt(s.t1 - s.t0)
+           << " us</title></rect>\n";
+      } else {
+        os << "<rect x=\"" << fmt(x, 2) << "\" y=\"" << y << "\" width=\""
+           << fmt(w, 2) << "\" height=\"12\" fill=\"" << stage_color(s.stage)
+           << "\"><title>" << esc(s.label) << " P" << s.rank << " "
+           << fmt(s.t1 - s.t0) << " us</title></rect>\n";
+      }
+    }
+    os << "</svg>\n<p class=\"legend\">";
+    for (const StageReport& s : stages)
+      os << "<span><i style=\"background:" << stage_color(s.index) << "\"></i>"
+         << esc(s.label) << "</span>";
+    os << "<span><i style=\"background:#c8c8d2\"></i>recv/barrier wait</span>"
+       << "</p>\n";
+  }
+
+  // --- per-rank table ----------------------------------------------------
+  os << "<h2>per-rank accounting</h2>\n<table><tr><th>rank</th>"
+     << "<th>busy ms</th><th>recv wait ms</th><th>barrier wait ms</th>"
+     << "<th>sends</th><th>bytes</th><th>queue depth max</th>"
+     << "<th>queue depth mean</th><th>queue bytes max</th></tr>\n";
+  for (const RankReport& r : ranks)
+    os << "<tr><td>P" << r.rank << "</td><td>" << fmt(r.busy_ms) << "</td><td>"
+       << fmt(r.recv_wait_ms) << "</td><td>" << fmt(r.barrier_wait_ms)
+       << "</td><td>" << r.sends << "</td><td>" << r.send_bytes << "</td><td>"
+       << r.queue_depth_max << "</td><td>" << fmt(r.queue_depth_mean, 2)
+       << "</td><td>" << r.queue_bytes_max << "</td></tr>\n";
+  os << "</table>\n";
+
+  // --- per-stage table ---------------------------------------------------
+  if (!stages.empty()) {
+    os << "<h2>wall-clock vs model</h2>\n<p>scale " << fmt(scale_ns_per_op, 1)
+       << " ns per op unit</p>\n<table><tr><th>stage</th><th>wall ms (max)</th>"
+       << "<th>wall ms (mean)</th><th>measured share</th>"
+       << "<th>predicted share</th><th>drift</th></tr>\n";
+    for (const StageReport& s : stages)
+      os << "<tr><td><code>" << esc(s.label) << "</code></td><td>"
+         << fmt(s.wall_ms) << "</td><td>" << fmt(s.wall_mean_ms) << "</td><td>"
+         << fmt(s.measured_share * 100, 1) << "%</td><td>"
+         << fmt(s.predicted_share * 100, 1) << "%</td><td>"
+         << (s.drift >= 0 ? "+" : "") << fmt(s.drift * 100, 1)
+         << "%</td></tr>\n";
+    os << "</table>\n";
+  }
+  os << "</body></html>\n";
+}
+
+}  // namespace colop::rt

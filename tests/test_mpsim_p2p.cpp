@@ -175,9 +175,11 @@ TEST(Split, EvenOddSubgroups) {
 }
 
 TEST(Split, NegativeColorYieldsInvalidComm) {
-  auto out = run_spmd_collect<bool>(4, [](Comm& comm) {
+  // int, not bool: vector<bool> bit-packs, and ranks write their slots
+  // concurrently — adjacent bits in one byte would be a data race.
+  auto out = run_spmd_collect<int>(4, [](Comm& comm) {
     Comm sub = comm.split(comm.rank() == 0 ? -1 : 0, 0);
-    return sub.valid();
+    return static_cast<int>(sub.valid());
   });
   EXPECT_FALSE(out[0]);
   EXPECT_TRUE(out[1] && out[2] && out[3]);

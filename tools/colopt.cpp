@@ -18,10 +18,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "colop/apps/polyeval.h"
 #include "colop/exec/sim_executor.h"
+#include "colop/exec/thread_executor.h"
 #include "colop/exec/timeline.h"
 #include "colop/ir/ir.h"
 #include "colop/ir/parse.h"
@@ -31,8 +34,11 @@
 #include "colop/obs/drift.h"
 #include "colop/obs/metrics.h"
 #include "colop/obs/profile.h"
+#include "colop/rt/flight_recorder.h"
+#include "colop/rt/report.h"
 #include "colop/rules/optimizer.h"
 #include "colop/support/error.h"
+#include "colop/support/rng.h"
 #include "colop/support/table.h"
 
 namespace {
@@ -115,6 +121,17 @@ void usage() {
       "  --calibrate-from S  timing source: simnet (deterministic, default)\n"
       "                 or mpsim (wall-clock threads)\n"
       "  --calibrate-json F  write the calibration fit as JSON to file F\n"
+      "  --rt-report    run the optimized program on the thread executor and\n"
+      "                 report runtime telemetry: per-rank busy/wait/queue\n"
+      "                 depth and per-stage wall-clock-vs-predicted drift\n"
+      "  --rt-json F    write the runtime report as JSON to file F\n"
+      "  --rt-trace F   write the flight-recorder capture as a Chrome trace\n"
+      "                 (send->recv flow arrows) to file F\n"
+      "  --rt-html F    write a self-contained HTML runtime report (timeline\n"
+      "                 + tables, no external assets) to file F\n"
+      "  --repeat N     run the threaded execution N times and report\n"
+      "                 min/median/stddev wall time (default 1)\n"
+      "  --warmup K     discard the first K threaded runs (default 0)\n"
       "  --machine S    optimize against the 'configured' machine (default)\n"
       "                 or the 'calibrated' one (measure + fit, then use\n"
       "                 the fitted ts/tw)\n"
@@ -137,9 +154,13 @@ int main(int argc, char** argv) {
   bool profile = false;
   bool calibrate = false;
   bool use_calibrated = false;
+  bool rt_report = false;
+  int repeat = 1;
+  int warmup = 0;
   std::string calibrate_from = "simnet";
   std::string explain_json, trace_file, metrics_file, drift_json, example;
   std::string profile_json, profile_trace, calibrate_json;
+  std::string rt_json, rt_trace, rt_html;
   rules::OptimizerOptions options;
   rules::ExplainLog explain_log;
   std::string program_text;
@@ -205,6 +226,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--calibrate-json") {
       calibrate_json = next();
       calibrate = true;
+    } else if (arg == "--rt-report") {
+      rt_report = true;
+    } else if (arg == "--rt-json") {
+      rt_json = next();
+      rt_report = true;
+    } else if (arg == "--rt-trace") {
+      rt_trace = next();
+      rt_report = true;
+    } else if (arg == "--rt-html") {
+      rt_html = next();
+      rt_report = true;
+    } else if (arg == "--repeat") {
+      repeat = parse_int(arg, next());
+      if (repeat < 1) bad_value(arg, argv[i], "a positive integer");
+    } else if (arg == "--warmup") {
+      warmup = parse_int(arg, next());
+      if (warmup < 0) bad_value(arg, argv[i], "a non-negative integer");
     } else if (arg == "--machine") {
       const std::string which = next();
       if (which == "calibrated")
@@ -386,6 +424,62 @@ int main(int argc, char** argv) {
       }
     }
 
+    std::optional<rt::RtReport> rt_rep;
+    if (rt_report) {
+      // Run the optimized program for real on the thread executor and merge
+      // the flight-recorder capture with the cost calculus' predictions.
+      // Input: p blocks of small integers — safe for every arithmetic op in
+      // the catalog (products stay in {-1, 0, 1}).
+      const auto block =
+          static_cast<std::size_t>(std::clamp(machine.m, 1.0, 4096.0));
+      Rng rng(0x7c01);
+      ir::Dist input(static_cast<std::size_t>(machine.p));
+      for (auto& b : input) {
+        b.resize(block);
+        for (auto& v : b) v = ir::Value(rng.uniform(-1, 1));
+      }
+
+      std::vector<double> samples_ms;
+      samples_ms.reserve(static_cast<std::size_t>(repeat));
+      std::optional<exec::ThreadRunResult> run;
+      for (int it = 0; it < warmup + repeat; ++it) {
+        auto r = exec::run_on_threads_instrumented(result.program, input);
+        if (it >= warmup) samples_ms.push_back(r.wall_seconds * 1e3);
+        run = std::move(r);
+      }
+
+      rt::RtReportOptions ropts;
+      ropts.model_stage_times.reserve(result.program.size());
+      for (const auto& stage : result.program.stages())
+        ropts.model_stage_times.push_back(
+            model::stage_cost(*stage).eval(machine));
+      ropts.wall_seconds = run->wall_seconds;
+      ropts.used_packed = run->used_packed;
+      ropts.timing = rt::RepeatStats::of(samples_ms, warmup);
+      rt_rep = rt::build_report(run->rt, ropts);
+      const auto& rep = *rt_rep;
+
+      std::cout << "\n" << rep.render_text();
+      if (!run->rt.enabled)
+        std::cout << "(runtime telemetry disabled: COLOP_RT=0 or compiled "
+                     "out; per-rank and per-stage sections are empty)\n";
+      if (!rt_json.empty()) {
+        auto f = open_output(rt_json);
+        rep.write_json(f);
+        std::cout << "runtime report written to " << rt_json << "\n";
+      }
+      if (!rt_trace.empty()) {
+        auto f = open_output(rt_trace);
+        rep.write_chrome_trace(f);
+        std::cout << "runtime trace written to " << rt_trace << "\n";
+      }
+      if (!rt_html.empty()) {
+        auto f = open_output(rt_html);
+        rep.write_html(f);
+        std::cout << "runtime HTML report written to " << rt_html << "\n";
+      }
+    }
+
     if (!metrics_file.empty()) {
       obs::MetricsRegistry reg;
       reg.set("p", machine.p);
@@ -402,6 +496,7 @@ int main(int argc, char** argv) {
       reg.set("words_after", after.words);
       reg.set("rewrites_applied", static_cast<double>(result.log.size()));
       if (after.time > 0) reg.set("speedup", before.time / after.time);
+      if (rt_rep) rt::publish_metrics(*rt_rep, reg);
       auto f = open_output(metrics_file);
       if (metrics_file.size() > 4 &&
           metrics_file.substr(metrics_file.size() - 4) == ".csv")
