@@ -61,6 +61,11 @@ class BinOp {
   [[nodiscard]] bool distributes_over(const BinOp& other) const {
     return spec_.distributes_over.contains(other.name());
   }
+  /// Declared distributivity partners by name (colop::verify checks each
+  /// declaration against the named partner).
+  [[nodiscard]] const std::set<std::string>& distributes_over_names() const {
+    return spec_.distributes_over;
+  }
   [[nodiscard]] double ops_cost() const { return spec_.ops_cost; }
   [[nodiscard]] const std::optional<Value>& unit() const { return spec_.unit; }
   [[nodiscard]] bool has_packed() const { return spec_.packed_fn != nullptr; }
@@ -82,6 +87,14 @@ class BinOp {
 //   max and min distribute over each other (distributive lattice)
 //   band/bor distribute over each other
 //   modmul distributes over modadd
+//   every operator distributes over `first` (both laws project to the
+//     same application), and `first` distributes over every idempotent
+//     operator (max, min, band, bor, gcd on the naturals, itself)
+//   the int/real twins cross-distribute on the joint numeric domain
+//     (* and f* over + and f+;  + and f+ over max and min)
+// colop::verify (colop/verify/properties.h) keeps these declarations
+// honest: the test suite re-establishes every entry by bounded-exhaustive
+// plus randomized checking, and lints undeclared-but-holding properties.
 
 [[nodiscard]] BinOpPtr op_add();     ///< +  (assoc, comm, unit 0)
 [[nodiscard]] BinOpPtr op_mul();     ///< *  (assoc, comm, unit 1, distributes over +)

@@ -29,7 +29,7 @@ BinOpPtr op_add() {
           },
       .associative = true,
       .commutative = true,
-      .distributes_over = {"max", "min"},
+      .distributes_over = {"first", "max", "min"},
       .ops_cost = 1.0,
       .unit = Value(std::int64_t{0}),
       .packed_fn = pk::bin_numeric(
@@ -50,7 +50,9 @@ BinOpPtr op_mul() {
           },
       .associative = true,
       .commutative = true,
-      .distributes_over = {"+"},
+      // "gcd": a * gcd(b, c) == gcd(a*b, a*c) on the naturals, gcd's
+      // canonical carrier (gcd(ka, kb) = k * gcd(a, b) for k >= 0).
+      .distributes_over = {"+", "f+", "first", "gcd"},
       .ops_cost = 1.0,
       .unit = Value(std::int64_t{1}),
       .packed_fn = pk::bin_numeric(
@@ -71,7 +73,7 @@ BinOpPtr op_max() {
           },
       .associative = true,
       .commutative = true,
-      .distributes_over = {"min", "max"},
+      .distributes_over = {"first", "max", "min"},
       .ops_cost = 1.0,
       .packed_fn = pk::bin_numeric(
           "max", [](std::int64_t x, std::int64_t y) { return std::max(x, y); },
@@ -91,7 +93,7 @@ BinOpPtr op_min() {
           },
       .associative = true,
       .commutative = true,
-      .distributes_over = {"max", "min"},
+      .distributes_over = {"first", "max", "min"},
       .ops_cost = 1.0,
       .packed_fn = pk::bin_numeric(
           "min", [](std::int64_t x, std::int64_t y) { return std::min(x, y); },
@@ -106,7 +108,7 @@ BinOpPtr op_band() {
       .fn = [](const Value& a, const Value& b) { return Value(a.as_int() & b.as_int()); },
       .associative = true,
       .commutative = true,
-      .distributes_over = {"bor", "band"},
+      .distributes_over = {"band", "bor", "first"},
       .ops_cost = 1.0,
       .unit = Value(std::int64_t{-1}),
       .packed_fn = pk::bin_int(
@@ -121,7 +123,7 @@ BinOpPtr op_bor() {
       .fn = [](const Value& a, const Value& b) { return Value(a.as_int() | b.as_int()); },
       .associative = true,
       .commutative = true,
-      .distributes_over = {"band", "bor"},
+      .distributes_over = {"band", "bor", "first"},
       .ops_cost = 1.0,
       .unit = Value(std::int64_t{0}),
       .packed_fn = pk::bin_int(
@@ -139,7 +141,7 @@ BinOpPtr op_gcd() {
           },
       .associative = true,
       .commutative = true,
-      .distributes_over = {"gcd"},
+      .distributes_over = {"first", "gcd"},
       .ops_cost = 1.0,
       .unit = Value(std::int64_t{0}),
       .packed_fn = pk::bin_int(
@@ -157,6 +159,7 @@ BinOpPtr op_modadd(std::int64_t m) {
           },
       .associative = true,
       .commutative = true,
+      .distributes_over = {"first"},
       .ops_cost = 1.0,
       .unit = Value(std::int64_t{0}),
       .packed_fn = pk::bin_int("+mod" + std::to_string(m),
@@ -175,7 +178,7 @@ BinOpPtr op_modmul(std::int64_t m) {
           },
       .associative = true,
       .commutative = true,
-      .distributes_over = {"+mod" + std::to_string(m)},
+      .distributes_over = {"+mod" + std::to_string(m), "first"},
       .ops_cost = 1.0,
       .unit = Value(std::int64_t{1}),
       .packed_fn = pk::bin_int("*mod" + std::to_string(m),
@@ -191,6 +194,7 @@ BinOpPtr op_fadd() {
       .fn = [](const Value& a, const Value& b) { return Value(a.number() + b.number()); },
       .associative = true,
       .commutative = true,
+      .distributes_over = {"first", "max", "min"},
       .ops_cost = 1.0,
       .unit = Value(0.0),
       .packed_fn =
@@ -205,7 +209,7 @@ BinOpPtr op_fmul() {
       .fn = [](const Value& a, const Value& b) { return Value(a.number() * b.number()); },
       .associative = true,
       .commutative = true,
-      .distributes_over = {"f+"},
+      .distributes_over = {"+", "f+", "first"},
       .ops_cost = 1.0,
       .unit = Value(1.0),
       .packed_fn =
@@ -232,6 +236,7 @@ BinOpPtr op_mat2() {
           },
       .associative = true,
       .commutative = false,
+      .distributes_over = {"first"},
       .ops_cost = 12.0,
       .unit = Value(Tuple{Value(1), Value(0), Value(0), Value(1)}),
       .packed_fn = pk::bin_mat2(),
@@ -245,6 +250,11 @@ BinOpPtr op_first() {
       .fn = [](const Value& a, const Value&) { return a; },
       .associative = true,
       .commutative = false,
+      // Distributes over every IDEMPOTENT operator: the left law
+      // a first (b # c) == (a first b) # (a first c) collapses to
+      // a == a # a.  (gcd is idempotent on its canonical carrier, the
+      // nonnegative integers — see docs/VERIFY.md on value domains.)
+      .distributes_over = {"band", "bor", "first", "gcd", "max", "min"},
       .ops_cost = 0.0,
       .packed_fn = pk::bin_first(),
   });

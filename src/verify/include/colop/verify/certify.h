@@ -1,0 +1,85 @@
+#pragma once
+// Rewrite soundness certificates (colop::verify analysis 3).
+//
+// Every rule application the optimizer records (rules::AppliedRule) is a
+// claim: "at position k, LHS may be replaced by RHS because the side
+// condition holds".  This analysis replays the derivation and turns each
+// claim into a discharged proof obligation:
+//
+//   1. re-derivability — the named rule still matches at the recorded
+//      position and produces a replacement of the recorded size (V303);
+//   2. side condition — the algebraic property the rule's guard consumed
+//      (⊗ distributes over ⊕; ⊕ commutative; associativity always) is
+//      re-established by the property CHECKER on the concrete matched
+//      operators, not taken from their declarations (V301);
+//   3. extensional equivalence — LHS ≡ RHS on small instances,
+//      differentially evaluated through eval_reference for p = 1..max_p
+//      under the match's own equivalence level (rules::selfcheck_match),
+//      with a tolerance for floating-point operators (V302).
+//
+// A derivation whose every obligation is discharged comes with a
+// certificate chain; any failure is reported with the rule name and
+// program point as provenance.  Obligations that cannot be evaluated
+// (no generator covers the program's value domain) degrade to a warning
+// (V304), never to silent success.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "colop/ir/program.h"
+#include "colop/rules/optimizer.h"
+#include "colop/verify/diagnostics.h"
+
+namespace colop::verify {
+
+struct CertifyOptions {
+  /// Differential evaluation: processor counts 1..max_p, `trials_per_p`
+  /// random inputs each, `block` elements per rank.
+  int max_p = 9;
+  int trials_per_p = 2;
+  std::size_t block = 2;
+  std::uint64_t seed = 0xce47ULL;
+  /// Property re-check effort (random trials on top of the
+  /// bounded-exhaustive sweep).
+  int property_trials = 100;
+};
+
+/// One discharged (or failed) proof obligation chain for one rule
+/// application.
+struct Certificate {
+  std::string rule;
+  std::size_t position = 0;
+  std::string note;            ///< the match's instantiation note
+  std::string side_condition;  ///< what the rule's guard consumed, rendered
+  bool discharged = false;     ///< all obligations held
+  /// One line per obligation: "side condition: ok (+ distributes over max,
+  /// 216 exhaustive + 100 random probes)" / "equivalence: ok (p=1..9)" ...
+  std::vector<std::string> obligations;
+};
+
+struct DerivationCertificates {
+  std::vector<Certificate> certificates;
+  Report report;
+
+  [[nodiscard]] bool ok() const { return report.ok(); }
+  [[nodiscard]] std::string render_text() const;
+  void write_json(std::ostream& os) const;
+};
+
+/// The side condition a named rule consumes, e.g. "⊗ distributes over ⊕"
+/// (docs/RULES.md lists the full table).  Unknown rules map to
+/// "associativity of the collective operators".
+[[nodiscard]] std::string side_condition_of(const std::string& rule_name);
+
+/// Replay `log` (an optimizer derivation starting from `source`) and
+/// discharge every obligation.  A V303 replay failure aborts the replay at
+/// that step — later applications cannot be certified against an unknown
+/// intermediate program.
+[[nodiscard]] DerivationCertificates certify_derivation(
+    const ir::Program& source, const std::vector<rules::AppliedRule>& log,
+    const CertifyOptions& opts = {});
+
+}  // namespace colop::verify

@@ -1,0 +1,83 @@
+#pragma once
+// Structured diagnostics for the static verifier (colop::verify).
+//
+// Every analysis (algebraic property checker, schedule analyzer, rewrite
+// certificates) reports through the same Diagnostic record so that the
+// colopt driver, the tests and CI can treat them uniformly: a severity, a
+// stable code (catalogued in docs/VERIFY.md), the program point with rule
+// provenance when one exists, and a fix-it hint.  A Report aggregates
+// diagnostics and maps to the process exit-code convention:
+//   0  clean (warnings and lints do not fail a build)
+//   3  at least one error — the schedule or a declared property is unsound.
+// (Exit 1 stays "runtime error", exit 2 stays "usage error", as in colopt.)
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace colop::verify {
+
+enum class Severity {
+  error,    ///< unsound: wrong answers or a crash at run time
+  warning,  ///< suspicious: legal but almost certainly not intended
+  lint,     ///< opportunity: missed fusion, forced boxed fallback, ...
+};
+
+[[nodiscard]] const char* to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::error;
+  /// Stable catalog code, e.g. "V102" (docs/VERIFY.md).
+  std::string code;
+  /// Which analysis produced it: "properties" | "schedule" | "certify".
+  std::string analysis;
+  /// What the diagnostic is about: an operator name, a rule name, ...
+  std::string subject;
+  /// One-line problem statement (includes the counterexample when there
+  /// is one).
+  std::string message;
+  /// Actionable fix-it hint; empty when there is nothing to suggest.
+  std::string hint;
+  /// Stage index in the analyzed program, when the diagnostic has a
+  /// program point.
+  std::optional<std::size_t> stage;
+  /// Pretty form of that stage, e.g. "scan(+)".
+  std::string stage_show;
+  /// Name of the optimizer rule that produced the stage ("" = stage
+  /// survives from the source program) — rules::stage_provenance.
+  std::string provenance;
+
+  /// "error V201 @2 scan(+): ... [from SR2-Reduction]\n  hint: ..."
+  [[nodiscard]] std::string render() const;
+};
+
+class Report {
+ public:
+  void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  void merge(Report other);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] bool empty() const { return diags_.empty(); }
+  [[nodiscard]] std::size_t count(Severity s) const;
+  [[nodiscard]] std::size_t errors() const { return count(Severity::error); }
+  /// True iff no error-severity diagnostic was reported.
+  [[nodiscard]] bool ok() const { return errors() == 0; }
+
+  /// Process exit code under the colopt convention: 0 clean, 3 unsound.
+  [[nodiscard]] int exit_code() const { return ok() ? 0 : 3; }
+
+  /// Human-readable listing, errors first.  `include_lints` = false drops
+  /// lint-severity findings (colopt shows them only under --lint).
+  [[nodiscard]] std::string render_text(bool include_lints = true) const;
+  /// {"diagnostics":[...], "errors":N, "warnings":N, "lints":N, "ok":bool}
+  void write_json(std::ostream& os, bool include_lints = true) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace colop::verify

@@ -1,0 +1,110 @@
+#pragma once
+// Algebraic property checker (colop::verify analysis 1).
+//
+// Every fusion rule is sound only under a side condition on the base
+// operators (⊕ commutative, ⊗ distributes over ⊕, everything associative),
+// and — as in MPI — those properties are DECLARED by whoever registers the
+// BinOp.  A mis-declaration makes the optimizer silently rewrite programs
+// to compute wrong answers.  This analysis turns each declaration into a
+// checked obligation:
+//   * bounded-exhaustive verification over a small per-operator value
+//     domain (every triple, including the paper's undefined `_`, whose
+//     gating in BinOp::apply must preserve every law), plus
+//   * randomized verification over wide i64/f64 ranges.
+// A failed declared property is a hard error (V101-V105).  An operator
+// the checker cannot exercise at all — an unverifiable distributivity
+// partner, or an unknown carrier that rejects the probe domain — is a
+// warning (V106, V107), never a silent pass.  The converse is
+// a lint: a property that provably holds on every probe but is NOT
+// declared means the optimizer is missing fusions it could prove (V110,
+// V111).  Checking is necessarily refutation-complete but not
+// proof-complete — a lint is "no counterexample found", not a theorem —
+// which is exactly the right polarity: errors are certain, lints are
+// advisory.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "colop/ir/binop.h"
+#include "colop/support/rng.h"
+#include "colop/verify/diagnostics.h"
+
+namespace colop::verify {
+
+/// The value domain an operator is checked over: a small set for
+/// bounded-exhaustive triples (includes undefined `_`) and a randomized
+/// wide-range generator.  Reals carry a relative tolerance — parallel
+/// schedules legitimately re-associate floating point.
+struct ValueDomain {
+  std::string name;                        ///< "int", "nonneg", "real", "mat2"
+  std::vector<ir::Value> small;            ///< bounded-exhaustive probe set
+  std::function<ir::Value(Rng&)> random;   ///< wide-range generator
+  double rel_tol = 0;                      ///< approximate compare (reals)
+};
+
+/// Widest domain `op` is total on, keyed by the operator's name (the
+/// derived pair operator "op_sr2[x,+]" gets 2-tuples over the joint
+/// component domain); unknown operators default to small signed integers.
+[[nodiscard]] ValueDomain domain_for(const ir::BinOp& op);
+
+/// Domain two operators can be checked on TOGETHER (distributivity chains
+/// one operator's results through the other); nullopt when incompatible
+/// (e.g. mat2 with +: a 4-tuple fed to integer addition throws).
+[[nodiscard]] std::optional<ValueDomain> joint_domain(const ir::BinOp& a,
+                                                      const ir::BinOp& b);
+
+struct PropertyCheckOptions {
+  int random_trials = 200;
+  std::uint64_t seed = 0x5eedULL;
+  /// Report provably-holding but undeclared properties (missed fusions).
+  bool lint_undeclared = true;
+  /// Check the compiled packed kernel against the boxed fn (binop.h's
+  /// contract: "must equal apply() mapped over a whole block").
+  bool check_packed = true;
+};
+
+// --- low-level checkers --------------------------------------------------
+// nullopt = no counterexample on any probe; otherwise a rendered
+// counterexample like "a=2, b=-1, c=3: lhs=4 rhs=5".
+
+[[nodiscard]] std::optional<std::string> find_assoc_counterexample(
+    const ir::BinOp& op, const ValueDomain& dom,
+    const PropertyCheckOptions& opts = {});
+[[nodiscard]] std::optional<std::string> find_comm_counterexample(
+    const ir::BinOp& op, const ValueDomain& dom,
+    const PropertyCheckOptions& opts = {});
+/// Both sided laws: a ⊗ (b ⊕ c) == (a⊗b) ⊕ (a⊗c) and mirrored.
+[[nodiscard]] std::optional<std::string> find_distrib_counterexample(
+    const ir::BinOp& times, const ir::BinOp& plus, const ValueDomain& dom,
+    const PropertyCheckOptions& opts = {});
+/// op(unit, x) == x == op(x, unit) over the domain.
+[[nodiscard]] std::optional<std::string> find_unit_counterexample(
+    const ir::BinOp& op, const ValueDomain& dom,
+    const PropertyCheckOptions& opts = {});
+/// Packed kernel vs boxed fn over whole blocks drawn from the domain
+/// (undefined-heavy blocks included).
+[[nodiscard]] std::optional<std::string> find_packed_mismatch(
+    const ir::BinOp& op, const ValueDomain& dom,
+    const PropertyCheckOptions& opts = {});
+
+// --- per-operator / registry entry points --------------------------------
+
+/// Verify every declaration of `op`; distributivity partners are resolved
+/// by name among `peers` (pass the registry, or the ops of one program).
+/// With lint_undeclared, also probes undeclared commutativity and
+/// undeclared distributivity over each compatible peer.
+[[nodiscard]] Report check_binop(const ir::BinOpPtr& op,
+                                 const std::vector<ir::BinOpPtr>& peers,
+                                 const PropertyCheckOptions& opts = {});
+
+/// The full standard registry of binop.h (mod-97 instances for the
+/// parameterized operators).
+[[nodiscard]] std::vector<ir::BinOpPtr> standard_registry();
+
+/// check_binop over the whole standard registry.
+[[nodiscard]] Report check_registry(const PropertyCheckOptions& opts = {});
+
+}  // namespace colop::verify

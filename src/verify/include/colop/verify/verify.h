@@ -1,0 +1,62 @@
+#pragma once
+// colop::verify — umbrella entry point wiring the three analyses together
+// for drivers (tools/colopt.cpp --verify / --verify-json / --lint):
+//
+//   properties  declared algebraic properties of every operator the
+//               program uses, checked (properties.h)
+//   schedule    distribution-state contracts of the source AND the
+//               optimized schedule, with rule provenance on the latter
+//               (schedule.h)
+//   certify     one soundness certificate per rule application of the
+//               derivation (certify.h)
+//
+// The combined Report maps to colopt's exit-code convention via
+// Report::exit_code(): 0 clean, 3 unsound (1 stays runtime error, 2 stays
+// usage error).
+
+#include <iosfwd>
+#include <string>
+
+#include "colop/ir/program.h"
+#include "colop/rules/optimizer.h"
+#include "colop/verify/certify.h"
+#include "colop/verify/diagnostics.h"
+#include "colop/verify/properties.h"
+#include "colop/verify/schedule.h"
+
+namespace colop::verify {
+
+struct VerifyOptions {
+  /// Processor count the schedules are analyzed for.
+  int p = 8;
+  /// Input element shape (and entry distribution state) of the schedules.
+  ir::Shape input = ir::Shape::scalar();
+  DistState entry = DistState::varied();
+  /// Include lint-severity findings in renderings (colopt --lint).
+  bool lints = false;
+  PropertyCheckOptions properties;
+  CertifyOptions certify;
+};
+
+struct VerifyResult {
+  Report report;                         ///< all three analyses merged
+  DerivationCertificates certificates;   ///< empty without a derivation
+
+  [[nodiscard]] bool ok() const { return report.ok(); }
+  [[nodiscard]] int exit_code() const { return report.exit_code(); }
+  /// Certificates first, then the diagnostic listing with its OK/UNSOUND
+  /// verdict footer.
+  [[nodiscard]] std::string render_text(bool include_lints) const;
+  /// {"report":{...},"certificates":{...}}
+  void write_json(std::ostream& os, bool include_lints) const;
+};
+
+/// Verify `source`, and — when `opt` is non-null — the optimized program
+/// and the derivation that produced it.  Property checking covers exactly
+/// the operators the source program uses (check_registry() covers the full
+/// registry; the test suite runs it).
+[[nodiscard]] VerifyResult verify_program(const ir::Program& source,
+                                          const rules::OptimizeResult* opt,
+                                          const VerifyOptions& opts = {});
+
+}  // namespace colop::verify

@@ -1,0 +1,345 @@
+#include "colop/verify/certify.h"
+
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "colop/obs/json.h"
+#include "colop/rules/selfcheck.h"
+#include "colop/support/error.h"
+#include "colop/verify/properties.h"
+
+namespace colop::verify {
+namespace {
+
+using ir::BinOpPtr;
+using ir::Program;
+using ir::Stage;
+using ir::Value;
+
+const std::set<std::string>& distributivity_rules() {
+  static const std::set<std::string> s = {"SR2-Reduction", "SS2-Scan",
+                                          "BSS2-Comcast", "BSR2-Local",
+                                          "BSR2-Alllocal"};
+  return s;
+}
+
+const std::set<std::string>& commutativity_rules() {
+  static const std::set<std::string> s = {"SR-Reduction", "SS-Scan",
+                                          "BSS-Comcast", "BSR-Local",
+                                          "BSR-Alllocal"};
+  return s;
+}
+
+/// BinOps carried by the stages of one match window, in program order.
+std::vector<BinOpPtr> window_ops(const Program& prog, std::size_t first,
+                                 std::size_t count) {
+  std::vector<BinOpPtr> ops;
+  for (std::size_t i = first; i < first + count && i < prog.size(); ++i) {
+    const Stage& st = prog.stage(i);
+    switch (st.kind()) {
+      case Stage::Kind::Scan:
+        ops.push_back(static_cast<const ir::ScanStage&>(st).op);
+        break;
+      case Stage::Kind::Reduce:
+        ops.push_back(static_cast<const ir::ReduceStage&>(st).op);
+        break;
+      case Stage::Kind::AllReduce:
+        ops.push_back(static_cast<const ir::AllReduceStage&>(st).op);
+        break;
+      default:
+        break;  // bcast/map/balanced stages carry no declared BinOp
+    }
+  }
+  return ops;
+}
+
+/// Every BinOp anywhere in a program (for generator selection).
+std::vector<BinOpPtr> program_ops(const Program& prog) {
+  return window_ops(prog, 0, prog.size());
+}
+
+struct GenChoice {
+  rules::ElemGen gen;
+  double rel_tol = 0;
+  std::string name;
+};
+
+Value random_mat(Rng& rng) {
+  return Value::tuple_of({Value(rng.uniform(-2, 2)), Value(rng.uniform(-2, 2)),
+                          Value(rng.uniform(-2, 2)),
+                          Value(rng.uniform(-2, 2))});
+}
+
+/// Input-element generator matching the program's value domain.  Small
+/// magnitudes keep multiplicative chains in exact range.
+GenChoice choose_generator(const Program& prog) {
+  bool has_mat = false, has_real = false, has_gcd = false;
+  for (const auto& op : program_ops(prog)) {
+    const std::string& n = op->name();
+    has_mat |= n == "mat2";
+    has_real |= n == "f+" || n == "f*";
+    has_gcd |= n == "gcd";
+  }
+  if (has_mat)
+    return {[](Rng& rng) { return random_mat(rng); }, 0, "mat2[-2,2]"};
+  if (has_real)
+    return {[](Rng& rng) { return Value(rng.uniform01() * 4.0 - 2.0); }, 1e-9,
+            "real[-2,2)"};
+  if (has_gcd)
+    return {[](Rng& rng) { return Value(rng.uniform(0, 40)); }, 0,
+            "nonneg[0,40]"};
+  return {[](Rng& rng) { return Value(rng.uniform(-9, 9)); }, 0, "int[-9,9]"};
+}
+
+Diagnostic cert_diag(Severity sev, std::string code, const Program& prog,
+                     const rules::AppliedRule& step, std::string message,
+                     std::string hint) {
+  Diagnostic d;
+  d.severity = sev;
+  d.code = std::move(code);
+  d.analysis = "certify";
+  d.subject = step.rule;
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  d.stage = step.position;
+  if (step.position < prog.size()) d.stage_show = prog.stage(step.position).show();
+  d.provenance = step.rule;
+  return d;
+}
+
+}  // namespace
+
+std::string side_condition_of(const std::string& rule_name) {
+  if (distributivity_rules().contains(rule_name))
+    return "x distributes over + (all operators associative)";
+  if (commutativity_rules().contains(rule_name))
+    return "+ commutative (and associative)";
+  if (rule_name == "BS-Comcast" || rule_name == "BR-Local" ||
+      rule_name == "CR-Alllocal")
+    return "+ associative (rank-indexed repetition of one operator)";
+  if (rule_name == "RB-Allreduce" || rule_name == "SB-Elim" ||
+      rule_name == "BB-Elim" || rule_name == "MB-Swap")
+    return "structural (no algebraic side condition)";
+  return "associativity of the collective operators";
+}
+
+DerivationCertificates certify_derivation(
+    const Program& source, const std::vector<rules::AppliedRule>& log,
+    const CertifyOptions& opts) {
+  DerivationCertificates out;
+  const auto rules = rules::all_rules();
+  const auto rule_by_name = [&](const std::string& name) -> rules::RulePtr {
+    for (const auto& r : rules)
+      if (r->name() == name) return r;
+    return nullptr;
+  };
+
+  PropertyCheckOptions popts;
+  popts.random_trials = opts.property_trials;
+  popts.seed = opts.seed;
+
+  Program prog = source;
+  for (const auto& step : log) {
+    Certificate cert;
+    cert.rule = step.rule;
+    cert.position = step.position;
+    cert.side_condition = side_condition_of(step.rule);
+    bool ok = true;
+
+    // Obligation 1: re-derivability.
+    const auto rule = rule_by_name(step.rule);
+    std::optional<rules::RuleMatch> match;
+    if (rule) match = rule->match(prog, step.position);
+    if (!rule || !match || match->count != step.count ||
+        match->replacement.size() != step.replaced_by) {
+      std::string reject = rules::Rule::take_reject();
+      if (reject.empty()) reject = "window shape mismatch";
+      std::string why =
+          !rule ? "no rule of this name exists"
+          : !match
+              ? "the rule no longer matches there (" + reject + ")"
+              : "the re-derived match consumes " +
+                    std::to_string(match->count) + "->" +
+                    std::to_string(match->replacement.size()) +
+                    " stages, the log recorded " + std::to_string(step.count) +
+                    "->" + std::to_string(step.replaced_by);
+      cert.obligations.push_back("re-derivation: FAILED — " + why);
+      cert.discharged = false;
+      out.certificates.push_back(std::move(cert));
+      out.report.add(cert_diag(
+          Severity::error, "V303", prog, step,
+          "derivation step cannot be replayed: " + why +
+              " — the recorded derivation does not prove this program",
+          "re-run the optimizer; a stale or hand-edited derivation log "
+          "certifies nothing"));
+      break;  // later steps would replay against an unknown program
+    }
+    cert.note = match->note;
+    cert.obligations.push_back(
+        "re-derivation: ok (window of " + std::to_string(match->count) +
+        " stage(s) -> " + std::to_string(match->replacement.size()) + ")");
+
+    // Obligation 2: the algebraic side condition, re-established on the
+    // matched operators by checking, not by trusting declarations.
+    const auto ops = window_ops(prog, match->first, match->count);
+    for (const auto& op : ops) {
+      const ValueDomain dom = domain_for(*op);
+      if (auto cx = find_assoc_counterexample(*op, dom, popts)) {
+        ok = false;
+        cert.obligations.push_back("side condition: FAILED — `" + op->name() +
+                                   "` is not associative: " + *cx);
+        out.report.add(cert_diag(
+            Severity::error, "V301", prog, step,
+            "side condition violated: operator `" + op->name() +
+                "` (declared associative) is not: " + *cx,
+            "fix the operator declaration; every collective schedule of it "
+            "is unsound, not just this rewrite"));
+      }
+    }
+    if (commutativity_rules().contains(step.rule)) {
+      for (const auto& op : ops) {
+        const ValueDomain dom = domain_for(*op);
+        if (auto cx = find_comm_counterexample(*op, dom, popts)) {
+          ok = false;
+          cert.obligations.push_back("side condition: FAILED — `" +
+                                     op->name() +
+                                     "` is not commutative: " + *cx);
+          out.report.add(cert_diag(
+              Severity::error, "V301", prog, step,
+              "side condition violated: `" + op->name() +
+                  "` is declared commutative but is not: " + *cx,
+              "remove `commutative` from the declaration and re-optimize; "
+              "this rewrite reorders operands and changes the result"));
+        }
+      }
+    }
+    if (distributivity_rules().contains(step.rule)) {
+      if (ops.size() < 2) {
+        ok = false;
+        out.report.add(cert_diag(
+            Severity::warning, "V304", prog, step,
+            "cannot identify the (x, +) operator pair in the matched window "
+            "to re-check distributivity",
+            ""));
+        cert.obligations.push_back(
+            "side condition: NOT EVALUABLE — operator pair not identified");
+      } else {
+        const ir::BinOp& times = *ops.front();
+        const ir::BinOp& plus = *ops.back();
+        if (const auto dom = joint_domain(times, plus)) {
+          if (auto cx = find_distrib_counterexample(times, plus, *dom, popts)) {
+            ok = false;
+            cert.obligations.push_back("side condition: FAILED — `" +
+                                       times.name() +
+                                       "` does not distribute over `" +
+                                       plus.name() + "`: " + *cx);
+            out.report.add(cert_diag(
+                Severity::error, "V301", prog, step,
+                "side condition violated: `" + times.name() +
+                    "` is declared to distribute over `" + plus.name() +
+                    "` but does not: " + *cx,
+                "remove the `distributes_over` declaration and re-optimize; "
+                "the fused operator computes a different function"));
+          } else {
+            cert.obligations.push_back(
+                "side condition: ok (`" + times.name() +
+                "` distributes over `" + plus.name() + "`, " + dom->name +
+                " domain, exhaustive + " +
+                std::to_string(popts.random_trials) + " random probes)");
+          }
+        } else {
+          out.report.add(cert_diag(
+              Severity::warning, "V304", prog, step,
+              "operators `" + times.name() + "` and `" + plus.name() +
+                  "` have incompatible value domains; the distributivity "
+                  "side condition was not re-checked",
+              ""));
+          cert.obligations.push_back(
+              "side condition: NOT EVALUABLE — incompatible value domains");
+        }
+      }
+    } else if (ok) {
+      cert.obligations.push_back("side condition: ok (" + cert.side_condition +
+                                 ")");
+    }
+
+    // Obligation 3: extensional LHS == RHS under the match's own
+    // equivalence level, differentially through eval_reference.
+    const GenChoice gen = choose_generator(prog);
+    try {
+      const auto res = rules::selfcheck_match(
+          prog, *match, gen.gen, opts.max_p, opts.trials_per_p, opts.block,
+          opts.seed, gen.rel_tol);
+      if (res.ok) {
+        cert.obligations.push_back(
+            "equivalence: ok (p=1.." + std::to_string(opts.max_p) + ", " +
+            std::to_string(opts.trials_per_p) + " trial(s)/p, " + gen.name +
+            " inputs)");
+      } else {
+        ok = false;
+        cert.obligations.push_back("equivalence: FAILED — " +
+                                   res.counterexample);
+        out.report.add(cert_diag(
+            Severity::error, "V302", prog, step,
+            "LHS and RHS disagree under differential evaluation: " +
+                res.counterexample,
+            "the rewrite is unsound for these operators even though its "
+            "side condition passed the checker's probes — treat as a rule "
+            "implementation bug"));
+      }
+    } catch (const Error& e) {
+      out.report.add(cert_diag(
+          Severity::warning, "V304", prog, step,
+          std::string("equivalence obligation not evaluable with ") +
+              gen.name + " inputs: " + e.what(),
+          "the program needs a custom input generator to be certified"));
+      cert.obligations.push_back(std::string("equivalence: NOT EVALUABLE — ") +
+                                 e.what());
+    }
+
+    cert.discharged = ok;
+    out.certificates.push_back(std::move(cert));
+    prog = match->apply(prog);
+  }
+  return out;
+}
+
+std::string DerivationCertificates::render_text() const {
+  std::ostringstream os;
+  std::size_t certified = 0;
+  for (std::size_t i = 0; i < certificates.size(); ++i) {
+    const Certificate& c = certificates[i];
+    certified += c.discharged ? 1 : 0;
+    os << "certificate " << (i + 1) << ": " << c.rule << " @" << c.position;
+    if (!c.note.empty()) os << " (" << c.note << ")";
+    os << (c.discharged ? "  [discharged]" : "  [NOT discharged]") << "\n";
+    os << "  side condition: " << c.side_condition << "\n";
+    for (const auto& line : c.obligations) os << "  - " << line << "\n";
+  }
+  os << "derivation: " << certificates.size() << " application(s), "
+     << certified << " certified\n";
+  return os.str();
+}
+
+void DerivationCertificates::write_json(std::ostream& os) const {
+  namespace json = colop::obs::json;
+  os << "{\"certificates\":[";
+  for (std::size_t i = 0; i < certificates.size(); ++i) {
+    const Certificate& c = certificates[i];
+    if (i) os << ",";
+    os << "{\"rule\":" << json::quote(c.rule) << ",\"position\":" << c.position
+       << ",\"note\":" << json::quote(c.note)
+       << ",\"side_condition\":" << json::quote(c.side_condition)
+       << ",\"discharged\":" << (c.discharged ? "true" : "false")
+       << ",\"obligations\":[";
+    for (std::size_t j = 0; j < c.obligations.size(); ++j) {
+      if (j) os << ",";
+      os << json::quote(c.obligations[j]);
+    }
+    os << "]}";
+  }
+  os << "],\"ok\":" << (ok() ? "true" : "false") << "}";
+}
+
+}  // namespace colop::verify

@@ -1,0 +1,91 @@
+#include "colop/verify/diagnostics.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "colop/obs/json.h"
+
+namespace colop::verify {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::error: return "error";
+    case Severity::warning: return "warning";
+    case Severity::lint: return "lint";
+  }
+  return "?";
+}
+
+std::string Diagnostic::render() const {
+  std::ostringstream os;
+  os << to_string(severity) << " " << code << " [" << analysis << "]";
+  if (stage) os << " @" << *stage;
+  if (!stage_show.empty()) os << " " << stage_show;
+  if (!subject.empty() && subject != stage_show) os << " (" << subject << ")";
+  os << ": " << message;
+  if (!provenance.empty()) os << "  [from " << provenance << "]";
+  if (!hint.empty()) os << "\n    hint: " << hint;
+  return os.str();
+}
+
+void Report::merge(Report other) {
+  for (auto& d : other.diags_) diags_.push_back(std::move(d));
+}
+
+std::size_t Report::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+std::string Report::render_text(bool include_lints) const {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const Severity want :
+       {Severity::error, Severity::warning, Severity::lint}) {
+    if (want == Severity::lint && !include_lints) continue;
+    for (const auto& d : diags_) {
+      if (d.severity != want) continue;
+      os << d.render() << "\n";
+      ++shown;
+    }
+  }
+  os << "verify: " << errors() << " error(s), " << count(Severity::warning)
+     << " warning(s)";
+  if (include_lints) os << ", " << count(Severity::lint) << " lint(s)";
+  if (!include_lints && count(Severity::lint) > 0)
+    os << " (" << count(Severity::lint) << " lint(s) hidden; use --lint)";
+  os << (ok() ? " — OK\n" : " — UNSOUND\n");
+  if (shown == 0 && diags_.empty()) return "verify: clean — OK\n";
+  return os.str();
+}
+
+void Report::write_json(std::ostream& os, bool include_lints) const {
+  namespace json = colop::obs::json;
+  os << "{\"diagnostics\":[";
+  bool first = true;
+  for (const auto& d : diags_) {
+    if (d.severity == Severity::lint && !include_lints) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"severity\":" << json::quote(to_string(d.severity))
+       << ",\"code\":" << json::quote(d.code)
+       << ",\"analysis\":" << json::quote(d.analysis)
+       << ",\"subject\":" << json::quote(d.subject)
+       << ",\"message\":" << json::quote(d.message)
+       << ",\"hint\":" << json::quote(d.hint);
+    if (d.stage) os << ",\"stage\":" << *d.stage;
+    if (!d.stage_show.empty())
+      os << ",\"stage_show\":" << json::quote(d.stage_show);
+    if (!d.provenance.empty())
+      os << ",\"provenance\":" << json::quote(d.provenance);
+    os << "}";
+  }
+  os << "],\"errors\":" << errors()
+     << ",\"warnings\":" << count(Severity::warning)
+     << ",\"lints\":" << count(Severity::lint)
+     << ",\"ok\":" << (ok() ? "true" : "false") << "}";
+}
+
+}  // namespace colop::verify

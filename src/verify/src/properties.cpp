@@ -1,0 +1,577 @@
+#include "colop/verify/properties.h"
+
+#include <sstream>
+
+#include "colop/ir/packed.h"
+#include "colop/support/error.h"
+
+namespace colop::verify {
+namespace {
+
+using ir::BinOp;
+using ir::BinOpPtr;
+using ir::Value;
+
+// Domain kinds, ordered so that the JOINT domain of two operators is the
+// more restrictive one.  Operators of the same numeric family compose
+// (e.g. max results feed + safely); crossing families (a 4-tuple into
+// integer addition, a double into band) throws at evaluation time, so
+// those pairs are simply not checkable and joint_domain says so.
+enum class Kind {
+  any,     // first: total on every Value
+  num,     // + * max min: ints and reals
+  integer, // band bor: as_int
+  nonneg,  // gcd: canonical carrier is the naturals (std::gcd canonicalizes)
+  mod,     // +modN *modN: canonical residues [0, N)
+  real,    // f+ f*: doubles
+  mat,     // mat2: 4-tuples of ints
+  pair,    // op_sr2[x,+]: (s, r) pairs over an element kind
+};
+
+struct Classified {
+  Kind kind = Kind::num;
+  std::int64_t modulus = 0;  // kind == mod only
+  // kind == pair only: the component kind (one level; nested pairs fall
+  // back to num scalars and are caught by the totality probe).
+  Kind elem = Kind::num;
+  std::int64_t elem_modulus = 0;
+};
+
+Classified classify_name(const std::string& n);
+
+/// "op_sr2[x,+]" — the derived pair operator of SR2-Reduction/SS2-Scan:
+/// classify the component operators and lift their joint kind to pairs.
+std::optional<Classified> classify_sr2(const std::string& n) {
+  const std::string prefix = "op_sr2[";
+  if (n.rfind(prefix, 0) != 0 || n.back() != ']') return std::nullopt;
+  const std::string inner = n.substr(prefix.size(), n.size() - prefix.size() - 1);
+  int depth = 0;
+  std::size_t comma = std::string::npos;
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    if (inner[i] == '[') ++depth;
+    if (inner[i] == ']') --depth;
+    if (inner[i] == ',' && depth == 0) {
+      comma = i;
+      break;
+    }
+  }
+  if (comma == std::string::npos) return std::nullopt;
+  const Classified a = classify_name(inner.substr(0, comma));
+  const Classified b = classify_name(inner.substr(comma + 1));
+  if (a.kind == Kind::pair || b.kind == Kind::pair) return std::nullopt;
+  // Joint element kind (same lattice as join() below, scalar kinds only).
+  Kind elem;
+  std::int64_t m = 0;
+  if (a.kind == b.kind && a.modulus == b.modulus) {
+    elem = a.kind;
+    m = a.modulus;
+  } else if (a.kind == Kind::any) {
+    elem = b.kind;
+    m = b.modulus;
+  } else if (b.kind == Kind::any) {
+    elem = a.kind;
+    m = a.modulus;
+  } else if ((a.kind == Kind::num && b.kind == Kind::real) ||
+             (a.kind == Kind::real && b.kind == Kind::num)) {
+    elem = Kind::real;
+  } else {
+    return std::nullopt;
+  }
+  Classified c;
+  c.kind = Kind::pair;
+  c.elem = elem;
+  c.elem_modulus = m;
+  return c;
+}
+
+Classified classify_name(const std::string& n) {
+  if (n == "first") return {Kind::any, 0};
+  if (n == "+" || n == "*" || n == "max" || n == "min") return {Kind::num, 0};
+  if (n == "band" || n == "bor") return {Kind::integer, 0};
+  if (n == "gcd") return {Kind::nonneg, 0};
+  if (n == "f+" || n == "f*") return {Kind::real, 0};
+  if (n == "mat2") return {Kind::mat, 0};
+  for (const char* prefix : {"+mod", "*mod"}) {
+    if (n.rfind(prefix, 0) == 0) {
+      try {
+        return {Kind::mod, std::stoll(n.substr(4))};
+      } catch (...) {  // NOLINT(bugprone-empty-catch): fall through
+      }
+    }
+  }
+  if (auto sr2 = classify_sr2(n)) return *sr2;
+  return {Kind::num, 0};  // unknown user operator: assume numeric
+}
+
+Classified classify(const BinOp& op) { return classify_name(op.name()); }
+
+Value mat(std::int64_t a, std::int64_t b, std::int64_t c, std::int64_t d) {
+  return Value::tuple_of({Value(a), Value(b), Value(c), Value(d)});
+}
+
+ValueDomain domain_of(const Classified& c) {
+  switch (c.kind) {
+    case Kind::any:
+    case Kind::num:
+      return {"int",
+              {Value::undefined(), Value(-2), Value(-1), Value(0), Value(1),
+               Value(2)},
+              [](Rng& rng) { return Value(rng.uniform(-1000, 1000)); },
+              0};
+    case Kind::integer:
+      return {"int",
+              {Value::undefined(), Value(-2), Value(-1), Value(0), Value(1),
+               Value(5)},
+              [](Rng& rng) { return Value(rng.uniform(-1000, 1000)); },
+              0};
+    case Kind::nonneg:
+      return {"nonneg",
+              {Value::undefined(), Value(0), Value(1), Value(2), Value(4),
+               Value(6)},
+              [](Rng& rng) { return Value(rng.uniform(0, 1000)); },
+              0};
+    case Kind::mod: {
+      const std::int64_t m = c.modulus > 0 ? c.modulus : 2;
+      std::vector<Value> small = {Value::undefined(), Value(0)};
+      for (const std::int64_t v :
+           {std::int64_t{1}, std::int64_t{2}, m / 2, m - 1})
+        if (v > 0 && v < m) small.emplace_back(v);
+      return {"mod" + std::to_string(m), std::move(small),
+              [m](Rng& rng) { return Value(rng.uniform(0, m - 1)); }, 0};
+    }
+    case Kind::real:
+      return {"real",
+              {Value::undefined(), Value(-1.5), Value(-1.0), Value(0.0),
+               Value(0.5), Value(2.0)},
+              [](Rng& rng) { return Value(rng.uniform01() * 16.0 - 8.0); },
+              1e-9};
+    case Kind::mat:
+      return {"mat2",
+              {Value::undefined(), mat(1, 0, 0, 1), mat(0, 0, 0, 0),
+               mat(0, 1, 1, 0), mat(1, 1, 0, 1), mat(2, 0, 0, -1)},
+              [](Rng& rng) {
+                return mat(rng.uniform(-3, 3), rng.uniform(-3, 3),
+                           rng.uniform(-3, 3), rng.uniform(-3, 3));
+              },
+              0};
+    case Kind::pair: {
+      // (s, r) pairs over the component domain: the small set cycles the
+      // component values against each other and includes pairs with an
+      // undefined slot (component operators gate those themselves).
+      const ValueDomain e = domain_of({c.elem, c.elem_modulus});
+      std::vector<Value> defined;
+      for (const Value& v : e.small)
+        if (!v.is_undefined()) defined.push_back(v);
+      std::vector<Value> small = {Value::undefined()};
+      const std::size_t n = defined.size();
+      for (std::size_t i = 0; i < n; ++i)
+        small.push_back(
+            Value::tuple_of({defined[i], defined[(i + 1) % n]}));
+      small.push_back(Value::tuple_of({Value::undefined(), defined[0]}));
+      small.push_back(Value::tuple_of({defined[0], Value::undefined()}));
+      return {"pair<" + e.name + ">", std::move(small),
+              [e](Rng& rng) {
+                return Value::tuple_of({e.random(rng), e.random(rng)});
+              },
+              e.rel_tol};
+    }
+  }
+  return {};
+}
+
+/// nullopt when the two kinds cannot share values; otherwise the kind
+/// whose domain both operators are total on and closed over.
+std::optional<Classified> join(const Classified& a, const Classified& b) {
+  if (a.kind == Kind::any) return b;
+  if (b.kind == Kind::any) return a;
+  if (a.kind == b.kind) {
+    if (a.kind == Kind::mod && a.modulus != b.modulus) return std::nullopt;
+    if (a.kind == Kind::pair &&
+        (a.elem != b.elem || a.elem_modulus != b.elem_modulus))
+      return std::nullopt;
+    return a;
+  }
+  if (a.kind == Kind::pair || b.kind == Kind::pair)
+    return std::nullopt;  // pairs only join with pairs over the same element
+  const auto int_valued = [](Kind k) {
+    return k == Kind::num || k == Kind::integer || k == Kind::nonneg ||
+           k == Kind::mod;
+  };
+  if (int_valued(a.kind) && int_valued(b.kind)) {
+    // The more restrictive integer carrier wins; mod beats everything
+    // (residues), then nonneg, then plain ints.
+    if (a.kind == Kind::mod) return a;
+    if (b.kind == Kind::mod) return b;
+    if (a.kind == Kind::nonneg || b.kind == Kind::nonneg)
+      return Classified{Kind::nonneg, 0};
+    return Classified{Kind::integer, 0};
+  }
+  // num + real: reals are fine for both (numeric ops widen).
+  if ((a.kind == Kind::num && b.kind == Kind::real) ||
+      (a.kind == Kind::real && b.kind == Kind::num))
+    return Classified{Kind::real, 0};
+  return std::nullopt;  // mat x numeric, real x integer-only, ...
+}
+
+bool same(const Value& a, const Value& b, double rel_tol) {
+  return rel_tol > 0 ? ir::approx_equal(a, b, rel_tol) : a == b;
+}
+
+std::string show(const Value& v) { return v.to_string(); }
+
+/// Run `probe` over every small-domain triple and `opts.random_trials`
+/// random triples; first counterexample wins.  `probe` returns a rendered
+/// counterexample or nullopt.
+template <typename Probe>
+std::optional<std::string> sweep3(const ValueDomain& dom,
+                                  const PropertyCheckOptions& opts,
+                                  Probe&& probe) {
+  for (const Value& a : dom.small)
+    for (const Value& b : dom.small)
+      for (const Value& c : dom.small)
+        if (auto cx = probe(a, b, c)) return cx;
+  Rng rng(opts.seed);
+  for (int t = 0; t < opts.random_trials; ++t) {
+    if (auto cx = probe(dom.random(rng), dom.random(rng), dom.random(rng)))
+      return cx;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ValueDomain domain_for(const BinOp& op) { return domain_of(classify(op)); }
+
+std::optional<ValueDomain> joint_domain(const BinOp& a, const BinOp& b) {
+  const auto joined = join(classify(a), classify(b));
+  if (!joined) return std::nullopt;
+  return domain_of(*joined);
+}
+
+std::optional<std::string> find_assoc_counterexample(
+    const BinOp& op, const ValueDomain& dom,
+    const PropertyCheckOptions& opts) {
+  return sweep3(dom, opts,
+                [&](const Value& a, const Value& b,
+                    const Value& c) -> std::optional<std::string> {
+                  try {
+                    const Value lhs = op(op(a, b), c);
+                    const Value rhs = op(a, op(b, c));
+                    if (same(lhs, rhs, dom.rel_tol)) return std::nullopt;
+                    std::ostringstream os;
+                    os << "a=" << show(a) << ", b=" << show(b)
+                       << ", c=" << show(c) << ": (a" << op.name() << "b)"
+                       << op.name() << "c = " << show(lhs) << "  !=  a"
+                       << op.name() << "(b" << op.name()
+                       << "c) = " << show(rhs);
+                    return os.str();
+                  } catch (const Error& e) {
+                    return "evaluation threw on a=" + show(a) +
+                           ", b=" + show(b) + ", c=" + show(c) + ": " +
+                           e.what();
+                  }
+                });
+}
+
+std::optional<std::string> find_comm_counterexample(
+    const BinOp& op, const ValueDomain& dom,
+    const PropertyCheckOptions& opts) {
+  return sweep3(dom, opts,
+                [&](const Value& a, const Value& b,
+                    const Value&) -> std::optional<std::string> {
+                  try {
+                    const Value lhs = op(a, b);
+                    const Value rhs = op(b, a);
+                    if (same(lhs, rhs, dom.rel_tol)) return std::nullopt;
+                    std::ostringstream os;
+                    os << "a=" << show(a) << ", b=" << show(b) << ": a"
+                       << op.name() << "b = " << show(lhs) << "  !=  b"
+                       << op.name() << "a = " << show(rhs);
+                    return os.str();
+                  } catch (const Error& e) {
+                    return "evaluation threw on a=" + show(a) +
+                           ", b=" + show(b) + ": " + e.what();
+                  }
+                });
+}
+
+std::optional<std::string> find_distrib_counterexample(
+    const BinOp& times, const BinOp& plus, const ValueDomain& dom,
+    const PropertyCheckOptions& opts) {
+  return sweep3(
+      dom, opts,
+      [&](const Value& a, const Value& b,
+          const Value& c) -> std::optional<std::string> {
+        try {
+          // Left law: a ⊗ (b ⊕ c) == (a⊗b) ⊕ (a⊗c).
+          const Value ll = times(a, plus(b, c));
+          const Value lr = plus(times(a, b), times(a, c));
+          if (!same(ll, lr, dom.rel_tol)) {
+            std::ostringstream os;
+            os << "a=" << show(a) << ", b=" << show(b) << ", c=" << show(c)
+               << ": a" << times.name() << "(b" << plus.name()
+               << "c) = " << show(ll) << "  !=  (a" << times.name() << "b)"
+               << plus.name() << "(a" << times.name() << "c) = " << show(lr);
+            return os.str();
+          }
+          // Right law: (b ⊕ c) ⊗ a == (b⊗a) ⊕ (c⊗a).
+          const Value rl = times(plus(b, c), a);
+          const Value rr = plus(times(b, a), times(c, a));
+          if (!same(rl, rr, dom.rel_tol)) {
+            std::ostringstream os;
+            os << "a=" << show(a) << ", b=" << show(b) << ", c=" << show(c)
+               << ": (b" << plus.name() << "c)" << times.name()
+               << "a = " << show(rl) << "  !=  (b" << times.name() << "a)"
+               << plus.name() << "(c" << times.name() << "a) = " << show(rr);
+            return os.str();
+          }
+          return std::nullopt;
+        } catch (const Error& e) {
+          return "evaluation threw on a=" + show(a) + ", b=" + show(b) +
+                 ", c=" + show(c) + ": " + e.what();
+        }
+      });
+}
+
+std::optional<std::string> find_unit_counterexample(
+    const BinOp& op, const ValueDomain& dom,
+    const PropertyCheckOptions& opts) {
+  if (!op.unit()) return std::nullopt;
+  const Value& u = *op.unit();
+  return sweep3(dom, opts,
+                [&](const Value& a, const Value&,
+                    const Value&) -> std::optional<std::string> {
+                  if (a.is_undefined()) return std::nullopt;  // gated anyway
+                  try {
+                    const Value l = op(u, a);
+                    const Value r = op(a, u);
+                    if (same(l, a, dom.rel_tol) && same(r, a, dom.rel_tol))
+                      return std::nullopt;
+                    std::ostringstream os;
+                    os << "x=" << show(a) << ": unit" << op.name()
+                       << "x = " << show(l) << ", x" << op.name()
+                       << "unit = " << show(r) << " (unit = " << show(u)
+                       << ")";
+                    return os.str();
+                  } catch (const Error& e) {
+                    return "evaluation threw on x=" + show(a) + ": " +
+                           e.what();
+                  }
+                });
+}
+
+std::optional<std::string> find_packed_mismatch(
+    const BinOp& op, const ValueDomain& dom,
+    const PropertyCheckOptions& opts) {
+  if (!op.has_packed()) return std::nullopt;
+  // Two blocks sweeping the small domain against each other (every ordered
+  // pair appears, undefined gating included) plus random tails.
+  Rng rng(opts.seed ^ 0x9acced);
+  const std::size_t n = dom.small.size();
+  ir::Block a, b;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      a.push_back(dom.small[i]);
+      b.push_back(dom.small[j]);
+    }
+  for (int t = 0; t < 32; ++t) {
+    a.push_back(dom.random(rng));
+    b.push_back(dom.random(rng));
+  }
+  const auto pa = ir::PackedBlock::pack(a);
+  const auto pb = ir::PackedBlock::pack(b);
+  if (!pa || !pb) return std::nullopt;  // domain not flat-packable: no kernel claim
+  try {
+    const ir::Block got = op.packed()(*pa, *pb).unpack();
+    ir::Block expect;
+    expect.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) expect.push_back(op(a[i], b[i]));
+    if (got.size() != expect.size())
+      return "packed kernel returned a block of size " +
+             std::to_string(got.size()) + ", expected " +
+             std::to_string(expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      if (!same(got[i], expect[i], dom.rel_tol)) {
+        std::ostringstream os;
+        os << "slot " << i << ": a=" << show(a[i]) << ", b=" << show(b[i])
+           << ": packed = " << show(got[i])
+           << "  !=  boxed = " << show(expect[i]);
+        return os.str();
+      }
+    }
+    return std::nullopt;
+  } catch (const Error& e) {
+    return std::string("packed kernel threw: ") + e.what();
+  }
+}
+
+namespace {
+
+Diagnostic prop_diag(Severity sev, std::string code, const BinOp& op,
+                     std::string message, std::string hint) {
+  Diagnostic d;
+  d.severity = sev;
+  d.code = std::move(code);
+  d.analysis = "properties";
+  d.subject = op.name();
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  return d;
+}
+
+}  // namespace
+
+Report check_binop(const BinOpPtr& op, const std::vector<BinOpPtr>& peers,
+                   const PropertyCheckOptions& opts) {
+  Report report;
+  const ValueDomain dom = domain_for(*op);
+
+  // Totality probe: an operator we cannot even apply on its inferred
+  // domain (an unknown user operator over some other carrier) must not be
+  // blamed with bogus property counterexamples — say so and stop.
+  for (const Value& a : dom.small) {
+    for (const Value& b : dom.small) {
+      try {
+        (void)(*op)(a, b);
+      } catch (const Error& e) {
+        report.add(prop_diag(
+            Severity::warning, "V107", *op,
+            "rejects the probe domain (" + dom.name + ") on a=" + show(a) +
+                ", b=" + show(b) + ": " + e.what() +
+                " — declared properties were NOT checked",
+            "no known value domain for this operator; extend the verifier's "
+            "domain table or check it manually"));
+        return report;
+      }
+    }
+  }
+
+  // Associativity: every collective schedule (butterfly, binomial tree)
+  // REQUIRES it — a declared-associative operator that is not associative
+  // gives different answers on different tree shapes.
+  if (op->associative()) {
+    if (auto cx = find_assoc_counterexample(*op, dom, opts))
+      report.add(prop_diag(
+          Severity::error, "V101", *op,
+          "declared associative, but: " + *cx,
+          "remove `associative` from the BinOp spec (the operator cannot be "
+          "used in scan/reduce collectives at all)"));
+  } else if (opts.lint_undeclared &&
+             !find_assoc_counterexample(*op, dom, opts)) {
+    report.add(prop_diag(
+        Severity::lint, "V110", *op,
+        "associativity holds on every probe (" + dom.name +
+            " domain) but is not declared",
+        "declare `associative = true` to admit the operator in collectives"));
+  }
+
+  // Commutativity gates SR-Reduction / SS-Scan / BSS-Comcast / BSR-Local.
+  if (op->commutative()) {
+    if (auto cx = find_comm_counterexample(*op, dom, opts))
+      report.add(prop_diag(
+          Severity::error, "V102", *op,
+          "declared commutative, but: " + *cx,
+          "remove `commutative` from the BinOp spec; the SR/SS/BSS/BSR rule "
+          "family would rewrite programs to wrong answers"));
+  } else if (opts.lint_undeclared &&
+             !find_comm_counterexample(*op, dom, opts)) {
+    report.add(prop_diag(
+        Severity::lint, "V111", *op,
+        "commutativity holds on every probe (" + dom.name +
+            " domain) but is not declared",
+        "declare `commutative = true` to unlock the SR-Reduction/SS-Scan "
+        "fusions"));
+  }
+
+  // Distributivity gates the *2 rule family (SR2/SS2/BSS2/BSR2).  Every
+  // DECLARED partner is resolved (among `peers` first, then the standard
+  // registry) and checked; an unresolvable partner is a warning, never a
+  // silent pass.
+  const auto peer_by_name = [&](const std::string& name) -> BinOpPtr {
+    for (const auto& p : peers)
+      if (p && p->name() == name) return p;
+    for (const auto& p : standard_registry())
+      if (p->name() == name) return p;
+    return nullptr;
+  };
+  for (const auto& target : op->distributes_over_names()) {
+    const BinOpPtr p = peer_by_name(target);
+    if (!p) {
+      report.add(prop_diag(
+          Severity::warning, "V106", *op,
+          "declared to distribute over \"" + target +
+              "\", which is neither among the checked operators nor in the "
+              "standard registry — the declaration cannot be verified",
+          "register the partner operator (or check them together) so the "
+          "declaration can be exercised"));
+      continue;
+    }
+    const auto joint = joint_domain(*op, *p);
+    if (!joint) {
+      report.add(prop_diag(
+          Severity::warning, "V106", *op,
+          "declared to distribute over " + p->name() +
+              ", but the two operators have incompatible value domains — "
+              "the declaration cannot be checked (or exercised) soundly",
+          "drop the declaration or align the operator domains"));
+      continue;
+    }
+    if (auto cx = find_distrib_counterexample(*op, *p, *joint, opts))
+      report.add(prop_diag(
+          Severity::error, "V103", *op,
+          "declared to distribute over " + p->name() + ", but: " + *cx,
+          "remove \"" + p->name() +
+              "\" from `distributes_over`; SR2-Reduction/SS2-Scan/"
+              "BSS2-Comcast/BSR2-Local would rewrite programs to wrong "
+              "answers"));
+  }
+  // The converse lint considers only the co-checked operators: a holding
+  // but undeclared law between THESE peers is a fusion the optimizer is
+  // provably missing on THIS workload.
+  if (opts.lint_undeclared) {
+    for (const auto& p : peers) {
+      if (!p || op->distributes_over(*p)) continue;
+      const auto joint = joint_domain(*op, *p);
+      if (joint && !find_distrib_counterexample(*op, *p, *joint, opts))
+        report.add(prop_diag(
+            Severity::lint, "V112", *op,
+            "distributes over " + p->name() + " on every probe (" +
+                joint->name + " domain) but is not declared",
+            "add \"" + p->name() +
+                "\" to `distributes_over` to unlock the *2 fusion family"));
+    }
+  }
+
+  if (auto cx = find_unit_counterexample(*op, dom, opts))
+    report.add(prop_diag(Severity::error, "V104", *op,
+                         "declared unit is not an identity: " + *cx,
+                         "fix or remove the `unit` in the BinOp spec"));
+
+  if (opts.check_packed) {
+    if (auto cx = find_packed_mismatch(*op, dom, opts))
+      report.add(prop_diag(
+          Severity::error, "V105", *op,
+          "packed kernel disagrees with the boxed operator: " + *cx,
+          "the flat data plane would silently compute different answers; "
+          "fix the kernel or drop `packed_fn`"));
+  }
+  return report;
+}
+
+std::vector<BinOpPtr> standard_registry() {
+  return {ir::op_add(),       ir::op_mul(),       ir::op_max(),
+          ir::op_min(),       ir::op_band(),      ir::op_bor(),
+          ir::op_gcd(),       ir::op_modadd(97),  ir::op_modmul(97),
+          ir::op_fadd(),      ir::op_fmul(),      ir::op_mat2(),
+          ir::op_first()};
+}
+
+Report check_registry(const PropertyCheckOptions& opts) {
+  Report report;
+  const auto registry = standard_registry();
+  for (const auto& op : registry)
+    report.merge(check_binop(op, registry, opts));
+  return report;
+}
+
+}  // namespace colop::verify

@@ -1,0 +1,384 @@
+#include "colop/verify/schedule.h"
+
+#include <utility>
+
+#include "colop/ir/shapes.h"
+#include "colop/support/bits.h"
+#include "colop/support/error.h"
+
+namespace colop::verify {
+namespace {
+
+using ir::Program;
+using ir::Shape;
+using ir::Stage;
+
+struct Walker {
+  const Program& prog;
+  const ScheduleOptions& opts;
+  Report* report;  ///< nullptr: states only, no diagnostics
+  std::vector<DistState> states;
+
+  void diag(Severity sev, std::string code, std::size_t i, std::string message,
+            std::string hint) const {
+    if (report == nullptr) return;
+    Diagnostic d;
+    d.severity = sev;
+    d.code = std::move(code);
+    d.analysis = "schedule";
+    d.message = std::move(message);
+    d.hint = std::move(hint);
+    d.stage = i;
+    d.stage_show = prog.stage(i).show();
+    if (i < opts.provenance.size()) d.provenance = opts.provenance[i];
+    report->add(std::move(d));
+  }
+
+  [[nodiscard]] bool root_in_range(int root, std::size_t i) const {
+    if (root >= 0 && root < opts.p) return true;
+    diag(Severity::error, "V203", i,
+         "root rank " + std::to_string(root) + " is out of range for p = " +
+             std::to_string(opts.p) +
+             " — every rank would wait on a collective nobody roots",
+         "pick a root in [0, " + std::to_string(opts.p) + ")");
+    return false;
+  }
+
+  /// Pre-contract shared by every data-combining collective: all p blocks
+  /// must be (potentially) defined.  Returns false when violated.
+  [[nodiscard]] bool need_all_defined(const DistState& st, std::size_t i,
+                                      const std::string& what) const {
+    if (st.kind != DistState::Kind::root_only) return true;
+    diag(Severity::error, "V201", i,
+         what + " combines the blocks of all " + std::to_string(opts.p) +
+             " ranks, but only rank " + std::to_string(st.root) +
+             " holds defined data here (state " + st.to_string() +
+             ") — undefined operands gate to `_`, so the result is undefined",
+         "insert bcast(root=" + std::to_string(st.root) +
+             ") before this stage, or root the producing reduce elsewhere");
+    return false;
+  }
+
+  void divergence_discarded(std::size_t producer, std::size_t consumer,
+                            const std::string& how) const {
+    diag(Severity::warning, "V206", consumer,
+         "the rank-local results of stage " + std::to_string(producer) + " (" +
+             prog.stage(producer).show() + ") are " + how,
+         "drop the producing stage, or move it after this one if only the "
+         "root's value matters");
+  }
+
+  void walk() {
+    DistState st = opts.entry;
+    const auto n = prog.size();
+    states.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Stage& stage = prog.stage(i);
+      switch (stage.kind()) {
+        case Stage::Kind::Map:
+          break;  // elementwise, rank-oblivious: distribution unchanged
+        case Stage::Kind::MapIndexed:
+          // f k x is rank-dependent: replicated data stops being so.
+          if (st.kind == DistState::Kind::uniform) st = DistState::varied();
+          break;
+        case Stage::Kind::Iter: {
+          const auto& it = static_cast<const ir::IterStage&>(stage);
+          if (!is_pow2(static_cast<std::uint64_t>(opts.p)) &&
+              it.general_fold == nullptr)
+            diag(Severity::error, "V204", i,
+                 "iter's doubling schema computes f^log2(p), which is exact "
+                 "only for p a power of two; p = " +
+                     std::to_string(opts.p) +
+                     " and no generalized fold is provided, so evaluation "
+                     "throws at run time",
+                 "pass a general_fold (square-and-multiply over the binary "
+                 "digits of p) or run on a power-of-two machine");
+          // iter reads rank 0's block and leaves `_` everywhere else.
+          if (st.kind == DistState::Kind::root_only && st.root != 0) {
+            diag(Severity::error, "V201", i,
+                 "iter operates on rank 0's block, which is undefined here — "
+                 "the defined data lives only at rank " +
+                     std::to_string(st.root) + " (state " + st.to_string() +
+                     ")",
+                 "root the producing reduce at 0, or bcast before the iter");
+          } else if (st.kind != DistState::Kind::root_only) {
+            diag(Severity::warning, "V206", i,
+                 "iter keeps only rank 0's result and overwrites the defined "
+                 "blocks of the other " +
+                     std::to_string(opts.p - 1) +
+                     " ranks with `_` (state before: " + st.to_string() + ")",
+                 "iter normally follows a reduce to rank 0; check that the "
+                 "discarded data is really dead");
+          }
+          st = DistState::root_only(0);
+          break;
+        }
+        case Stage::Kind::Scan: {
+          const auto& sc = static_cast<const ir::ScanStage&>(stage);
+          if (!sc.op->associative())
+            diag(Severity::error, "V207", i,
+                 "operator `" + sc.op->name() +
+                     "` is not declared associative; a tree/butterfly "
+                     "schedule of this collective regroups applications and "
+                     "would change the result",
+                 "use scan_balanced (built for non-associative combine "
+                 "schemes) or fix the operator declaration");
+          static_cast<void>(need_all_defined(st, i, "scan"));
+          st = DistState::varied();  // prefix i differs per rank
+          break;
+        }
+        case Stage::Kind::ScanBalanced:
+          static_cast<void>(need_all_defined(st, i, "scan_balanced"));
+          st = DistState::varied();
+          break;
+        case Stage::Kind::Reduce: {
+          const auto& rd = static_cast<const ir::ReduceStage&>(stage);
+          if (!rd.op->associative())
+            diag(Severity::error, "V207", i,
+                 "operator `" + rd.op->name() +
+                     "` is not declared associative; a tree schedule of this "
+                     "reduction regroups applications and would change the "
+                     "result",
+                 "use reduce_balanced or fix the operator declaration");
+          static_cast<void>(root_in_range(rd.root, i));
+          static_cast<void>(need_all_defined(st, i, "reduce"));
+          st = DistState::root_only(rd.root);
+          break;
+        }
+        case Stage::Kind::ReduceBalanced: {
+          const auto& rd = static_cast<const ir::ReduceBalancedStage&>(stage);
+          static_cast<void>(root_in_range(rd.root, i));
+          static_cast<void>(need_all_defined(st, i, "reduce_balanced"));
+          st = DistState::root_only(rd.root);
+          break;
+        }
+        case Stage::Kind::AllReduce: {
+          const auto& ar = static_cast<const ir::AllReduceStage&>(stage);
+          if (!ar.op->associative())
+            diag(Severity::error, "V207", i,
+                 "operator `" + ar.op->name() +
+                     "` is not declared associative; a butterfly schedule of "
+                     "this collective regroups applications and would change "
+                     "the result",
+                 "use allreduce_balanced or fix the operator declaration");
+          static_cast<void>(need_all_defined(st, i, "allreduce"));
+          st = DistState::uniform();
+          break;
+        }
+        case Stage::Kind::AllReduceBalanced:
+          static_cast<void>(need_all_defined(st, i, "allreduce_balanced"));
+          st = DistState::uniform();
+          break;
+        case Stage::Kind::Bcast: {
+          const auto& bc = static_cast<const ir::BcastStage&>(stage);
+          static_cast<void>(root_in_range(bc.root, i));
+          if (st.kind == DistState::Kind::root_only && st.root != bc.root) {
+            // PARCOACH's classic mismatch, in distribution-state form: the
+            // collective everyone executes is rooted where nothing lives.
+            diag(Severity::error, "V202", i,
+                 "bcast roots at rank " + std::to_string(bc.root) +
+                     ", whose block is undefined — the defined data lives "
+                     "only at rank " +
+                     std::to_string(st.root) + " (state " + st.to_string() +
+                     "); every rank would receive `_`",
+                 "root the bcast at " + std::to_string(st.root) +
+                     " (or root the producing reduce at " +
+                     std::to_string(bc.root) + ")");
+          } else if (st.kind == DistState::Kind::uniform) {
+            diag(Severity::warning, "V206", i,
+                 "redundant bcast: every rank already holds the root's value "
+                 "(state uniform)",
+                 "remove it — this is what rule BB-Elim fires on");
+          } else if (st.kind == DistState::Kind::varied && i > 0 &&
+                     !prog.stage(i - 1).is_local()) {
+            // A collective just computed rank-distinct results and this
+            // bcast immediately overwrites all but the root's.
+            divergence_discarded(i - 1, i,
+                                 "immediately overwritten on every non-root "
+                                 "rank by this bcast");
+          }
+          st = DistState::uniform();
+          break;
+        }
+      }
+      states.push_back(st);
+    }
+  }
+};
+
+/// Mirror of packed_eval.cpp's packable(), with reasons: the first thing
+/// that forces the schedule off the flat data plane, or nullopt when it is
+/// fully packed-eligible.
+struct Ineligibility {
+  std::optional<std::size_t> stage;  ///< nullopt: the input itself
+  std::string reason;
+};
+
+bool flat(const Shape& s) {
+  if (s.is_scalar()) return true;
+  for (const auto& c : s.components())
+    if (!c.is_scalar()) return false;
+  return true;
+}
+
+std::optional<Ineligibility> packed_ineligibility(const Program& prog,
+                                                 const Shape& input, int p) {
+  if (!flat(input))
+    return Ineligibility{std::nullopt,
+                         "input element shape " + input.to_string() +
+                             " is nested — the flat plane handles scalars "
+                             "and flat tuples only"};
+  Shape s = input;
+  try {
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+      const Stage& stage = prog.stage(i);
+      switch (stage.kind()) {
+        case Stage::Kind::Map: {
+          const auto& st = static_cast<const ir::MapStage&>(stage);
+          if (!st.fn.packed_fn)
+            return Ineligibility{i, "map function `" + st.fn.name +
+                                        "` has no packed kernel"};
+          s = st.fn.apply_shape(s);
+          if (!flat(s))
+            return Ineligibility{i, "element shape becomes nested (" +
+                                        s.to_string() + ")"};
+          break;
+        }
+        case Stage::Kind::MapIndexed: {
+          const auto& st = static_cast<const ir::MapIndexedStage&>(stage);
+          if (!st.fn.packed_fn)
+            return Ineligibility{i, "map# function `" + st.fn.name +
+                                        "` has no packed kernel"};
+          s = st.fn.apply_shape(s);
+          if (!flat(s))
+            return Ineligibility{i, "element shape becomes nested (" +
+                                        s.to_string() + ")"};
+          break;
+        }
+        case Stage::Kind::Scan:
+        case Stage::Kind::Reduce:
+        case Stage::Kind::AllReduce: {
+          const ir::BinOpPtr& op =
+              stage.kind() == Stage::Kind::Scan
+                  ? static_cast<const ir::ScanStage&>(stage).op
+                  : stage.kind() == Stage::Kind::Reduce
+                        ? static_cast<const ir::ReduceStage&>(stage).op
+                        : static_cast<const ir::AllReduceStage&>(stage).op;
+          if (!op->has_packed())
+            return Ineligibility{i, "operator `" + op->name() +
+                                        "` has no packed kernel"};
+          break;
+        }
+        case Stage::Kind::Bcast:
+          break;
+        case Stage::Kind::ScanBalanced: {
+          const auto& op2 = static_cast<const ir::ScanBalancedStage&>(stage).op2;
+          if (!op2.packed_combine2 || !op2.packed_degrade || !op2.packed_strip)
+            return Ineligibility{
+                i, "balanced operator `" + op2.name +
+                       "` is missing one of its three packed kernels"};
+          break;
+        }
+        case Stage::Kind::ReduceBalanced: {
+          const auto& op = static_cast<const ir::ReduceBalancedStage&>(stage).op;
+          if (!op.packed_combine || !op.packed_unit)
+            return Ineligibility{i, "balanced operator `" + op.name +
+                                        "` is missing a packed kernel"};
+          break;
+        }
+        case Stage::Kind::AllReduceBalanced: {
+          const auto& op =
+              static_cast<const ir::AllReduceBalancedStage&>(stage).op;
+          if (!op.packed_combine || !op.packed_unit)
+            return Ineligibility{i, "balanced operator `" + op.name +
+                                        "` is missing a packed kernel"};
+          break;
+        }
+        case Stage::Kind::Iter: {
+          const auto& st = static_cast<const ir::IterStage&>(stage);
+          if (!is_pow2(static_cast<std::uint64_t>(p)))
+            return Ineligibility{
+                i, "iter's generalized fold (p = " + std::to_string(p) +
+                       " is not a power of two) is boxed-only"};
+          if (!st.step.packed_fn)
+            return Ineligibility{i, "iter step `" + st.step.name +
+                                        "` has no packed kernel"};
+          if (!(st.step.apply_shape(s) == s))
+            return Ineligibility{
+                i, "iter step changes the element shape, which the repeated "
+                   "packed application cannot express"};
+          break;
+        }
+      }
+    }
+  } catch (const Error& e) {
+    return Ineligibility{std::nullopt,
+                         std::string("shape transformer rejected: ") + e.what()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string DistState::to_string() const {
+  switch (kind) {
+    case Kind::uniform: return "uniform";
+    case Kind::varied: return "varied";
+    case Kind::root_only: return "root_only(" + std::to_string(root) + ")";
+  }
+  return "?";
+}
+
+std::vector<DistState> distribution_states(const Program& prog,
+                                           const ScheduleOptions& opts) {
+  Walker w{prog, opts, nullptr, {}};
+  w.walk();
+  return std::move(w.states);
+}
+
+Report analyze_schedule(const Program& prog, const ScheduleOptions& opts) {
+  Report report;
+
+  // V205: the shapes.h contract — element shapes consistent, collective
+  // `words` metadata equal to the transmitted width (the cost calculus and
+  // Table-1 estimates depend on it).
+  if (auto err = ir::check_shapes(prog, opts.input)) {
+    Diagnostic d;
+    d.severity = Severity::error;
+    d.code = "V205";
+    d.analysis = "schedule";
+    d.message = "shape/words metadata inconsistency: " + *err;
+    d.hint =
+        "fix the stage's `words` argument or the element functions' shape "
+        "transformers; the cost model is lying about this schedule until "
+        "then";
+    report.add(std::move(d));
+  }
+
+  Walker w{prog, opts, &report, {}};
+  w.walk();
+
+  if (opts.lints) {
+    if (auto inel = packed_ineligibility(prog, opts.input, opts.p)) {
+      Diagnostic d;
+      d.severity = Severity::lint;
+      d.code = "V208";
+      d.analysis = "schedule";
+      d.message = "schedule is not packed-plane eligible: " + inel->reason +
+                  " — the whole program evaluates boxed";
+      d.hint =
+          "provide the missing packed kernel (packed_kernels.h) to unlock "
+          "the flat data plane";
+      if (inel->stage) {
+        d.stage = inel->stage;
+        d.stage_show = prog.stage(*inel->stage).show();
+        if (*inel->stage < opts.provenance.size())
+          d.provenance = opts.provenance[*inel->stage];
+      }
+      report.add(std::move(d));
+    }
+  }
+  return report;
+}
+
+}  // namespace colop::verify

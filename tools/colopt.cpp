@@ -40,6 +40,7 @@
 #include "colop/support/error.h"
 #include "colop/support/rng.h"
 #include "colop/support/table.h"
+#include "colop/verify/verify.h"
 
 namespace {
 
@@ -95,6 +96,15 @@ void usage() {
       "                 width exceeds N words (Section 4.2's caveat)\n"
       "  --timeline     render before/after per-processor timelines\n"
       "  --rules        list the rule catalog and exit\n"
+      "  --verify       statically verify the run: operator property\n"
+      "                 declarations (checked, not trusted), distribution-\n"
+      "                 state contracts of the source and optimized\n"
+      "                 schedules, and one soundness certificate per rule\n"
+      "                 application; exit 3 if anything is unsound\n"
+      "  --verify-json F  write the verification report as JSON to file F\n"
+      "                 (implies --verify)\n"
+      "  --lint         also report lint-severity findings (missed fusions,\n"
+      "                 packed-plane ineligibility); implies --verify\n"
       "  --example NAME use a built-in program instead of the text syntax:\n"
       "                 polyeval1|polyeval2|polyeval3|polyeval_sr2 (Section 5,\n"
       "                 coefficients 1..p)\n"
@@ -155,6 +165,9 @@ int main(int argc, char** argv) {
   bool calibrate = false;
   bool use_calibrated = false;
   bool rt_report = false;
+  bool verify = false;
+  bool lint = false;
+  std::string verify_json;
   int repeat = 1;
   int warmup = 0;
   std::string calibrate_from = "simnet";
@@ -226,6 +239,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--calibrate-json") {
       calibrate_json = next();
       calibrate = true;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--verify-json") {
+      verify_json = next();
+      verify = true;
+    } else if (arg == "--lint") {
+      lint = true;
+      verify = true;
     } else if (arg == "--rt-report") {
       rt_report = true;
     } else if (arg == "--rt-json") {
@@ -354,6 +375,23 @@ int main(int argc, char** argv) {
       }
     }
     std::cout << "\n";
+
+    int verify_exit = 0;
+    if (verify) {
+      verify::VerifyOptions vopts;
+      vopts.p = machine.p;
+      vopts.lints = lint;
+      const auto vres = verify::verify_program(program, &result, vopts);
+      std::cout << vres.render_text(lint);
+      if (!verify_json.empty()) {
+        auto f = open_output(verify_json);
+        vres.write_json(f, lint);
+        f << "\n";
+        std::cout << "verification report written to " << verify_json << "\n";
+      }
+      std::cout << "\n";
+      verify_exit = vres.exit_code();
+    }
 
     Table t("prediction", {"version", "analytic cost", "simnet time",
                            "messages", "words"});
@@ -505,7 +543,7 @@ int main(int argc, char** argv) {
         reg.write_json(f);
       std::cout << "metrics written to " << metrics_file << "\n";
     }
-    return 0;
+    return verify_exit;  // 0, or 3 when --verify found the run unsound
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
