@@ -11,12 +11,15 @@
 // claimed; see EXPERIMENTS.md.
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "colop/model/machine.h"
 #include "colop/obs/metrics.h"
+#include "colop/obs/serve.h"
+#include "colop/obs/trace_context.h"
 
 namespace colop::bench {
 
@@ -43,15 +46,35 @@ inline void record_machine(obs::MetricsRegistry& reg,
   reg.set("machine_tw", mach.tw);
 }
 
-/// Write `reg` as BENCH_<name>.json in $COLOP_BENCH_DIR (or the working
-/// directory) — the machine-readable artifact CI uploads next to each
-/// harness's printed table.
+/// The best-effort commit identity of this measurement: $COLOP_GIT_SHA,
+/// else $GITHUB_SHA (CI), else "unknown".  Stamped into every BENCH_*.json
+/// so bench_history can anchor snapshots to commits.
+inline std::string bench_git_sha() {
+  for (const char* var : {"COLOP_GIT_SHA", "GITHUB_SHA"})
+    if (const char* sha = std::getenv(var); sha != nullptr && *sha != '\0')
+      return sha;
+  return "unknown";
+}
+
+/// Write `reg` as BENCH_<name>.json in $COLOP_BENCH_DIR (default:
+/// bench/out under the working directory, created on demand) — the
+/// machine-readable artifact CI uploads next to each harness's printed
+/// table and bench_history appends to the trajectory.  Before writing,
+/// the document is stamped with the snapshot identity: bench name,
+/// git sha, UTC timestamp, and the run's trace id (minted here when no
+/// driver installed one).
 inline void write_bench_json(const std::string& name,
-                             const obs::MetricsRegistry& reg) {
-  const char* dir = std::getenv("COLOP_BENCH_DIR");
-  const std::string path =
-      (dir != nullptr ? std::string(dir) + "/" : std::string()) + "BENCH_" +
-      name + ".json";
+                             obs::MetricsRegistry& reg) {
+  const char* env_dir = std::getenv("COLOP_BENCH_DIR");
+  const std::string dir = env_dir != nullptr ? env_dir : "bench/out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; open reports
+  if (obs::trace_id().empty()) obs::set_trace_id(obs::mint_trace_id());
+  reg.set_info("bench", name);
+  reg.set_info("git_sha", bench_git_sha());
+  reg.set_info("timestamp", obs::utc_timestamp());
+  reg.set_info("trace_id", obs::trace_id());
+  const std::string path = dir + "/BENCH_" + name + ".json";
   std::ofstream f(path);
   reg.write_json(f);
   std::cout << "metrics written to " << path << "\n";

@@ -88,12 +88,12 @@ Measurement bench_map_pair(std::size_t m, int reps) {
   const double tb = best_seconds(reps, [&] {
     Block blk = b;
     for (auto& v : blk) v = f(v);  // exec_stage's boxed map loop
-    g_sink += blk.size();
+    g_sink = g_sink + blk.size();
   });
   const double tp = best_seconds(reps, [&] {
     PackedBlock blk = pb;
     blk = f.packed_fn(std::move(blk));
-    g_sink += blk.size();
+    g_sink = g_sink + blk.size();
   });
   return {"map_pair", static_cast<double>(m) / tb,
           static_cast<double>(m) / tp};
@@ -108,11 +108,11 @@ Measurement bench_zip(const std::string& name, const ir::BinOp& op,
   const double tb = best_seconds(reps, [&] {
     Block out(m);  // lift2 in the thread executor
     for (std::size_t j = 0; j < m; ++j) out[j] = op(a[j], b[j]);
-    g_sink += out.size();
+    g_sink = g_sink + out.size();
   });
   const double tp = best_seconds(reps, [&] {
     const PackedBlock out = op.packed()(pa, pb);
-    g_sink += out.size();
+    g_sink = g_sink + out.size();
   });
   return {name, static_cast<double>(m) / tb, static_cast<double>(m) / tp};
 }
@@ -132,13 +132,13 @@ Measurement bench_reduce_local(std::size_t m, int reps) {
     Block acc = blocks[0];
     for (std::size_t i = 1; i < blocks.size(); ++i)
       for (std::size_t j = 0; j < m; ++j) acc[j] = (*op)(acc[j], blocks[i][j]);
-    g_sink += acc.size();
+    g_sink = g_sink + acc.size();
   });
   const double tp = best_seconds(reps, [&] {
     PackedBlock acc = packed[0];
     for (std::size_t i = 1; i < packed.size(); ++i)
       acc = op->packed()(acc, packed[i]);
-    g_sink += acc.size();
+    g_sink = g_sink + acc.size();
   });
   const double n = static_cast<double>(m) * 7;  // combines performed
   return {"reduce_local", n / tb, n / tp};
@@ -154,13 +154,13 @@ Measurement bench_serialize(std::size_t m, int reps,
 
   const double tb = best_seconds(reps, [&] {
     const Block copy = b;  // what Mailbox transfer of a fresh Block costs
-    g_sink += copy.size();
+    g_sink = g_sink + copy.size();
   });
   std::vector<std::byte> bytes;
   const double tp = best_seconds(reps, [&] {
     bytes = pb.to_bytes();
     const PackedBlock back = PackedBlock::from_bytes(bytes.data(), bytes.size());
-    g_sink += back.size();
+    g_sink = g_sink + back.size();
   });
   reg.add_row("micro_dataplane",
               {{"serialize_bytes", static_cast<double>(bytes.size())},
@@ -176,7 +176,7 @@ double e2e_seconds(const ir::Program& prog, const ir::Dist& input,
                    ir::DataPlane plane, int reps) {
   return best_seconds(reps, [&] {
     const auto r = exec::run_on_threads_instrumented(prog, input, plane);
-    g_sink += r.output.size();
+    g_sink = g_sink + r.output.size();
   });
 }
 
@@ -204,7 +204,7 @@ double bench_rt_overhead(const ir::Program& prog, const ir::Dist& input,
     const auto r = exec::run_on_threads_instrumented(prog, input,
                                                      ir::DataPlane::Boxed);
     const auto t1 = std::chrono::steady_clock::now();
-    g_sink += r.output.size();
+    g_sink = g_sink + r.output.size();
     return std::chrono::duration<double>(t1 - t0).count();
   };
   // Interleave the two configurations so frequency scaling and background

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "colop/obs/sink.h"
+#include "colop/obs/trace_context.h"
 #include "colop/rt/flight_recorder.h"
 #include "colop/support/bits.h"
 #include "colop/support/error.h"
@@ -59,6 +60,9 @@ B run_rank(const ir::Program& prog, mpsim::Comm& comm, B block, bool packed,
         ev.cat = "exec";
         ev.ts = obs::now_us();
         ev.tid = comm.rank();
+        ev.args.emplace_back("span_id", std::to_string(obs::next_span_id()));
+        if (const std::string id = obs::trace_id(); !id.empty())
+          ev.args.emplace_back("trace_id", id);
         obs::record(ev);
         exec(*stage, comm, block);
         ev.phase = obs::Phase::end;

@@ -1,0 +1,39 @@
+#pragma once
+// mpsim -> telemetry hub bridge: publish a group's TrafficStats into the
+// obs::Registry by name.  The rank-sharded counters (stats.h) stay the
+// lossless source of truth on the hot path; this copies their totals into
+// the labeled Prometheus families the embedded stats server exposes.
+//
+// For threaded runs driven through rt (colopt --rt-report / --serve),
+// rt::publish_registry publishes the same families from the flight
+// recorder's per-rank snapshot instead; use this bridge when all you have
+// is a TrafficStats (simulator harnesses, tests).
+
+#include <string>
+
+#include "colop/mpsim/stats.h"
+#include "colop/obs/metrics.h"
+
+namespace colop::mpsim {
+
+/// Add the per-rank message/byte totals of `stats` into `registry` under
+/// colop_mpsim_messages_total{rank} / colop_mpsim_bytes_total{rank}.
+/// Counters accumulate: publishing two runs sums them, matching counter
+/// semantics.
+inline void publish_traffic(const TrafficStats& stats,
+                            obs::Registry& registry) {
+  for (int rank = 0; rank < stats.ranks(); ++rank) {
+    const TrafficCounters c = stats.snapshot(rank);
+    const obs::LabelSet label{{"rank", std::to_string(rank)}};
+    registry
+        .counter("colop_mpsim_messages_total",
+                 "Point-to-point messages sent, per sending rank", label)
+        .inc(static_cast<double>(c.messages));
+    registry
+        .counter("colop_mpsim_bytes_total",
+                 "Payload bytes sent, per sending rank", label)
+        .inc(static_cast<double>(c.bytes));
+  }
+}
+
+}  // namespace colop::mpsim

@@ -1,0 +1,91 @@
+#pragma once
+// Embedded stats server: a minimal blocking HTTP/1.0 responder exposing
+// the telemetry hub over a loopback socket — the first brick of colopd.
+//
+// Endpoints:
+//   GET /metrics       Prometheus text exposition of the Registry
+//   GET /metrics.json  the same registry as JSON
+//   GET /runs          recent runs: trace id + program + timing summary
+//   GET /healthz       liveness ("ok")
+//
+// Scope by design: HTTP/1.0, Connection: close, GET only, loopback bind.
+// One accept loop on one thread is plenty for a scrape endpoint; request
+// handling is pure (handle() maps a method+path to a response), so tests
+// and future daemons can drive it without sockets.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace colop::obs {
+
+class Registry;
+
+/// One completed run, as shown by GET /runs.
+struct RunSummary {
+  std::string trace_id;
+  std::string program;          ///< source program text
+  std::string optimized;        ///< program after rewriting
+  std::string started_at;       ///< wall-clock, "YYYY-mm-dd HH:MM:SS" UTC
+  int rewrites = 0;             ///< rules applied
+  double model_cost_before = 0; ///< analytic cost, op units
+  double model_cost_after = 0;
+  double wall_ms = 0;           ///< threaded execution, 0 if none ran
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class StatsServer {
+ public:
+  explicit StatsServer(Registry& registry) : registry_(registry) {}
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+  ~StatsServer() { stop(); }
+
+  /// Record a run for /runs (most recent first; bounded history).
+  void add_run(RunSummary run);
+
+  /// Route one request.  Unknown paths give 404; non-GET methods 405.
+  [[nodiscard]] HttpResponse handle(const std::string& method,
+                                    const std::string& path) const;
+
+  /// Bind 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and serve
+  /// on a background thread.  Returns false with `*error` set on failure.
+  bool start(int port, std::string* error = nullptr);
+  /// The bound port; valid after start() succeeded.
+  [[nodiscard]] int port() const { return port_; }
+  /// Block until the accept loop exits (stop() from another thread, or
+  /// process death).  This is colopt --serve's steady state.
+  void wait();
+  /// Shut the listener down and join the serving thread.  Idempotent.
+  void stop();
+
+  /// The /runs document: {"runs":[...]} most recent first.
+  void write_runs_json(std::ostream& os) const;
+
+ private:
+  void serve_loop();
+
+  Registry& registry_;
+  mutable std::mutex runs_mutex_;
+  std::deque<RunSummary> runs_;          ///< front = most recent
+  std::size_t max_runs_ = 64;
+
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::thread thread_;
+};
+
+/// "YYYY-mm-dd HH:MM:SS" UTC now — the timestamp format used by /runs and
+/// bench history snapshots.
+[[nodiscard]] std::string utc_timestamp();
+
+}  // namespace colop::obs

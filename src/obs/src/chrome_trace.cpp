@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "colop/obs/json.h"
+#include "colop/obs/trace_context.h"
 
 namespace colop::obs {
 namespace {
@@ -64,7 +65,12 @@ void write_chrome_trace(const std::vector<Event>& events, std::ostream& os,
                         const std::string& process_name,
                         const std::string& tid_prefix,
                         const std::map<int, std::string>& pid_names) {
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // The run's trace id rides both at the top level (for tools reading the
+  // document) and as "otherData" (surfaced by the Perfetto UI's metadata).
+  os << "{\"displayTimeUnit\":\"ms\"" << trace_id_json_field();
+  if (const std::string id = trace_id(); !id.empty())
+    os << ",\"otherData\":{\"trace_id\":" << json::quote(id) << "}";
+  os << ",\"traceEvents\":[";
   bool first = true;
   auto sep = [&] {
     if (!first) os << ",\n";

@@ -8,6 +8,7 @@
 #include "colop/model/cost.h"
 #include "colop/mpsim/balanced_tree.h"
 #include "colop/obs/json.h"
+#include "colop/obs/trace_context.h"
 #include "colop/simnet/schedules.h"
 #include "colop/support/bits.h"
 #include "colop/support/table.h"
@@ -311,7 +312,7 @@ void MachineDriftAlert::write_json(std::ostream& os) const {
 }
 
 void DriftReport::write_json(std::ostream& os) const {
-  os << "{\"program\":" << json::quote(program)
+  os << "{\"program\":" << json::quote(program) << trace_id_json_field()
      << ",\"tolerance\":" << json::number(tolerance)
      << ",\"all_ok\":" << (all_ok() ? "true" : "false") << ",\"rows\":[";
   bool first = true;

@@ -1,12 +1,275 @@
 #include "colop/obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <ostream>
 #include <set>
 
 #include "colop/obs/json.h"
+#include "colop/obs/trace_context.h"
+#include "colop/support/error.h"
 
 namespace colop::obs {
+namespace {
+
+/// Canonical encoding of a label set: sorted by key, Prometheus syntax
+/// (`k1="v1",k2="v2"`).  Doubles as the map key AND the exposition text.
+std::string encode_labels(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ",";
+    out += k + "=\"" + json::escape(v) + "\"";
+  }
+  return out;
+}
+
+/// Prometheus sample value: plain decimal, integers without a fraction.
+std::string prom_number(double v) {
+  if (v == static_cast<long long>(v) && std::abs(v) < 1e15)
+    return std::to_string(static_cast<long long>(v));
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// `name{labels}` or bare `name` when the label set is empty.
+std::string series_name(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+/// `name{labels,extra}` — append one more label to an encoded set.
+std::string series_name_plus(const std::string& name, const std::string& labels,
+                             const std::string& extra) {
+  if (labels.empty()) return name + "{" + extra + "}";
+  return name + "{" + labels + "," + extra + "}";
+}
+
+/// Decode an encoded label set back to JSON (`"k":"v"` pairs).  The
+/// encoding is unambiguous: keys are bare identifiers, values are escaped.
+void write_labels_json(std::ostream& os, const std::string& encoded) {
+  os << "{";
+  bool first = true;
+  std::size_t i = 0;
+  while (i < encoded.size()) {
+    const std::size_t eq = encoded.find('=', i);
+    const std::string key = encoded.substr(i, eq - i);
+    std::size_t j = eq + 2;  // skip ="
+    std::string raw;
+    while (j < encoded.size() && encoded[j] != '"') {
+      if (encoded[j] == '\\' && j + 1 < encoded.size()) raw += encoded[j++];
+      raw += encoded[j++];
+    }
+    if (!first) os << ",";
+    first = false;
+    os << json::quote(key) << ":\"" << raw << "\"";  // raw is already escaped
+    i = j + 1;
+    if (i < encoded.size() && encoded[i] == ',') ++i;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+// --- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  COLOP_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                    std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                        bounds_.end(),
+                "histogram bucket bounds must be strictly increasing");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, v);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<double> default_seconds_buckets() {
+  return {1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1, 5, 10};
+}
+
+// --- Registry --------------------------------------------------------------
+
+Registry::Family& Registry::family(const std::string& name, Kind kind,
+                                   const std::string& help,
+                                   const std::vector<double>& buckets) {
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& fam = it->second;
+  if (inserted) {
+    fam.kind = kind;
+    fam.help = help;
+    fam.buckets = buckets;
+  } else {
+    COLOP_REQUIRE(fam.kind == kind,
+                  "metric '" + name + "' re-registered with a different kind");
+    COLOP_REQUIRE(kind != Kind::histogram || fam.buckets == buckets,
+                  "histogram '" + name +
+                      "' re-registered with different buckets");
+  }
+  return fam;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const LabelSet& labels) {
+  const std::string key = encode_labels(labels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, Kind::counter, help, {});
+  auto& slot = fam.counters[key];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const LabelSet& labels) {
+  const std::string key = encode_labels(labels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, Kind::gauge, help, {});
+  auto& slot = fam.gauges[key];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help,
+                               const std::vector<double>& upper_bounds,
+                               const LabelSet& labels) {
+  const std::string key = encode_labels(labels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, Kind::histogram, help, upper_bounds);
+  auto& slot = fam.histograms[key];
+  if (!slot) slot = std::make_unique<Histogram>(fam.buckets);
+  return *slot;
+}
+
+double Registry::value(const std::string& name, const LabelSet& labels) const {
+  const std::string key = encode_labels(labels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = families_.find(name);
+  if (it == families_.end()) return 0;
+  if (const auto c = it->second.counters.find(key);
+      c != it->second.counters.end())
+    return c->second->value();
+  if (const auto g = it->second.gauges.find(key); g != it->second.gauges.end())
+    return g->second->value();
+  return 0;
+}
+
+bool Registry::has(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return families_.count(name) != 0;
+}
+
+std::vector<std::string> Registry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(families_.size());
+  for (const auto& [name, fam] : families_) out.push_back(name);
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+void Registry::write_prometheus(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) os << "# HELP " << name << " " << fam.help << "\n";
+    os << "# TYPE " << name << " "
+       << (fam.kind == Kind::counter
+               ? "counter"
+               : fam.kind == Kind::gauge ? "gauge" : "histogram")
+       << "\n";
+    for (const auto& [labels, c] : fam.counters)
+      os << series_name(name, labels) << " " << prom_number(c->value()) << "\n";
+    for (const auto& [labels, g] : fam.gauges)
+      os << series_name(name, labels) << " " << prom_number(g->value()) << "\n";
+    for (const auto& [labels, h] : fam.histograms) {
+      const auto counts = h->bucket_counts();
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < h->upper_bounds().size(); ++i) {
+        cum += counts[i];
+        os << series_name_plus(name + "_bucket", labels,
+                               "le=\"" + prom_number(h->upper_bounds()[i]) +
+                                   "\"")
+           << " " << cum << "\n";
+      }
+      cum += counts.back();
+      os << series_name_plus(name + "_bucket", labels, "le=\"+Inf\"") << " "
+         << cum << "\n";
+      os << series_name(name + "_sum", labels) << " " << prom_number(h->sum())
+         << "\n";
+      os << series_name(name + "_count", labels) << " " << h->count() << "\n";
+    }
+  }
+}
+
+void Registry::write_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"kind\":\"colop_metrics\"" << trace_id_json_field()
+     << ",\"metrics\":[";
+  bool first_fam = true;
+  for (const auto& [name, fam] : families_) {
+    if (!first_fam) os << ",";
+    first_fam = false;
+    os << "{\"name\":" << json::quote(name) << ",\"kind\":\""
+       << (fam.kind == Kind::counter
+               ? "counter"
+               : fam.kind == Kind::gauge ? "gauge" : "histogram")
+       << "\",\"help\":" << json::quote(fam.help) << ",\"series\":[";
+    bool first = true;
+    for (const auto& [labels, c] : fam.counters) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"labels\":";
+      write_labels_json(os, labels);
+      os << ",\"value\":" << json::number(c->value()) << "}";
+    }
+    for (const auto& [labels, g] : fam.gauges) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"labels\":";
+      write_labels_json(os, labels);
+      os << ",\"value\":" << json::number(g->value()) << "}";
+    }
+    for (const auto& [labels, h] : fam.histograms) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"labels\":";
+      write_labels_json(os, labels);
+      os << ",\"buckets\":[";
+      const auto counts = h->bucket_counts();
+      for (std::size_t i = 0; i < h->upper_bounds().size(); ++i) {
+        if (i != 0) os << ",";
+        os << "{\"le\":" << json::number(h->upper_bounds()[i])
+           << ",\"count\":" << counts[i] << "}";
+      }
+      os << "],\"inf_count\":" << counts.back()
+         << ",\"sum\":" << json::number(h->sum()) << ",\"count\":" << h->count()
+         << "}";
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+// --- MetricsRegistry (measurement documents) -------------------------------
 
 void MetricsRegistry::set(const std::string& name, double value) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -29,6 +292,17 @@ bool MetricsRegistry::has(const std::string& name) const {
   return scalars_.count(name) != 0;
 }
 
+void MetricsRegistry::set_info(const std::string& name, std::string value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  info_[name] = std::move(value);
+}
+
+std::string MetricsRegistry::info(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = info_.find(name);
+  return it == info_.end() ? std::string() : it->second;
+}
+
 void MetricsRegistry::add_row(
     const std::string& series,
     std::vector<std::pair<std::string, double>> row) {
@@ -43,7 +317,18 @@ std::map<std::string, double> MetricsRegistry::scalars() const {
 
 void MetricsRegistry::write_json(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  os << "{\"scalars\":{";
+  os << "{\"schema_version\":" << kSchemaVersion;
+  if (!info_.empty()) {
+    os << ",\"info\":{";
+    bool first = true;
+    for (const auto& [name, value] : info_) {
+      if (!first) os << ",";
+      first = false;
+      os << json::quote(name) << ":" << json::quote(value);
+    }
+    os << "}";
+  }
+  os << ",\"scalars\":{";
   bool first = true;
   for (const auto& [name, value] : scalars_) {
     if (!first) os << ",";
@@ -76,6 +361,8 @@ void MetricsRegistry::write_json(std::ostream& os) const {
 
 void MetricsRegistry::write_csv(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, value] : info_)
+    os << "info," << name << "," << value << "\n";
   for (const auto& [name, value] : scalars_)
     os << "scalar," << name << "," << json::number(value) << "\n";
   for (const auto& [name, rows] : series_) {

@@ -11,6 +11,7 @@
 #include "colop/obs/chrome_trace.h"
 #include "colop/obs/json.h"
 #include "colop/obs/sink.h"
+#include "colop/obs/trace_context.h"
 #include "colop/simnet/machine.h"
 #include "colop/support/table.h"
 
@@ -368,7 +369,8 @@ std::string Profile::render_text() const {
 }
 
 void Profile::write_json(std::ostream& os) const {
-  os << "{\"program\":" << json::quote(program) << ",\"p\":" << procs
+  os << "{\"program\":" << json::quote(program) << trace_id_json_field()
+     << ",\"p\":" << procs
      << ",\"makespan\":" << json::number(makespan)
      << ",\"balanced\":" << (balanced() ? "true" : "false")
      << ",\"path_complete\":" << (path_complete() ? "true" : "false")

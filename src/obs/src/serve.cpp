@@ -1,0 +1,207 @@
+#include "colop/obs/serve.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <sstream>
+#include <utility>
+
+#include "colop/obs/json.h"
+#include "colop/obs/metrics.h"
+
+namespace colop::obs {
+namespace {
+
+std::string status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+/// Serialize a complete HTTP/1.0 response.
+std::string render_response(const HttpResponse& r) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << r.status << " " << status_text(r.status) << "\r\n"
+     << "Content-Type: " << r.content_type << "\r\n"
+     << "Content-Length: " << r.body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << r.body;
+  return os.str();
+}
+
+/// Read until the end of the request head (or 4 KiB); we only need the
+/// request line, the rest is drained for protocol hygiene.
+std::string read_request_head(int fd) {
+  std::string head;
+  char buf[1024];
+  while (head.size() < 4096) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos)
+      break;
+  }
+  return head;
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%d %H:%M:%S", &tm);
+  return buf;
+}
+
+void StatsServer::add_run(RunSummary run) {
+  const std::lock_guard<std::mutex> lock(runs_mutex_);
+  runs_.push_front(std::move(run));
+  while (runs_.size() > max_runs_) runs_.pop_back();
+}
+
+void StatsServer::write_runs_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(runs_mutex_);
+  os << "{\"runs\":[";
+  bool first = true;
+  for (const auto& r : runs_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"trace_id\":" << json::quote(r.trace_id)
+       << ",\"program\":" << json::quote(r.program)
+       << ",\"optimized\":" << json::quote(r.optimized)
+       << ",\"started_at\":" << json::quote(r.started_at)
+       << ",\"rewrites\":" << r.rewrites
+       << ",\"model_cost_before\":" << json::number(r.model_cost_before)
+       << ",\"model_cost_after\":" << json::number(r.model_cost_after)
+       << ",\"wall_ms\":" << json::number(r.wall_ms) << "}";
+  }
+  os << "]}\n";
+}
+
+HttpResponse StatsServer::handle(const std::string& method,
+                                 const std::string& path) const {
+  if (method != "GET")
+    return {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  if (path == "/healthz") return {200, "text/plain; charset=utf-8", "ok\n"};
+  if (path == "/metrics") {
+    std::ostringstream os;
+    registry_.write_prometheus(os);
+    return {200, "text/plain; version=0.0.4; charset=utf-8", os.str()};
+  }
+  if (path == "/metrics.json") {
+    std::ostringstream os;
+    registry_.write_json(os);
+    return {200, "application/json", os.str()};
+  }
+  if (path == "/runs") {
+    std::ostringstream os;
+    write_runs_json(os);
+    return {200, "application/json", os.str()};
+  }
+  return {404, "text/plain; charset=utf-8",
+          "not found; try /metrics /metrics.json /runs /healthz\n"};
+}
+
+bool StatsServer::start(int port, std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    return false;
+  };
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return fail("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return fail("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void StatsServer::serve_loop() {
+  for (;;) {
+    const int fd = listen_fd_.load(std::memory_order_acquire);
+    if (fd < 0) return;
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    const std::string head = read_request_head(client);
+    // Request line: METHOD SP PATH SP VERSION
+    std::string method, path;
+    const std::size_t sp1 = head.find(' ');
+    if (sp1 != std::string::npos) {
+      const std::size_t sp2 = head.find(' ', sp1 + 1);
+      method = head.substr(0, sp1);
+      path = head.substr(sp1 + 1, sp2 == std::string::npos ? std::string::npos
+                                                           : sp2 - sp1 - 1);
+      // Ignore query strings: /metrics?x=y routes like /metrics.
+      if (const auto q = path.find('?'); q != std::string::npos)
+        path.resize(q);
+    }
+    const HttpResponse resp = method.empty()
+                                  ? HttpResponse{404, "text/plain", "bad request\n"}
+                                  : handle(method, path);
+    write_all(client, render_response(resp));
+    ::close(client);
+  }
+}
+
+void StatsServer::wait() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void StatsServer::stop() {
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace colop::obs

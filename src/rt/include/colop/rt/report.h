@@ -109,10 +109,20 @@ struct RtReportOptions {
 
 namespace colop::obs {
 class MetricsRegistry;
+class Registry;
 }  // namespace colop::obs
 
 namespace colop::rt {
 /// Publish the per-rank numbers into a metrics registry: one "rt_ranks"
 /// series row per rank plus rt_* scalars (wall_ms, drift_max_abs, ...).
 void publish_metrics(const RtReport& report, obs::MetricsRegistry& registry);
+
+/// Publish the measured run into the telemetry-hub registry (metrics.h
+/// Registry) — the live surface the embedded stats server exposes:
+///   colop_mpsim_messages_total{rank} / colop_mpsim_bytes_total{rank}
+///   colop_mpsim_recv_wait_seconds_total{rank} / .._barrier_wait_seconds..
+///   colop_rt_queue_depth_max{rank} (gauge), colop_rt_dropped_records_total
+///   colop_exec_stage_seconds{stage,index} (histogram of per-rank maxima)
+///   colop_exec_runs_total{plane}, colop_exec_run_seconds (histogram)
+void publish_registry(const RtReport& report, obs::Registry& registry);
 }  // namespace colop::rt

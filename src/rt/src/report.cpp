@@ -10,6 +10,7 @@
 #include "colop/obs/chrome_trace.h"
 #include "colop/obs/json.h"
 #include "colop/obs/metrics.h"
+#include "colop/obs/trace_context.h"
 #include "colop/rt/watchdog.h"
 
 namespace colop::rt {
@@ -182,7 +183,8 @@ std::string RtReport::render_text() const {
 
 void RtReport::write_json(std::ostream& os) const {
   namespace js = obs::json;
-  os << "{\"program\":" << js::quote(program) << ",\"procs\":" << procs
+  os << "{\"program\":" << js::quote(program) << obs::trace_id_json_field()
+     << ",\"procs\":" << procs
      << ",\"plane\":" << js::quote(used_packed ? "packed" : "boxed")
      << ",\"wall_ms\":" << js::number(wall_ms)
      << ",\"scale_ns_per_op\":" << js::number(scale_ns_per_op)
@@ -249,6 +251,52 @@ void publish_metrics(const RtReport& report, obs::MetricsRegistry& registry) {
   }
   registry.set("rt_drift_max_abs", drift_max);
   registry.set("rt_wait_max_ms", wait_max);
+}
+
+void publish_registry(const RtReport& report, obs::Registry& registry) {
+  for (const RankReport& r : report.ranks) {
+    const obs::LabelSet rank_label{{"rank", std::to_string(r.rank)}};
+    registry
+        .counter("colop_mpsim_messages_total",
+                 "Point-to-point messages sent, per sending rank", rank_label)
+        .inc(static_cast<double>(r.sends));
+    registry
+        .counter("colop_mpsim_bytes_total",
+                 "Payload bytes sent, per sending rank", rank_label)
+        .inc(static_cast<double>(r.send_bytes));
+    registry
+        .counter("colop_mpsim_recv_wait_seconds_total",
+                 "Time blocked in recv, per rank", rank_label)
+        .inc(r.recv_wait_ms / 1e3);
+    registry
+        .counter("colop_mpsim_barrier_wait_seconds_total",
+                 "Time blocked in barriers, per rank", rank_label)
+        .inc(r.barrier_wait_ms / 1e3);
+    registry
+        .gauge("colop_rt_queue_depth_max",
+               "Deepest inbound mailbox queue observed, per rank", rank_label)
+        .set(static_cast<double>(r.queue_depth_max));
+  }
+  registry
+      .counter("colop_rt_dropped_records_total",
+               "Flight-recorder records evicted by the ring")
+      .inc(static_cast<double>(report.dropped_total));
+  for (const StageReport& s : report.stages)
+    registry
+        .histogram("colop_exec_stage_seconds",
+                   "Per-stage wall time (max over ranks)",
+                   obs::default_seconds_buckets(),
+                   {{"stage", s.label}, {"index", std::to_string(s.index)}})
+        .observe(s.wall_ms / 1e3);
+  registry
+      .counter("colop_exec_runs_total", "Threaded executions, by data plane",
+               {{"plane", report.used_packed ? "packed" : "boxed"}})
+      .inc();
+  registry
+      .histogram("colop_exec_run_seconds",
+                 "End-to-end threaded execution wall time",
+                 obs::default_seconds_buckets())
+      .observe(report.wall_ms / 1e3);
 }
 
 }  // namespace colop::rt

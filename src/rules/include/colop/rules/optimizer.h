@@ -17,6 +17,10 @@
 #include "colop/model/machine.h"
 #include "colop/rules/rules.h"
 
+namespace colop::obs {
+class Registry;
+}  // namespace colop::obs
+
 namespace colop::rules {
 
 /// One rule x position attempt, recorded by explain mode: what the
@@ -103,6 +107,16 @@ struct OptimizeResult {
   /// Human-readable derivation transcript.
   [[nodiscard]] std::string report() const;
 };
+
+/// Publish optimizer telemetry into the hub registry:
+///   colop_rules_applied_total{rule}           one count per derivation step
+///   colop_rules_attempted_total{rule,verdict} every explain-mode attempt
+///   colop_rules_rejected_total{rule,reason}   policy/memory/profit rejects
+///   colop_opt_cost_units{version=initial|final}, colop_opt_cost_saved_total
+/// `explain` may be null (attempt/reject counters are then not emitted —
+/// the optimizer only records attempts when an ExplainLog is attached).
+void publish_metrics(const OptimizeResult& result, const ExplainLog* explain,
+                     obs::Registry& registry);
 
 /// Per-stage rule provenance of an optimization: replay the derivation's
 /// splices (each AppliedRule replaced [position, position+count) by

@@ -2,6 +2,8 @@
 
 #include "colop/model/memory.h"
 #include "colop/obs/json.h"
+#include "colop/obs/metrics.h"
+#include "colop/obs/trace_context.h"
 
 #include <algorithm>
 #include <cstddef>
@@ -28,7 +30,10 @@ std::string ExplainLog::render_text(bool include_unmatched) const {
 
 void ExplainLog::write_json(std::ostream& os) const {
   namespace json = obs::json;
-  os << "{\"attempts\":[";
+  const std::string trace = obs::trace_id_json_field();
+  os << "{";
+  if (!trace.empty()) os << trace.substr(1) << ",";
+  os << "\"attempts\":[";
   bool first = true;
   for (const auto& a : attempts) {
     if (!first) os << ",";
@@ -57,6 +62,45 @@ std::string OptimizeResult::report() const {
   }
   os << "final cost " << cost_final;
   return os.str();
+}
+
+void publish_metrics(const OptimizeResult& result, const ExplainLog* explain,
+                     obs::Registry& registry) {
+  for (const auto& step : result.log)
+    registry
+        .counter("colop_rules_applied_total",
+                 "Rewrite rules applied by the optimizer", {{"rule", step.rule}})
+        .inc();
+  registry
+      .gauge("colop_opt_cost_units", "Predicted program cost in op units",
+             {{"version", "initial"}})
+      .set(result.cost_initial);
+  registry
+      .gauge("colop_opt_cost_units", "Predicted program cost in op units",
+             {{"version", "final"}})
+      .set(result.cost_final);
+  registry
+      .counter("colop_opt_cost_saved_total",
+               "Predicted op units saved by rewriting")
+      .inc(std::max(0.0, result.cost_initial - result.cost_final));
+  if (explain == nullptr) return;
+  for (const auto& a : explain->attempts) {
+    registry
+        .counter("colop_rules_attempted_total",
+                 "Rule x position attempts, by verdict",
+                 {{"rule", a.rule},
+                  {"verdict", a.matched ? (a.verdict == "applied" ? "applied"
+                                                                  : "matched")
+                                        : "no_match"}})
+        .inc();
+    if (a.verdict.rfind("rejected:", 0) == 0)
+      registry
+          .counter("colop_rules_rejected_total",
+                   "Matched rewrites rejected by policy/memory/profitability",
+                   {{"rule", a.rule},
+                    {"reason", a.verdict.substr(sizeof("rejected:"))}})
+          .inc();
+  }
 }
 
 std::vector<std::string> stage_provenance(std::size_t initial_stages,

@@ -24,6 +24,10 @@
 #include "colop/verify/properties.h"
 #include "colop/verify/schedule.h"
 
+namespace colop::obs {
+class Registry;
+}  // namespace colop::obs
+
 namespace colop::verify {
 
 struct VerifyOptions {
@@ -58,5 +62,13 @@ struct VerifyResult {
 [[nodiscard]] VerifyResult verify_program(const ir::Program& source,
                                           const rules::OptimizeResult* opt,
                                           const VerifyOptions& opts = {});
+
+/// Publish verification telemetry into the hub registry:
+///   colop_verify_obligations_total{status=discharged|failed}  one per
+///     certificate proof obligation
+///   colop_verify_certificates_total{status}                   per rewrite
+///   colop_verify_diagnostics_total{severity}                  findings
+///   colop_verify_sound (gauge, 1 = run verified clean)
+void publish_metrics(const VerifyResult& result, obs::Registry& registry);
 
 }  // namespace colop::verify

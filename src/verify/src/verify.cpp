@@ -4,6 +4,9 @@
 #include <set>
 #include <sstream>
 
+#include "colop/obs/metrics.h"
+#include "colop/obs/trace_context.h"
+
 namespace colop::verify {
 namespace {
 
@@ -81,11 +84,41 @@ std::string VerifyResult::render_text(bool include_lints) const {
 }
 
 void VerifyResult::write_json(std::ostream& os, bool include_lints) const {
-  os << "{\"report\":";
+  const std::string trace = obs::trace_id_json_field();
+  if (!trace.empty())
+    os << "{" << trace.substr(1) << ",\"report\":";
+  else
+    os << "{\"report\":";
   report.write_json(os, include_lints);
   os << ",\"certificates\":";
   certificates.write_json(os);
   os << "}";
+}
+
+void publish_metrics(const VerifyResult& result, obs::Registry& registry) {
+  for (const Certificate& c : result.certificates.certificates) {
+    registry
+        .counter("colop_verify_certificates_total",
+                 "Rewrite soundness certificates, by outcome",
+                 {{"status", c.discharged ? "discharged" : "failed"}})
+        .inc();
+    // Every obligation line of a discharged certificate held; a failed
+    // certificate's failing obligation is also an error diagnostic.
+    registry
+        .counter("colop_verify_obligations_total",
+                 "Proof obligations checked across certificates",
+                 {{"status", c.discharged ? "discharged" : "failed"}})
+        .inc(static_cast<double>(c.obligations.size()));
+  }
+  for (const Diagnostic& d : result.report.diagnostics())
+    registry
+        .counter("colop_verify_diagnostics_total",
+                 "Verifier findings, by severity",
+                 {{"severity", to_string(d.severity)}})
+        .inc();
+  registry
+      .gauge("colop_verify_sound", "1 when the run verified clean, else 0")
+      .set(result.ok() ? 1 : 0);
 }
 
 }  // namespace colop::verify

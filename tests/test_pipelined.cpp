@@ -71,7 +71,9 @@ TEST(PipelinedSim, OptimalSegmentsMinimizesTheClosedForm) {
       };
       // k* beats (or ties) its neighbours.
       EXPECT_LE(cost(k), cost(k + 1) + 1e-9) << p << " " << m;
-      if (k > 1) EXPECT_LE(cost(k), cost(k - 1) + 1e-9) << p << " " << m;
+      if (k > 1) {
+        EXPECT_LE(cost(k), cost(k - 1) + 1e-9) << p << " " << m;
+      }
     }
   }
   EXPECT_EQ(simnet::optimal_segments(2, 1000, 100, 2), 1);

@@ -82,7 +82,9 @@ TEST(Watchdog, DoneRanksAreNotStalls) {
   Fleet fleet(2, cfg);
   for (int r = 0; r < 2; ++r) {
     fleet.recorder(r)->log(Ev::mark);
-    fleet.stats(r)->done.store(1, std::memory_order_release);
+    rt::RankStats* st = fleet.stats(r);
+    ASSERT_NE(st, nullptr);
+    st->done.store(1, std::memory_order_release);
   }
   WatchdogOptions opts;
   opts.deadline_ms = 10;

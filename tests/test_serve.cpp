@@ -1,0 +1,133 @@
+// Embedded stats server: pure routing (handle() needs no sockets), the
+// /runs document, and one real loopback round trip — bind an ephemeral
+// port, speak HTTP/1.0 over a raw socket, and check the Prometheus body.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "colop/obs/json.h"
+#include "colop/obs/metrics.h"
+#include "colop/obs/serve.h"
+
+namespace obs = colop::obs;
+
+namespace {
+
+obs::Registry& demo_registry() {
+  static obs::Registry reg;
+  static const bool init = [] {
+    reg.counter("colop_mpsim_messages_total", "messages", {{"rank", "0"}})
+        .inc(5);
+    reg.gauge("colop_verify_sound", "soundness").set(1);
+    return true;
+  }();
+  (void)init;
+  return reg;
+}
+
+TEST(Serve, RoutesWithoutSockets) {
+  obs::StatsServer server(demo_registry());
+  EXPECT_EQ(server.handle("GET", "/healthz").status, 200);
+  EXPECT_EQ(server.handle("GET", "/healthz").body, "ok\n");
+
+  const auto metrics = server.handle("GET", "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(metrics.body.find("colop_mpsim_messages_total{rank=\"0\"} 5"),
+            std::string::npos);
+
+  const auto mjson = server.handle("GET", "/metrics.json");
+  EXPECT_EQ(mjson.status, 200);
+  EXPECT_EQ(mjson.content_type, "application/json");
+  EXPECT_NO_THROW(obs::json::parse(mjson.body));
+
+  EXPECT_EQ(server.handle("GET", "/nope").status, 404);
+  EXPECT_EQ(server.handle("POST", "/metrics").status, 405);
+}
+
+TEST(Serve, RunsDocumentMostRecentFirst) {
+  obs::StatsServer server(demo_registry());
+  obs::RunSummary a;
+  a.trace_id = "aaaaaaaaaaaaaaaa";
+  a.program = "scan(+)";
+  obs::RunSummary b;
+  b.trace_id = "bbbbbbbbbbbbbbbb";
+  b.program = "bcast";
+  b.rewrites = 2;
+  b.wall_ms = 1.5;
+  server.add_run(a);
+  server.add_run(b);
+
+  const auto resp = server.handle("GET", "/runs");
+  EXPECT_EQ(resp.status, 200);
+  const auto doc = obs::json::parse(resp.body);
+  const auto* runs = doc.get("runs");
+  ASSERT_TRUE(runs != nullptr);
+  ASSERT_EQ(runs->items.size(), 2u);
+  EXPECT_EQ(runs->items[0]->get("trace_id")->str, "bbbbbbbbbbbbbbbb");
+  EXPECT_EQ(runs->items[0]->get("rewrites")->num, 2);
+  EXPECT_EQ(runs->items[0]->get("wall_ms")->num, 1.5);
+  EXPECT_EQ(runs->items[1]->get("trace_id")->str, "aaaaaaaaaaaaaaaa");
+}
+
+TEST(Serve, UtcTimestampShape) {
+  const std::string ts = obs::utc_timestamp();
+  ASSERT_EQ(ts.size(), 19u);  // YYYY-mm-dd HH:MM:SS
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], ' ');
+  EXPECT_EQ(ts[13], ':');
+}
+
+/// One HTTP/1.0 request against 127.0.0.1:`port`; returns the raw reply.
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  ::send(fd, req.data(), req.size(), 0);
+  std::string reply;
+  char buf[1024];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+    reply.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return reply;
+}
+
+TEST(Serve, LoopbackRoundTrip) {
+  obs::StatsServer server(demo_registry());
+  std::string error;
+  ASSERT_TRUE(server.start(0, &error)) << error;  // 0 = ephemeral port
+  ASSERT_GT(server.port(), 0);
+
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos) << health;
+
+  const std::string metrics = http_get(server.port(), "/metrics?scrape=1");
+  EXPECT_NE(metrics.find("# TYPE colop_mpsim_messages_total counter"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("colop_verify_sound 1"), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/bogus");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos) << missing;
+
+  server.stop();  // idempotent with the destructor's stop()
+}
+
+}  // namespace

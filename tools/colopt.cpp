@@ -34,6 +34,8 @@
 #include "colop/obs/drift.h"
 #include "colop/obs/metrics.h"
 #include "colop/obs/profile.h"
+#include "colop/obs/serve.h"
+#include "colop/obs/trace_context.h"
 #include "colop/rt/flight_recorder.h"
 #include "colop/rt/report.h"
 #include "colop/rules/optimizer.h"
@@ -114,8 +116,13 @@ void usage() {
       "  --explain-json F  write the explain log as JSON to file F\n"
       "  --trace F      write a Chrome trace (chrome://tracing, Perfetto) of\n"
       "                 the optimized program's simulated execution to file F\n"
-      "  --metrics F    write prediction metrics to file F (.csv for CSV,\n"
-      "                 JSON otherwise)\n"
+      "  --metrics F    write run metrics to file F through the telemetry\n"
+      "                 registry (.prom for Prometheus text, .csv for the\n"
+      "                 legacy scalar CSV, JSON otherwise)\n"
+      "  --serve[=PORT] run the program on the thread executor, then serve\n"
+      "                 the telemetry registry over HTTP on 127.0.0.1:PORT\n"
+      "                 (default: a kernel-assigned ephemeral port, printed\n"
+      "                 on stdout): /metrics /metrics.json /runs /healthz\n"
       "  --drift        report model-vs-simnet drift (time, messages, words)\n"
       "                 for p in {2,4,...,64}\n"
       "  --drift-json F write the drift report as JSON to file F\n"
@@ -170,6 +177,7 @@ int main(int argc, char** argv) {
   std::string verify_json;
   int repeat = 1;
   int warmup = 0;
+  int serve_port = -1;  // -1 = no --serve; 0 = ephemeral
   std::string calibrate_from = "simnet";
   std::string explain_json, trace_file, metrics_file, drift_json, example;
   std::string profile_json, profile_trace, calibrate_json;
@@ -264,6 +272,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--warmup") {
       warmup = parse_int(arg, next());
       if (warmup < 0) bad_value(arg, argv[i], "a non-negative integer");
+    } else if (arg == "--serve") {
+      serve_port = 0;
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      serve_port = parse_int("--serve", arg.c_str() + 8);
+      if (serve_port < 0 || serve_port > 65535)
+        bad_value("--serve", arg.c_str() + 8, "a port in 0..65535");
     } else if (arg == "--machine") {
       const std::string which = next();
       if (which == "calibrated")
@@ -318,9 +332,13 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    // One TraceId per invocation: every artifact this run writes (Chrome
+    // traces, drift/profile/rt/verify JSON, metrics, /runs) carries it.
+    obs::set_trace_id(obs::mint_trace_id());
     std::cout << "program : " << program.show() << "\n";
     std::cout << "machine : p=" << machine.p << " m=" << machine.m
-              << " ts=" << machine.ts << " tw=" << machine.tw << "\n\n";
+              << " ts=" << machine.ts << " tw=" << machine.tw << "\n";
+    std::cout << "trace   : " << obs::trace_id() << "\n\n";
 
     if (calibrate || use_calibrated) {
       const auto timings = calibrate_from == "mpsim"
@@ -344,7 +362,11 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (explain) options.explain = &explain_log;
+    // The telemetry hub wants the optimizer's attempt log even when the
+    // user didn't ask for --explain: rule attempted/rejected counters come
+    // from it.
+    const bool hub_wanted = serve_port >= 0 || !metrics_file.empty();
+    if (explain || hub_wanted) options.explain = &explain_log;
     const rules::Optimizer optimizer(machine, rules::all_rules(), options);
     const auto result = exhaustive ? optimizer.optimize_exhaustive(program)
                                    : optimizer.optimize(program);
@@ -377,20 +399,21 @@ int main(int argc, char** argv) {
     std::cout << "\n";
 
     int verify_exit = 0;
+    std::optional<verify::VerifyResult> vres;
     if (verify) {
       verify::VerifyOptions vopts;
       vopts.p = machine.p;
       vopts.lints = lint;
-      const auto vres = verify::verify_program(program, &result, vopts);
-      std::cout << vres.render_text(lint);
+      vres = verify::verify_program(program, &result, vopts);
+      std::cout << vres->render_text(lint);
       if (!verify_json.empty()) {
         auto f = open_output(verify_json);
-        vres.write_json(f, lint);
+        vres->write_json(f, lint);
         f << "\n";
         std::cout << "verification report written to " << verify_json << "\n";
       }
       std::cout << "\n";
-      verify_exit = vres.exit_code();
+      verify_exit = vres->exit_code();
     }
 
     Table t("prediction", {"version", "analytic cost", "simnet time",
@@ -463,7 +486,7 @@ int main(int argc, char** argv) {
     }
 
     std::optional<rt::RtReport> rt_rep;
-    if (rt_report) {
+    if (rt_report || serve_port >= 0) {
       // Run the optimized program for real on the thread executor and merge
       // the flight-recorder capture with the cost calculus' predictions.
       // Input: p blocks of small integers — safe for every arithmetic op in
@@ -497,7 +520,7 @@ int main(int argc, char** argv) {
       rt_rep = rt::build_report(run->rt, ropts);
       const auto& rep = *rt_rep;
 
-      std::cout << "\n" << rep.render_text();
+      if (rt_report) std::cout << "\n" << rep.render_text();
       if (!run->rt.enabled)
         std::cout << "(runtime telemetry disabled: COLOP_RT=0 or compiled "
                      "out; per-rank and per-stage sections are empty)\n";
@@ -518,30 +541,101 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Telemetry hub: the typed registry behind --metrics and --serve.
+    // Every subsystem that ran publishes its snapshot by name.
+    obs::Registry hub;
+    if (hub_wanted) {
+      hub.gauge("colop_machine_p", "Configured processor count")
+          .set(static_cast<double>(machine.p));
+      hub.gauge("colop_machine_m", "Configured block size, elements")
+          .set(machine.m);
+      hub.gauge("colop_machine_ts", "Message start-up time, op units")
+          .set(machine.ts);
+      hub.gauge("colop_machine_tw", "Per-word transfer time, op units")
+          .set(machine.tw);
+      const char* versions[] = {"original", "optimized"};
+      const exec::SimRunResult* sims[] = {&before, &after};
+      for (int v = 0; v < 2; ++v) {
+        const obs::LabelSet label{{"version", versions[v]}};
+        hub.gauge("colop_sim_time_units",
+                  "Simulated execution time, op units", label)
+            .set(sims[v]->time);
+        hub.gauge("colop_sim_messages",
+                  "Simulated point-to-point message count", label)
+            .set(static_cast<double>(sims[v]->messages));
+        hub.gauge("colop_sim_words", "Simulated words transferred", label)
+            .set(sims[v]->words);
+      }
+      if (after.time > 0)
+        hub.gauge("colop_predicted_speedup",
+                  "Simulated original/optimized time ratio")
+            .set(before.time / after.time);
+      rules::publish_metrics(result, options.explain, hub);
+      if (vres) verify::publish_metrics(*vres, hub);
+      if (rt_rep) rt::publish_registry(*rt_rep, hub);
+    }
+
     if (!metrics_file.empty()) {
-      obs::MetricsRegistry reg;
-      reg.set("p", machine.p);
-      reg.set("m", machine.m);
-      reg.set("ts", machine.ts);
-      reg.set("tw", machine.tw);
-      reg.set("model_time_before", model::program_time(program, machine));
-      reg.set("model_time_after", model::program_time(result.program, machine));
-      reg.set("sim_time_before", before.time);
-      reg.set("sim_time_after", after.time);
-      reg.set("messages_before", static_cast<double>(before.messages));
-      reg.set("messages_after", static_cast<double>(after.messages));
-      reg.set("words_before", before.words);
-      reg.set("words_after", after.words);
-      reg.set("rewrites_applied", static_cast<double>(result.log.size()));
-      if (after.time > 0) reg.set("speedup", before.time / after.time);
-      if (rt_rep) rt::publish_metrics(*rt_rep, reg);
+      const auto ends_with = [&](const std::string& suffix) {
+        return metrics_file.size() >= suffix.size() &&
+               metrics_file.compare(metrics_file.size() - suffix.size(),
+                                    suffix.size(), suffix) == 0;
+      };
       auto f = open_output(metrics_file);
-      if (metrics_file.size() > 4 &&
-          metrics_file.substr(metrics_file.size() - 4) == ".csv")
+      if (ends_with(".csv")) {
+        // Legacy scalar document, kept for spreadsheet-style consumers.
+        obs::MetricsRegistry reg;
+        reg.set_info("trace_id", obs::trace_id());
+        reg.set("p", machine.p);
+        reg.set("m", machine.m);
+        reg.set("ts", machine.ts);
+        reg.set("tw", machine.tw);
+        reg.set("model_time_before", model::program_time(program, machine));
+        reg.set("model_time_after",
+                model::program_time(result.program, machine));
+        reg.set("sim_time_before", before.time);
+        reg.set("sim_time_after", after.time);
+        reg.set("messages_before", static_cast<double>(before.messages));
+        reg.set("messages_after", static_cast<double>(after.messages));
+        reg.set("words_before", before.words);
+        reg.set("words_after", after.words);
+        reg.set("rewrites_applied", static_cast<double>(result.log.size()));
+        if (after.time > 0) reg.set("speedup", before.time / after.time);
+        if (rt_rep) rt::publish_metrics(*rt_rep, reg);
         reg.write_csv(f);
-      else
-        reg.write_json(f);
+      } else if (ends_with(".prom")) {
+        hub.write_prometheus(f);
+      } else {
+        hub.write_json(f);
+        f << "\n";
+      }
       std::cout << "metrics written to " << metrics_file << "\n";
+    }
+
+    if (serve_port >= 0) {
+      obs::RunSummary run_summary;
+      run_summary.trace_id = obs::trace_id();
+      run_summary.program = program.show();
+      run_summary.optimized = result.program.show();
+      run_summary.started_at = obs::utc_timestamp();
+      run_summary.rewrites = static_cast<int>(result.log.size());
+      run_summary.model_cost_before = model::program_time(program, machine);
+      run_summary.model_cost_after =
+          model::program_time(result.program, machine);
+      if (rt_rep) run_summary.wall_ms = rt_rep->wall_ms;
+
+      obs::StatsServer server(hub);
+      server.add_run(run_summary);
+      std::string err;
+      if (!server.start(serve_port, &err)) {
+        std::cerr << "error: " << err << "\n";
+        return 1;
+      }
+      std::cout << "serving on http://127.0.0.1:" << server.port()
+                << " (GET /metrics /metrics.json /runs /healthz; Ctrl-C to "
+                   "stop)\n"
+                << std::flush;
+      server.wait();
     }
     return verify_exit;  // 0, or 3 when --verify found the run unsound
   } catch (const Error& e) {
