@@ -18,6 +18,7 @@
 
 #include "colop/model/machine.h"
 #include "colop/obs/metrics.h"
+#include "colop/obs/run_store.h"
 #include "colop/obs/serve.h"
 #include "colop/obs/trace_context.h"
 
@@ -78,6 +79,19 @@ inline void write_bench_json(const std::string& name,
   std::ofstream f(path);
   reg.write_json(f);
   std::cout << "metrics written to " << path << "\n";
+
+  // Retention: $COLOP_RUN_RETENTION bounds the artifact directory the same
+  // way it bounds .colop/runs.  Only the age axis applies here — bench/out
+  // keeps ONE file per bench, so count-based eviction would delete sibling
+  // benches' current artifacts, not old history.
+  std::string warning;
+  obs::RetentionPolicy policy = obs::RetentionPolicy::from_env(&warning);
+  if (!warning.empty()) std::cerr << "warning: " << warning << "\n";
+  policy.max_count = 0;
+  if (!policy.unlimited())
+    for (const auto& evicted :
+         obs::prune_files(dir, "BENCH_", ".json", policy))
+      std::cout << "retention: evicted " << evicted << "\n";
 }
 
 }  // namespace colop::bench

@@ -164,6 +164,20 @@ class Registry {
   std::map<std::string, Family> families_;
 };
 
+/// Lint a Prometheus text exposition against the text-format rules the
+/// scrapers care about.  Returns one human-readable finding per violation
+/// (empty = conformant):
+///   * metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]* (labels
+///     without the colon);
+///   * counter families end in `_total`;
+///   * at most one HELP and one TYPE per family, HELP before TYPE, TYPE
+///     before the family's first sample;
+///   * all samples of a family are contiguous (no interleaving);
+///   * sample values parse as Prometheus numbers (decimal, +Inf/-Inf/NaN).
+/// This is the conformance gate the golden metrics test pins our own
+/// exporter with.
+[[nodiscard]] std::vector<std::string> prom_lint(const std::string& exposition);
+
 // --- measurement documents (bench harness exports) ------------------------
 
 /// Thread-safe registry of scalar metrics and row-oriented series.

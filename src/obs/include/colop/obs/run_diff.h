@@ -1,0 +1,102 @@
+#pragma once
+// Cross-run differential analysis: why did run B regress vs run A?
+//
+// Input is two archived RunBundles (run_store.h).  Output is a structured
+// delta with the attribution the single-run tools cannot give:
+//
+//   * machine-param drift — did (p, m, ts, tw) move between the runs?
+//     Every Table-1 "Improved if" threshold is a function of these, so a
+//     changed machine is the first suspect for a changed schedule;
+//   * stage-level schedule diff with rule provenance — the two optimized
+//     schedules aligned by longest common subsequence of stage labels,
+//     each row saying whether the stage survived, changed cost, appeared
+//     or disappeared, and which rewrite decision produced it;
+//   * suspect-stage ranking — stages ordered by how much of the total
+//     cost regression they contribute, so a red benchmark names a stage
+//     and a rule instead of just a number;
+//   * rule-decision diff — derivation steps applied in only one of the
+//     runs vs both;
+//   * totals (model cost, simulated time/messages/words, wall clock) and
+//     model-drift deltas (max |rel err| from archived drift artifacts).
+//
+// Emitted as text, stable JSON (byte-deterministic for fixed inputs:
+// field order is fixed, no wall-clock reads), and a self-contained
+// single-file HTML report that lays the two runs' stage timelines and
+// tables side by side.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "colop/obs/run_store.h"
+
+namespace colop::obs {
+
+/// One row of the aligned schedule diff, in schedule order.
+struct StageDelta {
+  /// "same" (label and cost match), "changed" (label matches, cost or
+  /// provenance differs), "removed" (run A only), "added" (run B only).
+  std::string status;
+  int index_a = -1;  ///< stage index in A's schedule, -1 when added
+  int index_b = -1;  ///< stage index in B's schedule, -1 when removed
+  std::string label;
+  std::string rule_a;  ///< provenance in A ("" = source stage)
+  std::string rule_b;
+  double time_a = 0;  ///< model stage time in A, 0 when added
+  double time_b = 0;  ///< model stage time in B, 0 when removed
+  [[nodiscard]] double delta() const { return time_b - time_a; }
+};
+
+/// One entry of the suspect ranking: a stage that got slower (or appeared),
+/// ranked by its share of the total regression.
+struct Suspect {
+  std::size_t stage = 0;  ///< index into RunDiff::stages
+  double delta = 0;       ///< op units of regression this stage contributes
+  double share = 0;       ///< delta / total positive delta
+};
+
+/// Identity summary of one side of the diff.
+struct RunRef {
+  std::string trace_id;
+  std::string git_sha;
+  std::string timestamp;
+  std::string program;  ///< optimized program
+  double model_cost = 0;
+  SimSummary sim;
+  double wall_ms = 0;
+};
+
+struct RunDiff {
+  static constexpr int kSchemaVersion = 1;
+
+  RunRef a, b;
+  MachineParams machine_a, machine_b;
+  [[nodiscard]] bool machine_changed() const { return !(machine_a == machine_b); }
+
+  std::vector<StageDelta> stages;   ///< aligned diff, schedule order
+  std::vector<Suspect> suspects;    ///< worst regression first
+
+  std::vector<std::string> rules_only_a;  ///< "rule@pos {note}" applied in A only
+  std::vector<std::string> rules_only_b;
+  std::vector<std::string> rules_common;
+
+  /// Model-vs-simnet drift extracted from the archived "drift" artifacts
+  /// (max |time_rel_err| over the optimized program's rows); NaN-free:
+  /// `drift_present` is false when either bundle lacks the artifact.
+  bool drift_present = false;
+  double drift_max_rel_err_a = 0;
+  double drift_max_rel_err_b = 0;
+
+  [[nodiscard]] std::string render_text() const;
+  void write_json(std::ostream& os) const;
+  /// Self-contained single-file HTML (inline CSS + SVG, no external
+  /// assets): side-by-side timelines, stage tables, suspects, rule diff.
+  void write_html(std::ostream& os) const;
+};
+
+/// Compute the structured delta between two bundles (A = baseline,
+/// B = candidate; "regression" means B is slower).
+[[nodiscard]] RunDiff diff_runs(const RunBundle& a, const RunBundle& b);
+
+}  // namespace colop::obs

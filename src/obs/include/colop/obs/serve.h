@@ -6,6 +6,7 @@
 //   GET /metrics       Prometheus text exposition of the Registry
 //   GET /metrics.json  the same registry as JSON
 //   GET /runs          recent runs: trace id + program + timing summary
+//   GET /runs/<id>     archived bundle manifest from the run store
 //   GET /healthz       liveness ("ok")
 //
 // Scope by design: HTTP/1.0, Connection: close, GET only, loopback bind.
@@ -53,6 +54,10 @@ class StatsServer {
   /// Record a run for /runs (most recent first; bounded history).
   void add_run(RunSummary run);
 
+  /// Attach a run-store root for GET /runs/<trace_id> (archived bundle
+  /// manifests).  Without one, the detail endpoint 404s with a hint.
+  void set_run_store(std::string root);
+
   /// Route one request.  Unknown paths give 404; non-GET methods 405.
   [[nodiscard]] HttpResponse handle(const std::string& method,
                                     const std::string& path) const;
@@ -78,6 +83,7 @@ class StatsServer {
   mutable std::mutex runs_mutex_;
   std::deque<RunSummary> runs_;          ///< front = most recent
   std::size_t max_runs_ = 64;
+  std::string run_store_root_;           ///< "" = no store attached
 
   std::atomic<int> listen_fd_{-1};
   int port_ = 0;

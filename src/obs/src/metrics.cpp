@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <set>
 
@@ -13,6 +14,31 @@
 namespace colop::obs {
 namespace {
 
+/// Prometheus label-value escaping: exactly backslash, double-quote and
+/// line-feed (text-format spec) — NOT JSON escaping, which would turn
+/// control characters into `\uXXXX` sequences scrapers read literally.
+std::string prom_escape_label(const std::string& v) {
+  std::string out;
+  for (char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// HELP text escaping: backslash and line-feed only (quotes stay raw).
+std::string prom_escape_help(const std::string& v) {
+  std::string out;
+  for (char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
 /// Canonical encoding of a label set: sorted by key, Prometheus syntax
 /// (`k1="v1",k2="v2"`).  Doubles as the map key AND the exposition text.
 std::string encode_labels(LabelSet labels) {
@@ -20,7 +46,7 @@ std::string encode_labels(LabelSet labels) {
   std::string out;
   for (const auto& [k, v] : labels) {
     if (!out.empty()) out += ",";
-    out += k + "=\"" + json::escape(v) + "\"";
+    out += k + "=\"" + prom_escape_label(v) + "\"";
   }
   return out;
 }
@@ -47,8 +73,9 @@ std::string series_name_plus(const std::string& name, const std::string& labels,
   return name + "{" + labels + "," + extra + "}";
 }
 
-/// Decode an encoded label set back to JSON (`"k":"v"` pairs).  The
-/// encoding is unambiguous: keys are bare identifiers, values are escaped.
+/// Decode an encoded label set back to JSON (`"k":"v"` pairs).  Values
+/// carry Prometheus escaping (`\\`, `\"`, `\n`) and are unescaped here,
+/// then re-quoted as JSON — the two formats escape different characters.
 void write_labels_json(std::ostream& os, const std::string& encoded) {
   os << "{";
   bool first = true;
@@ -57,14 +84,19 @@ void write_labels_json(std::ostream& os, const std::string& encoded) {
     const std::size_t eq = encoded.find('=', i);
     const std::string key = encoded.substr(i, eq - i);
     std::size_t j = eq + 2;  // skip ="
-    std::string raw;
+    std::string value;
     while (j < encoded.size() && encoded[j] != '"') {
-      if (encoded[j] == '\\' && j + 1 < encoded.size()) raw += encoded[j++];
-      raw += encoded[j++];
+      if (encoded[j] == '\\' && j + 1 < encoded.size()) {
+        const char next = encoded[j + 1];
+        value += next == 'n' ? '\n' : next;
+        j += 2;
+      } else {
+        value += encoded[j++];
+      }
     }
     if (!first) os << ",";
     first = false;
-    os << json::quote(key) << ":\"" << raw << "\"";  // raw is already escaped
+    os << json::quote(key) << ":" << json::quote(value);
     i = j + 1;
     if (i < encoded.size() && encoded[i] == ',') ++i;
   }
@@ -190,7 +222,8 @@ Registry& Registry::global() {
 void Registry::write_prometheus(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, fam] : families_) {
-    if (!fam.help.empty()) os << "# HELP " << name << " " << fam.help << "\n";
+    if (!fam.help.empty())
+      os << "# HELP " << name << " " << prom_escape_help(fam.help) << "\n";
     os << "# TYPE " << name << " "
        << (fam.kind == Kind::counter
                ? "counter"
@@ -267,6 +300,169 @@ void Registry::write_json(std::ostream& os) const {
     os << "]}";
   }
   os << "]}\n";
+}
+
+// --- prom_lint -------------------------------------------------------------
+
+namespace {
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s)
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+bool valid_label_name(const std::string& s) {
+  return valid_metric_name(s) && s.find(':') == std::string::npos;
+}
+
+bool valid_prom_value(const std::string& s) {
+  if (s == "+Inf" || s == "-Inf" || s == "Inf" || s == "NaN") return true;
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+/// The family a sample line belongs to: histogram/summary machine suffixes
+/// fold into their base family when that base has a declared TYPE.
+std::string owning_family(
+    const std::string& sample_name,
+    const std::map<std::string, std::string>& family_types) {
+  if (family_types.count(sample_name) != 0) return sample_name;
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (sample_name.size() > s.size() &&
+        sample_name.compare(sample_name.size() - s.size(), s.size(), s) == 0) {
+      const std::string base = sample_name.substr(0, sample_name.size() - s.size());
+      if (family_types.count(base) != 0) return base;
+    }
+  }
+  return sample_name;
+}
+
+}  // namespace
+
+std::vector<std::string> prom_lint(const std::string& exposition) {
+  std::vector<std::string> findings;
+  std::map<std::string, std::string> family_types;  // name -> type
+  std::set<std::string> help_seen, type_seen, closed;
+  std::string open_family;  // family whose sample block is in progress
+  auto note = [&](int lineno, const std::string& what) {
+    findings.push_back("line " + std::to_string(lineno) + ": " + what);
+  };
+
+  int lineno = 0;
+  std::size_t pos = 0;
+  while (pos < exposition.size()) {
+    std::size_t eol = exposition.find('\n', pos);
+    if (eol == std::string::npos) eol = exposition.size();
+    const std::string line = exposition.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineno;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name type"; other comments are free.
+      const bool is_help = line.rfind("# HELP ", 0) == 0;
+      const bool is_type = line.rfind("# TYPE ", 0) == 0;
+      if (!is_help && !is_type) continue;
+      const std::size_t name_start = 7;
+      const std::size_t name_end = line.find(' ', name_start);
+      const std::string name = line.substr(
+          name_start,
+          name_end == std::string::npos ? std::string::npos : name_end - name_start);
+      if (!valid_metric_name(name)) {
+        note(lineno, "invalid metric name '" + name + "'");
+        continue;
+      }
+      if (is_help) {
+        if (!help_seen.insert(name).second)
+          note(lineno, "duplicate HELP for '" + name + "'");
+        if (type_seen.count(name) != 0)
+          note(lineno, "HELP for '" + name + "' after its TYPE");
+        if (closed.count(name) != 0 || open_family == name)
+          note(lineno, "HELP for '" + name + "' after its samples");
+      } else {
+        if (!type_seen.insert(name).second)
+          note(lineno, "duplicate TYPE for '" + name + "'");
+        if (closed.count(name) != 0 || open_family == name)
+          note(lineno, "TYPE for '" + name + "' after its samples");
+        const std::string type =
+            name_end == std::string::npos ? "" : line.substr(name_end + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped")
+          note(lineno, "unknown TYPE '" + type + "' for '" + name + "'");
+        family_types[name] = type;
+        if (type == "counter" &&
+            !(name.size() > 6 &&
+              name.compare(name.size() - 6, 6, "_total") == 0))
+          note(lineno, "counter '" + name + "' does not end in _total");
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    const std::string sample_name = line.substr(0, i);
+    if (!valid_metric_name(sample_name)) {
+      note(lineno, "invalid metric name '" + sample_name + "'");
+      continue;
+    }
+    if (i < line.size() && line[i] == '{') {
+      // Walk the label pairs, honoring escaped quotes in values.
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        std::size_t eq = line.find('=', i);
+        if (eq == std::string::npos) {
+          note(lineno, "malformed labels in '" + sample_name + "'");
+          break;
+        }
+        const std::string label = line.substr(i, eq - i);
+        if (!valid_label_name(label))
+          note(lineno, "invalid label name '" + label + "' in '" +
+                           sample_name + "'");
+        i = eq + 1;
+        if (i >= line.size() || line[i] != '"') {
+          note(lineno, "unquoted label value in '" + sample_name + "'");
+          break;
+        }
+        ++i;
+        while (i < line.size() && line[i] != '"')
+          i += line[i] == '\\' ? 2 : 1;
+        if (i >= line.size()) {
+          note(lineno, "unterminated label value in '" + sample_name + "'");
+          break;
+        }
+        ++i;  // closing quote
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i < line.size() && line[i] == '}') ++i;
+    }
+    if (i < line.size() && line[i] == ' ') ++i;
+    std::size_t value_end = line.find(' ', i);  // optional timestamp follows
+    if (value_end == std::string::npos) value_end = line.size();
+    const std::string value = line.substr(i, value_end - i);
+    if (!valid_prom_value(value))
+      note(lineno, "unparseable value '" + value + "' for '" + sample_name +
+                       "'");
+
+    const std::string fam = owning_family(sample_name, family_types);
+    if (fam != open_family) {
+      if (closed.count(fam) != 0)
+        note(lineno, "samples of '" + fam + "' are not contiguous");
+      if (!open_family.empty()) closed.insert(open_family);
+      open_family = fam;
+    }
+  }
+  return findings;
 }
 
 // --- MetricsRegistry (measurement documents) -------------------------------

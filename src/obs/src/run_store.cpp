@@ -1,0 +1,477 @@
+#include "colop/obs/run_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "colop/obs/json.h"
+#include "colop/obs/serve.h"
+#include "colop/support/error.h"
+
+namespace colop::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot read " + path.string());
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+void write_file(const fs::path& path, const std::string& text) {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot write " + path.string());
+  f << text;
+  if (!f.good()) throw Error("short write to " + path.string());
+}
+
+// --- manifest field readers (strict: a bundle that parses must be whole) --
+
+const json::Value& need(const json::Value& doc, const std::string& key) {
+  const json::Value* v = doc.get(key);
+  if (v == nullptr) throw Error("manifest missing field \"" + key + "\"");
+  return *v;
+}
+
+std::string need_string(const json::Value& doc, const std::string& key) {
+  const json::Value& v = need(doc, key);
+  if (!v.is(json::Value::Type::string))
+    throw Error("manifest field \"" + key + "\" is not a string");
+  return v.str;
+}
+
+double need_number(const json::Value& doc, const std::string& key) {
+  const json::Value& v = need(doc, key);
+  if (!v.is(json::Value::Type::number))
+    throw Error("manifest field \"" + key + "\" is not a number");
+  return v.num;
+}
+
+std::string opt_string(const json::Value& doc, const std::string& key) {
+  const json::Value* v = doc.get(key);
+  return v != nullptr && v->is(json::Value::Type::string) ? v->str
+                                                          : std::string();
+}
+
+void write_stage(std::ostream& os, const StageRecord& s) {
+  os << "{\"index\":" << s.index << ",\"label\":" << json::quote(s.label)
+     << ",\"kind\":" << json::quote(s.kind)
+     << ",\"local\":" << (s.local ? "true" : "false")
+     << ",\"rule\":" << json::quote(s.rule)
+     << ",\"model_time\":" << json::number(s.model_time) << "}";
+}
+
+StageRecord parse_stage(const json::Value& v) {
+  StageRecord s;
+  s.index = static_cast<int>(need_number(v, "index"));
+  s.label = need_string(v, "label");
+  s.kind = need_string(v, "kind");
+  if (const json::Value* b = v.get("local")) s.local = b->b;
+  s.rule = opt_string(v, "rule");
+  s.model_time = need_number(v, "model_time");
+  return s;
+}
+
+void write_stages(std::ostream& os, const std::vector<StageRecord>& stages) {
+  os << "[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (i != 0) os << ",";
+    write_stage(os, stages[i]);
+  }
+  os << "]";
+}
+
+void write_sim(std::ostream& os, const SimSummary& s) {
+  os << "{\"time\":" << json::number(s.time) << ",\"messages\":" << s.messages
+     << ",\"words\":" << json::number(s.words) << "}";
+}
+
+SimSummary parse_sim(const json::Value& v) {
+  SimSummary s;
+  s.time = need_number(v, "time");
+  s.messages = static_cast<std::uint64_t>(need_number(v, "messages"));
+  s.words = need_number(v, "words");
+  return s;
+}
+
+/// A trace id as minted by trace_context (16 lowercase hex digits) — the
+/// only directory names the store creates or reads.
+bool plausible_trace_id(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  return std::all_of(id.begin(), id.end(), [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
+
+struct Listed {
+  std::string trace_id;
+  std::uint64_t timestamp_ns = 0;
+  std::string timestamp;
+};
+
+/// Bundles on disk with their ordering keys, most recent first.
+std::vector<Listed> list_ordered(const fs::path& root) {
+  std::vector<Listed> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string id = entry.path().filename().string();
+    if (!plausible_trace_id(id)) continue;
+    Listed row;
+    row.trace_id = id;
+    try {
+      const json::Value doc =
+          json::parse(read_file(entry.path() / "manifest.json"));
+      row.timestamp_ns =
+          static_cast<std::uint64_t>(need_number(doc, "timestamp_ns"));
+      row.timestamp = opt_string(doc, "timestamp");
+    } catch (const Error&) {
+      continue;  // half-written or foreign directory: not listable
+    }
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const Listed& a, const Listed& b) {
+    if (a.timestamp_ns != b.timestamp_ns) return a.timestamp_ns > b.timestamp_ns;
+    if (a.timestamp != b.timestamp) return a.timestamp > b.timestamp;
+    return a.trace_id > b.trace_id;
+  });
+  return out;
+}
+
+std::string listing_hint(const std::vector<Listed>& runs) {
+  if (runs.empty()) return "the store is empty — record a run with --record";
+  std::string hint = "available runs (most recent first):";
+  const std::size_t shown = std::min<std::size_t>(runs.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i)
+    hint += " " + runs[i].trace_id;
+  if (runs.size() > shown)
+    hint += " ... (" + std::to_string(runs.size() - shown) + " more)";
+  return hint;
+}
+
+}  // namespace
+
+// --- RunBundle -------------------------------------------------------------
+
+void RunBundle::write_manifest(std::ostream& os) const {
+  os << "{\"schema_version\":" << kSchemaVersion
+     << ",\"kind\":\"colop_run\""
+     << ",\"trace_id\":" << json::quote(trace_id)
+     << ",\"git_sha\":" << json::quote(git_sha)
+     << ",\"timestamp\":" << json::quote(timestamp)
+     << ",\"timestamp_ns\":" << timestamp_ns
+     << ",\"machine\":{\"p\":" << machine.p
+     << ",\"m\":" << json::number(machine.m)
+     << ",\"ts\":" << json::number(machine.ts)
+     << ",\"tw\":" << json::number(machine.tw) << "}"
+     << ",\"data_plane\":" << json::quote(data_plane) << ",\"args\":[";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) os << ",";
+    os << json::quote(args[i]);
+  }
+  os << "],\"program\":{\"before\":" << json::quote(program_before)
+     << ",\"after\":" << json::quote(program_after) << "}"
+     << ",\"stages\":{\"before\":";
+  write_stages(os, stages_before);
+  os << ",\"after\":";
+  write_stages(os, stages_after);
+  os << "},\"rules\":[";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const RuleRecord& r = rules[i];
+    if (i != 0) os << ",";
+    os << "{\"rule\":" << json::quote(r.rule) << ",\"position\":" << r.position
+       << ",\"count\":" << r.count << ",\"replaced_by\":" << r.replaced_by
+       << ",\"note\":" << json::quote(r.note)
+       << ",\"cost_before\":" << json::number(r.cost_before)
+       << ",\"cost_after\":" << json::number(r.cost_after)
+       << ",\"program_after\":" << json::quote(r.program_after) << "}";
+  }
+  os << "],\"cost\":{\"model_before\":" << json::number(model_cost_before)
+     << ",\"model_after\":" << json::number(model_cost_after)
+     << ",\"sim_before\":";
+  write_sim(os, sim_before);
+  os << ",\"sim_after\":";
+  write_sim(os, sim_after);
+  os << ",\"wall_ms\":" << json::number(wall_ms) << "},\"artifacts\":[";
+  bool first = true;
+  for (const auto& [name, text] : artifacts) {
+    if (!first) os << ",";
+    first = false;
+    os << json::quote(name);
+  }
+  os << "]}\n";
+}
+
+RunBundle RunBundle::parse_manifest(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  if (opt_string(doc, "kind") != "colop_run")
+    throw Error("not a colop run manifest (kind != \"colop_run\")");
+  RunBundle b;
+  b.trace_id = need_string(doc, "trace_id");
+  b.git_sha = need_string(doc, "git_sha");
+  b.timestamp = need_string(doc, "timestamp");
+  b.timestamp_ns = static_cast<std::uint64_t>(need_number(doc, "timestamp_ns"));
+  const json::Value& mach = need(doc, "machine");
+  b.machine.p = static_cast<int>(need_number(mach, "p"));
+  b.machine.m = need_number(mach, "m");
+  b.machine.ts = need_number(mach, "ts");
+  b.machine.tw = need_number(mach, "tw");
+  b.data_plane = need_string(doc, "data_plane");
+  for (const auto& item : need(doc, "args").items)
+    if (item->is(json::Value::Type::string)) b.args.push_back(item->str);
+  const json::Value& prog = need(doc, "program");
+  b.program_before = need_string(prog, "before");
+  b.program_after = need_string(prog, "after");
+  const json::Value& stages = need(doc, "stages");
+  for (const auto& item : need(stages, "before").items)
+    b.stages_before.push_back(parse_stage(*item));
+  for (const auto& item : need(stages, "after").items)
+    b.stages_after.push_back(parse_stage(*item));
+  for (const auto& item : need(doc, "rules").items) {
+    RuleRecord r;
+    r.rule = need_string(*item, "rule");
+    r.position = static_cast<std::size_t>(need_number(*item, "position"));
+    r.count = static_cast<std::size_t>(need_number(*item, "count"));
+    r.replaced_by = static_cast<std::size_t>(need_number(*item, "replaced_by"));
+    r.note = opt_string(*item, "note");
+    r.cost_before = need_number(*item, "cost_before");
+    r.cost_after = need_number(*item, "cost_after");
+    r.program_after = opt_string(*item, "program_after");
+    b.rules.push_back(std::move(r));
+  }
+  const json::Value& cost = need(doc, "cost");
+  b.model_cost_before = need_number(cost, "model_before");
+  b.model_cost_after = need_number(cost, "model_after");
+  b.sim_before = parse_sim(need(cost, "sim_before"));
+  b.sim_after = parse_sim(need(cost, "sim_after"));
+  b.wall_ms = need_number(cost, "wall_ms");
+  for (const auto& item : need(doc, "artifacts").items)
+    if (item->is(json::Value::Type::string)) b.artifacts[item->str] = "";
+  return b;
+}
+
+// --- RetentionPolicy -------------------------------------------------------
+
+RetentionPolicy RetentionPolicy::parse(const std::string& spec) {
+  RetentionPolicy policy;
+  auto parse_count = [&](const std::string& text) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+      throw Error("bad retention number: '" + text + "'");
+    return v;
+  };
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (part.empty()) continue;
+    if (const std::size_t eq = part.find('='); eq == std::string::npos) {
+      policy.max_count = static_cast<std::size_t>(parse_count(part));
+    } else {
+      const std::string key = part.substr(0, eq);
+      const std::string value = part.substr(eq + 1);
+      if (key == "count")
+        policy.max_count = static_cast<std::size_t>(parse_count(value));
+      else if (key == "age")
+        policy.max_age_seconds = parse_count(value);
+      else
+        throw Error("bad retention key: '" + key +
+                    "' (expected count=N or age=SECONDS)");
+    }
+  }
+  return policy;
+}
+
+RetentionPolicy RetentionPolicy::from_env(std::string* warning) {
+  const char* spec = std::getenv("COLOP_RUN_RETENTION");
+  if (spec == nullptr || *spec == '\0') return {};
+  try {
+    return parse(spec);
+  } catch (const Error& e) {
+    if (warning != nullptr)
+      *warning = std::string("ignoring COLOP_RUN_RETENTION: ") + e.what();
+    return {};
+  }
+}
+
+// --- RunStore --------------------------------------------------------------
+
+std::string RunStore::default_root() {
+  if (const char* dir = std::getenv("COLOP_RUN_DIR");
+      dir != nullptr && *dir != '\0')
+    return dir;
+  return ".colop/runs";
+}
+
+RunStore::RunStore(std::string root) : root_(std::move(root)) {}
+
+std::string RunStore::save(const RunBundle& bundle) const {
+  COLOP_REQUIRE(plausible_trace_id(bundle.trace_id),
+                "cannot save a bundle without a hex trace id");
+  const fs::path dir = fs::path(root_) / bundle.trace_id;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) throw Error("cannot create " + dir.string() + ": " + ec.message());
+  std::ostringstream manifest;
+  bundle.write_manifest(manifest);
+  write_file(dir / "manifest.json", manifest.str());
+  for (const auto& [name, text] : bundle.artifacts)
+    write_file(dir / (name + ".json"), text);
+  return dir.string();
+}
+
+std::vector<std::string> RunStore::list() const {
+  std::vector<std::string> out;
+  for (const Listed& row : list_ordered(root_)) out.push_back(row.trace_id);
+  return out;
+}
+
+RunBundle RunStore::load(const std::string& trace_id) const {
+  const fs::path dir = fs::path(root_) / trace_id;
+  RunBundle bundle = RunBundle::parse_manifest(read_file(dir / "manifest.json"));
+  for (auto& [name, text] : bundle.artifacts)
+    text = read_file(dir / (name + ".json"));
+  return bundle;
+}
+
+RunBundle RunStore::resolve(const std::string& selector) const {
+  const auto runs = list_ordered(root_);
+  auto fail = [&](const std::string& what) -> RunBundle {
+    throw Error(what + " in " + root_ + "; " + listing_hint(runs));
+  };
+  if (selector == "latest" || selector.rfind("latest~", 0) == 0) {
+    std::size_t back = 0;
+    if (selector != "latest") {
+      const std::string n = selector.substr(7);
+      char* end = nullptr;
+      errno = 0;
+      back = static_cast<std::size_t>(std::strtoull(n.c_str(), &end, 10));
+      if (n.empty() || end == n.c_str() || *end != '\0' || errno == ERANGE)
+        return fail("bad selector '" + selector + "'");
+    }
+    if (back >= runs.size())
+      return fail("no run '" + selector + "'");
+    return load(runs[back].trace_id);
+  }
+  std::vector<std::string> matches;
+  for (const Listed& row : runs)
+    if (row.trace_id.rfind(selector, 0) == 0) matches.push_back(row.trace_id);
+  if (matches.empty()) return fail("no run matching '" + selector + "'");
+  if (matches.size() > 1)
+    return fail("ambiguous run '" + selector + "' (" +
+                std::to_string(matches.size()) + " matches)");
+  return load(matches.front());
+}
+
+std::optional<std::string> RunStore::manifest_text(
+    const std::string& trace_id) const {
+  if (!plausible_trace_id(trace_id)) return std::nullopt;
+  const fs::path path = fs::path(root_) / trace_id / "manifest.json";
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> RunStore::prune(const RetentionPolicy& policy) const {
+  std::vector<std::string> evicted;
+  if (policy.unlimited()) return evicted;
+  auto runs = list_ordered(root_);                  // most recent first
+  std::reverse(runs.begin(), runs.end());           // oldest first
+  const auto now_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const std::size_t remaining = runs.size() - i;
+    const bool over_count =
+        policy.max_count != 0 && remaining > policy.max_count;
+    const bool over_age =
+        policy.max_age_seconds != 0 &&
+        runs[i].timestamp_ns + policy.max_age_seconds * 1'000'000'000ULL <
+            now_ns;
+    if (!over_count && !over_age) break;  // ordered oldest-first: done
+    std::error_code ec;
+    fs::remove_all(fs::path(root_) / runs[i].trace_id, ec);
+    if (!ec) evicted.push_back(runs[i].trace_id);
+  }
+  return evicted;
+}
+
+RunBundle load_run_or_file(const RunStore& store, const std::string& arg) {
+  std::error_code ec;
+  if (fs::is_regular_file(arg, ec)) {
+    RunBundle bundle = RunBundle::parse_manifest(read_file(arg));
+    const fs::path dir = fs::path(arg).parent_path();
+    for (auto& [name, text] : bundle.artifacts) {
+      std::ifstream f(dir / (name + ".json"));
+      if (!f) continue;  // manifest alone is enough to diff
+      std::stringstream buf;
+      buf << f.rdbuf();
+      text = buf.str();
+    }
+    return bundle;
+  }
+  return store.resolve(arg);
+}
+
+std::vector<std::string> prune_files(const std::string& dir,
+                                     const std::string& prefix,
+                                     const std::string& extension,
+                                     const RetentionPolicy& policy) {
+  std::vector<std::string> evicted;
+  if (policy.unlimited()) return evicted;
+  struct Row {
+    fs::path path;
+    fs::file_time_type mtime;
+  };
+  std::vector<Row> rows;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0 || entry.path().extension() != extension)
+      continue;
+    rows.push_back({entry.path(), entry.last_write_time(ec)});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;  // oldest first
+    return a.path < b.path;
+  });
+  const auto now = fs::file_time_type::clock::now();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::size_t remaining = rows.size() - i;
+    const bool over_count =
+        policy.max_count != 0 && remaining > policy.max_count;
+    const bool over_age =
+        policy.max_age_seconds != 0 &&
+        now - rows[i].mtime >
+            std::chrono::seconds(policy.max_age_seconds);
+    if (!over_count && !over_age) break;
+    std::error_code rm_ec;
+    if (fs::remove(rows[i].path, rm_ec))
+      evicted.push_back(rows[i].path.string());
+  }
+  return evicted;
+}
+
+std::string env_git_sha() {
+  for (const char* var : {"COLOP_GIT_SHA", "GITHUB_SHA"})
+    if (const char* sha = std::getenv(var); sha != nullptr && *sha != '\0')
+      return sha;
+  return "unknown";
+}
+
+}  // namespace colop::obs

@@ -13,6 +13,7 @@
 
 #include "colop/obs/json.h"
 #include "colop/obs/metrics.h"
+#include "colop/obs/run_store.h"
 
 namespace colop::obs {
 namespace {
@@ -85,6 +86,11 @@ void StatsServer::add_run(RunSummary run) {
   while (runs_.size() > max_runs_) runs_.pop_back();
 }
 
+void StatsServer::set_run_store(std::string root) {
+  const std::lock_guard<std::mutex> lock(runs_mutex_);
+  run_store_root_ = std::move(root);
+}
+
 void StatsServer::write_runs_json(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(runs_mutex_);
   os << "{\"runs\":[";
@@ -124,8 +130,28 @@ HttpResponse StatsServer::handle(const std::string& method,
     write_runs_json(os);
     return {200, "application/json", os.str()};
   }
+  if (path.rfind("/runs/", 0) == 0) {
+    const std::string id = path.substr(6);
+    std::string root;
+    {
+      const std::lock_guard<std::mutex> lock(runs_mutex_);
+      root = run_store_root_;
+    }
+    if (root.empty())
+      return {404, "text/plain; charset=utf-8",
+              "no run store attached; record runs with colopt --record\n"};
+    const RunStore store(root);
+    if (auto manifest = store.manifest_text(id))
+      return {200, "application/json", std::move(*manifest)};
+    std::string body = "run " + id + " not found; archived runs:\n";
+    const auto ids = store.list();
+    if (ids.empty()) body += "  (none)\n";
+    for (const auto& known : ids) body += "  " + known + "\n";
+    return {404, "text/plain; charset=utf-8", std::move(body)};
+  }
   return {404, "text/plain; charset=utf-8",
-          "not found; try /metrics /metrics.json /runs /healthz\n"};
+          "not found; try /metrics /metrics.json /runs /runs/<trace_id> "
+          "/healthz\n"};
 }
 
 bool StatsServer::start(int port, std::string* error) {

@@ -154,6 +154,109 @@ TEST(Metrics, PrometheusGolden) {
             "colop_requests_total 3\n");
 }
 
+TEST(Metrics, PrometheusLabelEscapingGolden) {
+  // The text-format rules: label values escape exactly backslash, double
+  // quote and line-feed; HELP text escapes backslash and line-feed (quotes
+  // stay raw).  JSON-style \uXXXX sequences would be read literally by a
+  // scraper, so control characters must NOT fall back to them.
+  obs::Registry reg;
+  reg.counter("colop_ops_total", "Ops with \"quotes\" and a\nnewline and \\",
+              {{"path", "a\\b"}, {"msg", "say \"hi\"\nbye"}})
+      .inc(1);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  EXPECT_EQ(os.str(),
+            "# HELP colop_ops_total Ops with \"quotes\" and a\\nnewline "
+            "and \\\\\n"
+            "# TYPE colop_ops_total counter\n"
+            "colop_ops_total{msg=\"say \\\"hi\\\"\\nbye\",path=\"a\\\\b\"} "
+            "1\n");
+  // And the exposition itself must pass the conformance lint.
+  EXPECT_EQ(obs::prom_lint(os.str()), std::vector<std::string>{});
+}
+
+TEST(Metrics, JsonDecodesPromEscapedLabels) {
+  // The encoded label key carries Prometheus escaping; the JSON exporter
+  // must unescape it and re-quote as JSON, not pass the prom bytes through.
+  obs::Registry reg;
+  reg.counter("colop_ops_total", "ops",
+              {{"msg", "say \"hi\"\nbye"}, {"path", "a\\b"}})
+      .inc(2);
+  std::ostringstream os;
+  reg.write_json(os);
+  const auto doc = obs::json::parse(os.str());
+  const auto& series = *doc.get("metrics")->items[0]->get("series")->items[0];
+  EXPECT_EQ(series.get("labels")->get("msg")->str, "say \"hi\"\nbye");
+  EXPECT_EQ(series.get("labels")->get("path")->str, "a\\b");
+}
+
+TEST(Metrics, PromLintAcceptsOwnExposition) {
+  // A registry exercising every instrument kind and nasty labels must
+  // produce a conformant exposition — this is the exporter's golden gate.
+  obs::Registry reg;
+  reg.counter("colop_requests_total", "Requests").inc(3);
+  reg.counter("colop_errors_total", "Errors", {{"kind", "io \"disk\"\n"}})
+      .inc(1);
+  reg.gauge("colop_queue_depth", "Queue", {{"rank", "0"}}).set(2.5);
+  obs::Histogram& h =
+      reg.histogram("colop_latency_seconds", "Latency", {0.5, 1});
+  h.observe(0.25);
+  h.observe(99);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  EXPECT_EQ(obs::prom_lint(os.str()), std::vector<std::string>{})
+      << os.str();
+}
+
+TEST(Metrics, PromLintFlagsViolations) {
+  const auto has_finding = [](const std::vector<std::string>& findings,
+                              const std::string& needle) {
+    for (const auto& f : findings)
+      if (f.find(needle) != std::string::npos) return true;
+    return false;
+  };
+
+  // Counter family without the _total suffix.
+  auto findings = obs::prom_lint(
+      "# TYPE colop_requests counter\ncolop_requests 1\n");
+  EXPECT_TRUE(has_finding(findings, "does not end in _total")) << findings.size();
+
+  // HELP after TYPE, and duplicated TYPE.
+  findings = obs::prom_lint(
+      "# TYPE colop_x_total counter\n"
+      "# HELP colop_x_total late help\n"
+      "# TYPE colop_x_total counter\n"
+      "colop_x_total 1\n");
+  EXPECT_TRUE(has_finding(findings, "after its TYPE"));
+  EXPECT_TRUE(has_finding(findings, "duplicate TYPE"));
+
+  // Interleaved families: a's samples resume after b's.
+  findings = obs::prom_lint(
+      "colop_a_total 1\n"
+      "colop_b_total 1\n"
+      "colop_a_total 2\n");
+  EXPECT_TRUE(has_finding(findings, "not contiguous"));
+
+  // Bad metric name, bad label name, unparseable value.
+  findings = obs::prom_lint("2bad_name 1\n");
+  EXPECT_TRUE(has_finding(findings, "invalid metric name"));
+  findings = obs::prom_lint("colop_x{bad-label=\"v\"} 1\n");
+  EXPECT_TRUE(has_finding(findings, "invalid label name"));
+  findings = obs::prom_lint("colop_x notanumber\n");
+  EXPECT_TRUE(has_finding(findings, "unparseable value"));
+
+  // Histogram machinery samples fold into their declared family — the
+  // _bucket/_sum/_count lines are NOT a family interleave, and +Inf is a
+  // valid value.
+  findings = obs::prom_lint(
+      "# TYPE colop_lat_seconds histogram\n"
+      "colop_lat_seconds_bucket{le=\"1\"} 1\n"
+      "colop_lat_seconds_bucket{le=\"+Inf\"} 2\n"
+      "colop_lat_seconds_sum 3.5\n"
+      "colop_lat_seconds_count 2\n");
+  EXPECT_EQ(findings, std::vector<std::string>{});
+}
+
 TEST(Metrics, LabelsAreCanonicalized) {
   // Registration order of label keys must not create distinct series.
   obs::Registry reg;

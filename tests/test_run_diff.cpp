@@ -1,0 +1,231 @@
+// Differential engine: stage alignment statuses, suspect-stage ranking
+// (the acceptance criterion: a deliberately perturbed stage must rank
+// first), rule-decision diffing, drift extraction, and the stability and
+// well-formedness of the JSON / HTML emissions.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "colop/obs/json.h"
+#include "colop/obs/run_diff.h"
+#include "colop/obs/run_store.h"
+
+namespace obs = colop::obs;
+
+namespace {
+
+obs::RunBundle base_bundle() {
+  obs::RunBundle b;
+  b.trace_id = "aaaaaaaaaaaaaaaa";
+  b.git_sha = "sha_a";
+  b.timestamp = "2026-08-08 10:00:00";
+  b.timestamp_ns = 1;
+  b.machine = {8, 64, 400, 2};
+  b.program_before = "scan(+) ; reduce(+) ; bcast";
+  b.program_after = "scan(+) ; allreduce(+)";
+  b.stages_after = {{0, "scan(+)", "scan", false, "", 100.0},
+                    {1, "allreduce(+)", "allreduce", false, "RB-Allreduce",
+                     80.0}};
+  b.rules = {{"RB-Allreduce", 1, 2, 1, "+=+", 250.0, 180.0,
+              "scan(+) ; allreduce(+)"}};
+  b.model_cost_before = 250;
+  b.model_cost_after = 180;
+  b.sim_before = {250, 40, 1000};
+  b.sim_after = {180, 30, 800};
+  return b;
+}
+
+TEST(RunDiff, IdenticalRunsDiffToAllSame) {
+  obs::RunBundle b = base_bundle();
+  b.trace_id = "bbbbbbbbbbbbbbbb";
+  const obs::RunDiff d = obs::diff_runs(base_bundle(), b);
+
+  EXPECT_FALSE(d.machine_changed());
+  ASSERT_EQ(d.stages.size(), 2u);
+  EXPECT_EQ(d.stages[0].status, "same");
+  EXPECT_EQ(d.stages[1].status, "same");
+  EXPECT_TRUE(d.suspects.empty());
+  EXPECT_TRUE(d.rules_only_a.empty());
+  EXPECT_TRUE(d.rules_only_b.empty());
+  ASSERT_EQ(d.rules_common.size(), 1u);
+  EXPECT_EQ(d.rules_common[0], "RB-Allreduce@1 {+=+}");
+  EXPECT_EQ(d.a.trace_id, "aaaaaaaaaaaaaaaa");
+  EXPECT_EQ(d.b.trace_id, "bbbbbbbbbbbbbbbb");
+}
+
+// The acceptance criterion: perturb ONE stage's cost and that stage must
+// be ranked first among the suspects.
+TEST(RunDiff, PerturbedStageRanksFirstSuspect) {
+  const obs::RunBundle a = base_bundle();
+  obs::RunBundle b = base_bundle();
+  b.trace_id = "bbbbbbbbbbbbbbbb";
+  b.stages_after[1].model_time = 300.0;  // allreduce(+) regresses by 220
+  b.stages_after[0].model_time = 110.0;  // scan(+) regresses by only 10
+  b.model_cost_after = 410;
+
+  const obs::RunDiff d = obs::diff_runs(a, b);
+  ASSERT_EQ(d.stages.size(), 2u);
+  EXPECT_EQ(d.stages[0].status, "changed");
+  EXPECT_EQ(d.stages[1].status, "changed");
+  ASSERT_EQ(d.suspects.size(), 2u);
+  EXPECT_EQ(d.stages[d.suspects[0].stage].label, "allreduce(+)");
+  EXPECT_DOUBLE_EQ(d.suspects[0].delta, 220.0);
+  EXPECT_NEAR(d.suspects[0].share, 220.0 / 230.0, 1e-12);
+  EXPECT_EQ(d.stages[d.suspects[1].stage].label, "scan(+)");
+
+  // The ranking must survive the JSON round trip.
+  std::ostringstream os;
+  d.write_json(os);
+  const auto doc = obs::json::parse(os.str());
+  const auto* suspects = doc.get("suspects");
+  ASSERT_TRUE(suspects != nullptr);
+  ASSERT_EQ(suspects->items.size(), 2u);
+  EXPECT_EQ(suspects->items[0]->get("label")->str, "allreduce(+)");
+  EXPECT_EQ(suspects->items[0]->get("rank")->num, 1);
+}
+
+TEST(RunDiff, AddedAndRemovedStages) {
+  const obs::RunBundle a = base_bundle();
+  obs::RunBundle b = base_bundle();
+  b.trace_id = "bbbbbbbbbbbbbbbb";
+  // B took a different derivation: no fusion, three stages survive.
+  b.program_after = "scan(+) ; reduce(+) ; bcast";
+  b.stages_after = {{0, "scan(+)", "scan", false, "", 100.0},
+                    {1, "reduce(+)", "reduce", false, "", 90.0},
+                    {2, "bcast", "bcast", false, "", 60.0}};
+  b.rules.clear();
+  b.model_cost_after = 250;
+
+  const obs::RunDiff d = obs::diff_runs(a, b);
+  ASSERT_EQ(d.stages.size(), 4u);
+  EXPECT_EQ(d.stages[0].status, "same");      // scan(+) in both
+  EXPECT_EQ(d.stages[0].label, "scan(+)");
+  EXPECT_EQ(d.stages[1].status, "removed");   // allreduce(+) gone in B
+  EXPECT_EQ(d.stages[1].label, "allreduce(+)");
+  EXPECT_EQ(d.stages[2].status, "added");     // reduce(+) new in B
+  EXPECT_EQ(d.stages[3].status, "added");     // bcast new in B
+
+  // Added stages contribute their full time to the regression.
+  ASSERT_GE(d.suspects.size(), 2u);
+  EXPECT_EQ(d.stages[d.suspects[0].stage].label, "reduce(+)");
+  EXPECT_DOUBLE_EQ(d.suspects[0].delta, 90.0);
+
+  // The rule applied only in A shows up as A-only.
+  ASSERT_EQ(d.rules_only_a.size(), 1u);
+  EXPECT_EQ(d.rules_only_a[0], "RB-Allreduce@1 {+=+}");
+  EXPECT_TRUE(d.rules_only_b.empty());
+  EXPECT_TRUE(d.rules_common.empty());
+}
+
+TEST(RunDiff, MachineAndProvenanceChanges) {
+  const obs::RunBundle a = base_bundle();
+  obs::RunBundle b = base_bundle();
+  b.trace_id = "bbbbbbbbbbbbbbbb";
+  b.machine = {64, 1024, 400, 2};
+  b.stages_after[1].rule = "RB-Other";  // same label+cost, new provenance
+
+  const obs::RunDiff d = obs::diff_runs(a, b);
+  EXPECT_TRUE(d.machine_changed());
+  EXPECT_EQ(d.machine_a.p, 8);
+  EXPECT_EQ(d.machine_b.p, 64);
+  // Provenance change alone flips the status to "changed".
+  EXPECT_EQ(d.stages[1].status, "changed");
+  EXPECT_TRUE(d.suspects.empty());  // no cost moved
+}
+
+TEST(RunDiff, DriftArtifactExtraction) {
+  const std::string drift_json =
+      "{\"original\":{\"rows\":[{\"time_rel_err\":0.01}]},"
+      "\"optimized\":{\"rows\":[{\"time_rel_err\":-0.02},"
+      "{\"time_rel_err\":0.005}]}}";
+  obs::RunBundle a = base_bundle();
+  a.artifacts["drift"] = drift_json;
+  obs::RunBundle b = base_bundle();
+  b.trace_id = "bbbbbbbbbbbbbbbb";
+  b.artifacts["drift"] =
+      "{\"optimized\":{\"rows\":[{\"time_rel_err\":0.5}]}}";
+
+  const obs::RunDiff d = obs::diff_runs(a, b);
+  ASSERT_TRUE(d.drift_present);
+  EXPECT_DOUBLE_EQ(d.drift_max_rel_err_a, 0.02);  // max |rel err|
+  EXPECT_DOUBLE_EQ(d.drift_max_rel_err_b, 0.5);
+
+  // One side missing the artifact -> no drift section, no throw.
+  obs::RunBundle c = base_bundle();
+  c.trace_id = "cccccccccccccccc";
+  EXPECT_FALSE(obs::diff_runs(a, c).drift_present);
+  // Malformed drift JSON is skipped, not fatal.
+  c.artifacts["drift"] = "garbage";
+  EXPECT_FALSE(obs::diff_runs(a, c).drift_present);
+}
+
+TEST(RunDiff, JsonIsStableAndSchemaShaped) {
+  const obs::RunBundle a = base_bundle();
+  obs::RunBundle b = base_bundle();
+  b.trace_id = "bbbbbbbbbbbbbbbb";
+  b.machine.p = 64;
+  b.stages_after[0].model_time = 120;
+
+  const obs::RunDiff d = obs::diff_runs(a, b);
+  std::ostringstream os1, os2;
+  d.write_json(os1);
+  obs::diff_runs(a, b).write_json(os2);
+  EXPECT_EQ(os1.str(), os2.str());  // byte-stable for fixed inputs
+
+  const auto doc = obs::json::parse(os1.str());
+  EXPECT_EQ(doc.get("kind")->str, "colop_run_diff");
+  EXPECT_EQ(doc.get("schema_version")->num, obs::RunDiff::kSchemaVersion);
+  EXPECT_EQ(doc.get("runs")->get("a")->get("trace_id")->str,
+            "aaaaaaaaaaaaaaaa");
+  EXPECT_EQ(doc.get("runs")->get("b")->get("trace_id")->str,
+            "bbbbbbbbbbbbbbbb");
+  EXPECT_TRUE(doc.get("machine")->get("changed")->b);
+  ASSERT_TRUE(doc.get("totals")->get("model_cost") != nullptr);
+  ASSERT_TRUE(doc.get("stages") != nullptr);
+  ASSERT_TRUE(doc.get("rules")->get("common") != nullptr);
+  ASSERT_TRUE(doc.get("drift") != nullptr);
+  // The diff describes the two archived runs only — the manifests' argv
+  // (which may embed temp paths) must NOT leak into the diff document.
+  EXPECT_TRUE(doc.get("args") == nullptr);
+}
+
+TEST(RunDiff, HtmlIsSelfContained) {
+  const obs::RunBundle a = base_bundle();
+  obs::RunBundle b = base_bundle();
+  b.trace_id = "bbbbbbbbbbbbbbbb";
+  b.stages_after[1].model_time = 300;
+  b.program_after = "scan(+) ; allreduce(<&>)";  // HTML-hostile label
+
+  const obs::RunDiff d = obs::diff_runs(a, b);
+  std::ostringstream os;
+  d.write_html(os);
+  const std::string html = os.str();
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  EXPECT_NE(html.find("aaaaaaaaaaaaaaaa"), std::string::npos);
+  EXPECT_NE(html.find("bbbbbbbbbbbbbbbb"), std::string::npos);
+  EXPECT_NE(html.find("suspect stages"), std::string::npos);
+  EXPECT_NE(html.find("&lt;&amp;&gt;"), std::string::npos);  // escaped
+  // Self-contained: no external assets, no scripts.
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+}
+
+TEST(RunDiff, TextReportNamesSuspectAndRule) {
+  const obs::RunBundle a = base_bundle();
+  obs::RunBundle b = base_bundle();
+  b.trace_id = "bbbbbbbbbbbbbbbb";
+  b.stages_after[1].model_time = 300;
+
+  const std::string text = obs::diff_runs(a, b).render_text();
+  EXPECT_NE(text.find("suspect stages"), std::string::npos);
+  EXPECT_NE(text.find("#1 allreduce(+) [RB-Allreduce]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("machine   : unchanged"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,277 @@
+// Run archive: manifest round-trip, selector resolution (exact id, unique
+// prefix, latest, latest~N), retention eviction order, and the strictness
+// of the manifest parser.
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "colop/obs/run_store.h"
+#include "colop/support/error.h"
+
+namespace obs = colop::obs;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A fresh store root under the test temp dir.
+std::string store_root(const std::string& name) {
+  const fs::path root = fs::path(testing::TempDir()) / ("run_store_" + name);
+  fs::remove_all(root);
+  return root.string();
+}
+
+/// A bundle distinguishable by `seq`; later seq = more recent.
+obs::RunBundle demo_bundle(int seq) {
+  obs::RunBundle b;
+  b.trace_id = "00000000000000a" + std::to_string(seq);  // hex, unique
+  b.git_sha = "cafe1234";
+  b.timestamp = "2026-08-08 12:00:0" + std::to_string(seq);
+  b.timestamp_ns = 1'000'000'000ULL * static_cast<std::uint64_t>(seq + 1);
+  b.machine = {8, 64, 400, 2};
+  b.data_plane = "auto";
+  b.args = {"--p", "8", "scan(+) ; bcast"};
+  b.program_before = "scan(+) ; bcast";
+  b.program_after = "scan(+) ; bcast";
+  b.stages_before = {{0, "scan(+)", "scan", false, "", 100.0},
+                     {1, "bcast", "bcast", false, "", 50.0}};
+  b.stages_after = b.stages_before;
+  b.rules = {{"SB-Composition", 0, 2, 1, "note \"quoted\"", 150.0, 120.0,
+              "scan(+) ; bcast"}};
+  b.model_cost_before = 150;
+  b.model_cost_after = 120;
+  b.sim_before = {150, 24, 512.5};
+  b.sim_after = {120, 20, 400};
+  b.wall_ms = 3.25;
+  b.artifacts["explain"] = "{\"attempts\":[]}\n";
+  b.artifacts["profile"] = "{\"stages\":[]}\n";
+  return b;
+}
+
+TEST(RunStore, ManifestRoundTrip) {
+  const obs::RunBundle b = demo_bundle(3);
+  std::ostringstream os;
+  b.write_manifest(os);
+  const obs::RunBundle back = obs::RunBundle::parse_manifest(os.str());
+
+  EXPECT_EQ(back.trace_id, b.trace_id);
+  EXPECT_EQ(back.git_sha, b.git_sha);
+  EXPECT_EQ(back.timestamp, b.timestamp);
+  EXPECT_EQ(back.timestamp_ns, b.timestamp_ns);
+  EXPECT_EQ(back.machine, b.machine);
+  EXPECT_EQ(back.data_plane, "auto");
+  EXPECT_EQ(back.args, b.args);
+  EXPECT_EQ(back.program_after, b.program_after);
+  ASSERT_EQ(back.stages_after.size(), 2u);
+  EXPECT_EQ(back.stages_after[1].label, "bcast");
+  EXPECT_EQ(back.stages_after[1].kind, "bcast");
+  EXPECT_FALSE(back.stages_after[1].local);
+  EXPECT_DOUBLE_EQ(back.stages_after[1].model_time, 50.0);
+  ASSERT_EQ(back.rules.size(), 1u);
+  EXPECT_EQ(back.rules[0].rule, "SB-Composition");
+  EXPECT_EQ(back.rules[0].note, "note \"quoted\"");
+  EXPECT_DOUBLE_EQ(back.rules[0].cost_after, 120.0);
+  EXPECT_DOUBLE_EQ(back.model_cost_before, 150.0);
+  EXPECT_EQ(back.sim_before.messages, 24u);
+  EXPECT_DOUBLE_EQ(back.sim_before.words, 512.5);
+  EXPECT_DOUBLE_EQ(back.wall_ms, 3.25);
+  // The manifest lists artifact names; contents live in sibling files.
+  ASSERT_EQ(back.artifacts.size(), 2u);
+  EXPECT_EQ(back.artifacts.count("explain"), 1u);
+  EXPECT_EQ(back.artifacts.count("profile"), 1u);
+}
+
+TEST(RunStore, ParseRejectsForeignAndTruncatedDocuments) {
+  EXPECT_THROW(obs::RunBundle::parse_manifest("{\"kind\":\"other\"}"),
+               colop::Error);
+  EXPECT_THROW(obs::RunBundle::parse_manifest("not json"), colop::Error);
+  // A colop_run document missing required fields must not half-parse.
+  EXPECT_THROW(obs::RunBundle::parse_manifest(
+                   "{\"kind\":\"colop_run\",\"trace_id\":\"ab\"}"),
+               colop::Error);
+}
+
+TEST(RunStore, SaveLoadAndListOrder) {
+  const obs::RunStore store(store_root("saveload"));
+  for (int seq : {0, 2, 1}) {  // write out of order; list sorts by time
+    const obs::RunBundle b = demo_bundle(seq);
+    const std::string dir = store.save(b);
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "manifest.json"));
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "explain.json"));
+  }
+  const auto ids = store.list();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], demo_bundle(2).trace_id);  // most recent first
+  EXPECT_EQ(ids[1], demo_bundle(1).trace_id);
+  EXPECT_EQ(ids[2], demo_bundle(0).trace_id);
+
+  const obs::RunBundle loaded = store.load(ids[2]);
+  EXPECT_EQ(loaded.trace_id, demo_bundle(0).trace_id);
+  EXPECT_EQ(loaded.artifacts.at("explain"), "{\"attempts\":[]}\n");
+  EXPECT_EQ(loaded.artifacts.at("profile"), "{\"stages\":[]}\n");
+}
+
+TEST(RunStore, ResolveSelectors) {
+  const obs::RunStore store(store_root("resolve"));
+  for (int seq : {0, 1, 2}) store.save(demo_bundle(seq));
+
+  EXPECT_EQ(store.resolve("latest").trace_id, demo_bundle(2).trace_id);
+  EXPECT_EQ(store.resolve("latest~0").trace_id, demo_bundle(2).trace_id);
+  EXPECT_EQ(store.resolve("latest~2").trace_id, demo_bundle(0).trace_id);
+  EXPECT_THROW((void)store.resolve("latest~3"), colop::Error);
+  EXPECT_THROW((void)store.resolve("latest~x"), colop::Error);
+
+  // Unique prefix resolves; the shared prefix of all three is ambiguous.
+  EXPECT_EQ(store.resolve("00000000000000a1").trace_id,
+            demo_bundle(1).trace_id);
+  EXPECT_EQ(store.resolve(demo_bundle(1).trace_id).trace_id,
+            demo_bundle(1).trace_id);
+  EXPECT_THROW((void)store.resolve("00000000"), colop::Error);
+  EXPECT_THROW((void)store.resolve("ffff"), colop::Error);
+
+  // The error names the available runs so the user can pick one.
+  try {
+    (void)store.resolve("ffff");
+    FAIL() << "expected resolve to throw";
+  } catch (const colop::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("available runs"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RunStore, ManifestTextGuardsPathTraversal) {
+  const obs::RunStore store(store_root("traversal"));
+  store.save(demo_bundle(0));
+  EXPECT_TRUE(store.manifest_text(demo_bundle(0).trace_id).has_value());
+  EXPECT_FALSE(store.manifest_text("nope").has_value());
+  // Non-hex selectors (e.g. ../../etc) must not touch the filesystem.
+  EXPECT_FALSE(store.manifest_text("../" + demo_bundle(0).trace_id).has_value());
+  EXPECT_FALSE(store.manifest_text("..").has_value());
+}
+
+TEST(RunStore, PruneEvictsOldestFirstByCount) {
+  const obs::RunStore store(store_root("prune_count"));
+  for (int seq : {0, 1, 2, 3, 4}) store.save(demo_bundle(seq));
+
+  obs::RetentionPolicy policy;
+  policy.max_count = 2;
+  const auto evicted = store.prune(policy);
+  ASSERT_EQ(evicted.size(), 3u);
+  // Eviction order is oldest first.
+  EXPECT_EQ(evicted[0], demo_bundle(0).trace_id);
+  EXPECT_EQ(evicted[1], demo_bundle(1).trace_id);
+  EXPECT_EQ(evicted[2], demo_bundle(2).trace_id);
+  const auto ids = store.list();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], demo_bundle(4).trace_id);
+  EXPECT_EQ(ids[1], demo_bundle(3).trace_id);
+
+  // Unlimited policy is a no-op.
+  EXPECT_TRUE(store.prune(obs::RetentionPolicy{}).empty());
+  EXPECT_EQ(store.list().size(), 2u);
+}
+
+TEST(RunStore, PruneEvictsByAge) {
+  const obs::RunStore store(store_root("prune_age"));
+  obs::RunBundle old_run = demo_bundle(0);
+  old_run.timestamp_ns = 1;  // 1970 — ancient
+  store.save(old_run);
+  obs::RunBundle fresh = demo_bundle(1);
+  fresh.timestamp_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  store.save(fresh);
+
+  obs::RetentionPolicy policy;
+  policy.max_age_seconds = 3600;
+  const auto evicted = store.prune(policy);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], old_run.trace_id);
+  EXPECT_EQ(store.list(), std::vector<std::string>{fresh.trace_id});
+}
+
+TEST(RunStore, RetentionPolicyParsing) {
+  EXPECT_TRUE(obs::RetentionPolicy{}.unlimited());
+
+  const auto count_only = obs::RetentionPolicy::parse("12");
+  EXPECT_EQ(count_only.max_count, 12u);
+  EXPECT_EQ(count_only.max_age_seconds, 0u);
+
+  const auto keyed = obs::RetentionPolicy::parse("count=3,age=3600");
+  EXPECT_EQ(keyed.max_count, 3u);
+  EXPECT_EQ(keyed.max_age_seconds, 3600u);
+  EXPECT_FALSE(keyed.unlimited());
+
+  EXPECT_THROW((void)obs::RetentionPolicy::parse("soon"), colop::Error);
+  EXPECT_THROW((void)obs::RetentionPolicy::parse("ttl=5"), colop::Error);
+  EXPECT_THROW((void)obs::RetentionPolicy::parse("count=x"), colop::Error);
+}
+
+TEST(RunStore, RetentionFromEnvWarnsOnTypos) {
+  ASSERT_EQ(setenv("COLOP_RUN_RETENTION", "count=7", 1), 0);
+  std::string warning;
+  auto policy = obs::RetentionPolicy::from_env(&warning);
+  EXPECT_EQ(policy.max_count, 7u);
+  EXPECT_TRUE(warning.empty());
+
+  // A typo must not silently become a destructive policy.
+  ASSERT_EQ(setenv("COLOP_RUN_RETENTION", "count=oops", 1), 0);
+  policy = obs::RetentionPolicy::from_env(&warning);
+  EXPECT_TRUE(policy.unlimited());
+  EXPECT_NE(warning.find("COLOP_RUN_RETENTION"), std::string::npos);
+
+  ASSERT_EQ(unsetenv("COLOP_RUN_RETENTION"), 0);
+  EXPECT_TRUE(obs::RetentionPolicy::from_env().unlimited());
+}
+
+TEST(RunStore, PruneFilesEvictsOldestByMtime) {
+  const fs::path dir = fs::path(testing::TempDir()) / "prune_files";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  for (int i = 0; i < 4; ++i) {
+    const fs::path p = dir / ("BENCH_b" + std::to_string(i) + ".json");
+    std::ofstream(p) << "{}";
+    // Spread mtimes a minute apart so the order is unambiguous.
+    fs::last_write_time(
+        p, fs::file_time_type::clock::now() - std::chrono::minutes(10 - i));
+  }
+  std::ofstream(dir / "OTHER_file.json") << "{}";  // wrong prefix: untouched
+
+  obs::RetentionPolicy policy;
+  policy.max_count = 2;
+  const auto evicted = obs::prune_files(dir.string(), "BENCH_", ".json", policy);
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_NE(evicted[0].find("BENCH_b0"), std::string::npos);
+  EXPECT_NE(evicted[1].find("BENCH_b1"), std::string::npos);
+  EXPECT_FALSE(fs::exists(dir / "BENCH_b0.json"));
+  EXPECT_TRUE(fs::exists(dir / "BENCH_b2.json"));
+  EXPECT_TRUE(fs::exists(dir / "BENCH_b3.json"));
+  EXPECT_TRUE(fs::exists(dir / "OTHER_file.json"));
+
+  // Missing directory: no-op, not an error.
+  EXPECT_TRUE(
+      obs::prune_files((dir / "missing").string(), "BENCH_", ".json", policy)
+          .empty());
+}
+
+TEST(RunStore, LoadRunOrFileAcceptsManifestPaths) {
+  const obs::RunStore store(store_root("orfile"));
+  const obs::RunBundle b = demo_bundle(0);
+  const std::string dir = store.save(b);
+
+  const obs::RunBundle via_path =
+      obs::load_run_or_file(store, (fs::path(dir) / "manifest.json").string());
+  EXPECT_EQ(via_path.trace_id, b.trace_id);
+  EXPECT_EQ(via_path.artifacts.at("explain"), "{\"attempts\":[]}\n");
+
+  const obs::RunBundle via_selector = obs::load_run_or_file(store, "latest");
+  EXPECT_EQ(via_selector.trace_id, b.trace_id);
+}
+
+}  // namespace

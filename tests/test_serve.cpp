@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <filesystem>
 #include <sstream>
 #include <string>
 
@@ -14,6 +15,7 @@
 
 #include "colop/obs/json.h"
 #include "colop/obs/metrics.h"
+#include "colop/obs/run_store.h"
 #include "colop/obs/serve.h"
 
 namespace obs = colop::obs;
@@ -75,6 +77,44 @@ TEST(Serve, RunsDocumentMostRecentFirst) {
   EXPECT_EQ(runs->items[0]->get("rewrites")->num, 2);
   EXPECT_EQ(runs->items[0]->get("wall_ms")->num, 1.5);
   EXPECT_EQ(runs->items[1]->get("trace_id")->str, "aaaaaaaaaaaaaaaa");
+}
+
+TEST(Serve, RunDetailEndpointServesArchivedManifest) {
+  const std::filesystem::path root =
+      std::filesystem::path(testing::TempDir()) / "serve_run_store";
+  std::filesystem::remove_all(root);
+  const obs::RunStore store(root.string());
+  obs::RunBundle bundle;
+  bundle.trace_id = "feedfacefeedface";
+  bundle.timestamp = "2026-08-08 10:00:00";
+  bundle.timestamp_ns = 42;
+  bundle.machine = {8, 64, 400, 2};
+  bundle.program_before = bundle.program_after = "scan(+)";
+  store.save(bundle);
+
+  obs::StatsServer server(demo_registry());
+
+  // Without an attached store the endpoint 404s with a pointer to --record.
+  const auto unattached = server.handle("GET", "/runs/feedfacefeedface");
+  EXPECT_EQ(unattached.status, 404);
+  EXPECT_NE(unattached.body.find("--record"), std::string::npos);
+
+  server.set_run_store(root.string());
+  const auto found = server.handle("GET", "/runs/feedfacefeedface");
+  EXPECT_EQ(found.status, 200);
+  EXPECT_EQ(found.content_type, "application/json");
+  const auto doc = obs::json::parse(found.body);
+  EXPECT_EQ(doc.get("kind")->str, "colop_run");
+  EXPECT_EQ(doc.get("trace_id")->str, "feedfacefeedface");
+
+  // Unknown id: 404 plus a listing hint naming the archived runs.
+  const auto missing = server.handle("GET", "/runs/0123456789abcdef");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_NE(missing.body.find("feedfacefeedface"), std::string::npos)
+      << missing.body;
+
+  // Traversal-shaped ids never touch the filesystem.
+  EXPECT_EQ(server.handle("GET", "/runs/../etc").status, 404);
 }
 
 TEST(Serve, UtcTimestampShape) {

@@ -13,12 +13,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <climits>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,8 @@
 #include "colop/obs/drift.h"
 #include "colop/obs/metrics.h"
 #include "colop/obs/profile.h"
+#include "colop/obs/run_diff.h"
+#include "colop/obs/run_store.h"
 #include "colop/obs/serve.h"
 #include "colop/obs/trace_context.h"
 #include "colop/rt/flight_recorder.h"
@@ -122,7 +126,26 @@ void usage() {
       "  --serve[=PORT] run the program on the thread executor, then serve\n"
       "                 the telemetry registry over HTTP on 127.0.0.1:PORT\n"
       "                 (default: a kernel-assigned ephemeral port, printed\n"
-      "                 on stdout): /metrics /metrics.json /runs /healthz\n"
+      "                 on stdout): /metrics /metrics.json /runs\n"
+      "                 /runs/<trace_id> /healthz\n"
+      "  --record[=DIR] archive this run as a forensics bundle — manifest\n"
+      "                 (identity, machine, schedule IR, applied rules, cost\n"
+      "                 summary) plus every JSON artifact the run emits —\n"
+      "                 under DIR/<trace_id>/ (default $COLOP_RUN_DIR, else\n"
+      "                 .colop/runs); honors $COLOP_RUN_RETENTION, e.g.\n"
+      "                 \"count=32,age=604800\"\n"
+      "  --store DIR    run-store root for --diff and --serve lookups\n"
+      "                 (default: the --record DIR, else $COLOP_RUN_DIR,\n"
+      "                 else .colop/runs)\n"
+      "  --diff A B     cross-run forensics: diff two archived runs (each a\n"
+      "                 trace id, unique id prefix, latest, latest~N, or a\n"
+      "                 manifest.json path) and exit; no program operand\n"
+      "                 needed.  Reports machine drift, the stage-level\n"
+      "                 schedule diff with rule provenance, ranked suspect\n"
+      "                 stages, and totals\n"
+      "  --diff-json F  write the run diff as stable JSON to file F\n"
+      "  --diff-html F  write the run diff as a self-contained HTML report\n"
+      "                 (side-by-side timelines + tables) to file F\n"
       "  --drift        report model-vs-simnet drift (time, messages, words)\n"
       "                 for p in {2,4,...,64}\n"
       "  --drift-json F write the drift report as JSON to file F\n"
@@ -182,6 +205,10 @@ int main(int argc, char** argv) {
   std::string explain_json, trace_file, metrics_file, drift_json, example;
   std::string profile_json, profile_trace, calibrate_json;
   std::string rt_json, rt_trace, rt_html;
+  bool record = false;
+  std::string record_dir, store_dir;
+  std::vector<std::string> diff_args;
+  std::string diff_json, diff_html;
   rules::OptimizerOptions options;
   rules::ExplainLog explain_log;
   std::string program_text;
@@ -272,6 +299,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--warmup") {
       warmup = parse_int(arg, next());
       if (warmup < 0) bad_value(arg, argv[i], "a non-negative integer");
+    } else if (arg == "--record") {
+      record = true;
+    } else if (arg.rfind("--record=", 0) == 0) {
+      record = true;
+      record_dir = arg.substr(9);
+      if (record_dir.empty()) bad_value("--record", "", "a directory");
+    } else if (arg == "--store") {
+      store_dir = next();
+    } else if (arg == "--diff") {
+      diff_args = {next(), next()};
+    } else if (arg == "--diff-json") {
+      diff_json = next();
+    } else if (arg == "--diff-html") {
+      diff_html = next();
     } else if (arg == "--serve") {
       serve_port = 0;
     } else if (arg.rfind("--serve=", 0) == 0) {
@@ -301,6 +342,39 @@ int main(int argc, char** argv) {
       program_text = arg;
     }
   }
+  // Store root: --record=DIR wins (what we write is what we read), then
+  // --store, then the environment/default.
+  const std::string store_root = !record_dir.empty() ? record_dir
+                                 : !store_dir.empty()
+                                     ? store_dir
+                                     : obs::RunStore::default_root();
+
+  if (!diff_args.empty()) {
+    // Forensics diff mode: pure archive analysis, no program run, no fresh
+    // trace id (the diff carries the two recorded ids).
+    try {
+      const obs::RunStore store(store_root);
+      const obs::RunBundle a = obs::load_run_or_file(store, diff_args[0]);
+      const obs::RunBundle b = obs::load_run_or_file(store, diff_args[1]);
+      const obs::RunDiff d = obs::diff_runs(a, b);
+      std::cout << d.render_text();
+      if (!diff_json.empty()) {
+        auto f = open_output(diff_json);
+        d.write_json(f);
+        std::cout << "\nrun diff written to " << diff_json << "\n";
+      }
+      if (!diff_html.empty()) {
+        auto f = open_output(diff_html);
+        d.write_html(f);
+        std::cout << "run diff HTML report written to " << diff_html << "\n";
+      }
+      return 0;
+    } catch (const Error& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   if (program_text.empty() && example.empty()) {
     usage();
     return 2;
@@ -364,8 +438,10 @@ int main(int argc, char** argv) {
 
     // The telemetry hub wants the optimizer's attempt log even when the
     // user didn't ask for --explain: rule attempted/rejected counters come
-    // from it.
-    const bool hub_wanted = serve_port >= 0 || !metrics_file.empty();
+    // from it.  A recorded bundle archives the hub snapshot and the explain
+    // log, so --record implies both.
+    const bool hub_wanted =
+        serve_port >= 0 || !metrics_file.empty() || record;
     if (explain || hub_wanted) options.explain = &explain_log;
     const rules::Optimizer optimizer(machine, rules::all_rules(), options);
     const auto result = exhaustive ? optimizer.optimize_exhaustive(program)
@@ -453,17 +529,21 @@ int main(int argc, char** argv) {
                 << trace_file << "\n";
     }
 
+    std::string drift_artifact;
     if (drift) {
       const auto ro = obs::drift_report(program, machine);
       const auto rr = obs::drift_report(result.program, machine);
       std::cout << "\n" << ro.render_text() << "\n" << rr.render_text();
+      std::ostringstream ss;
+      ss << "{\"original\":";
+      ro.write_json(ss);
+      ss << ",\"optimized\":";
+      rr.write_json(ss);
+      ss << "}\n";
+      drift_artifact = ss.str();
       if (!drift_json.empty()) {
         auto f = open_output(drift_json);
-        f << "{\"original\":";
-        ro.write_json(f);
-        f << ",\"optimized\":";
-        rr.write_json(f);
-        f << "}\n";
+        f << drift_artifact;
         std::cout << "drift report written to " << drift_json << "\n";
       }
     }
@@ -612,6 +692,126 @@ int main(int argc, char** argv) {
       std::cout << "metrics written to " << metrics_file << "\n";
     }
 
+    if (record) {
+      obs::RunBundle bundle;
+      bundle.trace_id = obs::trace_id();
+      bundle.git_sha = obs::env_git_sha();
+      bundle.timestamp = obs::utc_timestamp();
+      bundle.timestamp_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+      bundle.machine = {machine.p, machine.m, machine.ts, machine.tw};
+      if (const char* dp = std::getenv("COLOP_DATA_PLANE"))
+        bundle.data_plane = dp;
+      for (int a = 1; a < argc; ++a) bundle.args.emplace_back(argv[a]);
+
+      const auto kind_name = [](ir::Stage::Kind k) -> std::string {
+        switch (k) {
+          case ir::Stage::Kind::Map: return "map";
+          case ir::Stage::Kind::MapIndexed: return "map#";
+          case ir::Stage::Kind::Scan: return "scan";
+          case ir::Stage::Kind::Reduce: return "reduce";
+          case ir::Stage::Kind::AllReduce: return "allreduce";
+          case ir::Stage::Kind::Bcast: return "bcast";
+          case ir::Stage::Kind::ScanBalanced: return "scan_balanced";
+          case ir::Stage::Kind::ReduceBalanced: return "reduce_balanced";
+          case ir::Stage::Kind::AllReduceBalanced:
+            return "allreduce_balanced";
+          case ir::Stage::Kind::Iter: return "iter";
+        }
+        return "?";
+      };
+      const auto stage_records =
+          [&](const ir::Program& prog,
+              const std::vector<std::string>* provenance) {
+            std::vector<obs::StageRecord> out;
+            int idx = 0;
+            for (const auto& stage : prog.stages()) {
+              obs::StageRecord rec;
+              rec.index = idx;
+              rec.label = stage->show();
+              rec.kind = kind_name(stage->kind());
+              rec.local = stage->is_local();
+              if (provenance != nullptr &&
+                  static_cast<std::size_t>(idx) < provenance->size())
+                rec.rule = (*provenance)[static_cast<std::size_t>(idx)];
+              rec.model_time = model::stage_cost(*stage).eval(machine);
+              out.push_back(std::move(rec));
+              ++idx;
+            }
+            return out;
+          };
+      bundle.program_before = program.show();
+      bundle.program_after = result.program.show();
+      const auto provenance = rules::stage_provenance(program.size(), result.log);
+      bundle.stages_before = stage_records(program, nullptr);
+      bundle.stages_after = stage_records(result.program, &provenance);
+      for (const auto& step : result.log) {
+        obs::RuleRecord rec;
+        rec.rule = step.rule;
+        rec.position = step.position;
+        rec.count = step.count;
+        rec.replaced_by = step.replaced_by;
+        rec.note = step.note;
+        rec.cost_before = step.cost_before;
+        rec.cost_after = step.cost_after;
+        rec.program_after = step.program_after;
+        bundle.rules.push_back(std::move(rec));
+      }
+      bundle.model_cost_before = model::program_time(program, machine);
+      bundle.model_cost_after = model::program_time(result.program, machine);
+      bundle.sim_before = {before.time, before.messages, before.words};
+      bundle.sim_after = {after.time, after.messages, after.words};
+      if (rt_rep) bundle.wall_ms = rt_rep->wall_ms;
+
+      // Artifacts: everything this run computed, plus the explain log,
+      // profile and hub snapshot --record implies.
+      if (!exhaustive) {
+        std::ostringstream ss;
+        explain_log.write_json(ss);
+        bundle.artifacts["explain"] = ss.str();
+      }
+      {
+        obs::ProfileOptions popts;
+        popts.provenance = provenance;
+        const auto prof = obs::profile_program(result.program, machine, popts);
+        std::ostringstream ss;
+        prof.write_json(ss);
+        bundle.artifacts["profile"] = ss.str();
+      }
+      {
+        std::ostringstream ss;
+        hub.write_json(ss);
+        bundle.artifacts["metrics"] = ss.str();
+      }
+      if (!drift_artifact.empty()) bundle.artifacts["drift"] = drift_artifact;
+      if (vres) {
+        std::ostringstream ss;
+        vres->write_json(ss, lint);
+        ss << "\n";
+        bundle.artifacts["verify"] = ss.str();
+      }
+      if (rt_rep) {
+        std::ostringstream ss;
+        rt_rep->write_json(ss);
+        bundle.artifacts["rt"] = ss.str();
+      }
+
+      const obs::RunStore store(store_root);
+      const std::string dir = store.save(bundle);
+      std::cout << "run recorded to " << dir << "\n";
+      std::string retention_warning;
+      const auto policy = obs::RetentionPolicy::from_env(&retention_warning);
+      if (!retention_warning.empty())
+        std::cerr << "warning: " << retention_warning << "\n";
+      if (!policy.unlimited()) {
+        const auto evicted = store.prune(policy);
+        for (const auto& id : evicted)
+          std::cout << "retention: evicted run " << id << "\n";
+      }
+    }
+
     if (serve_port >= 0) {
       obs::RunSummary run_summary;
       run_summary.trace_id = obs::trace_id();
@@ -626,14 +826,15 @@ int main(int argc, char** argv) {
 
       obs::StatsServer server(hub);
       server.add_run(run_summary);
+      server.set_run_store(store_root);
       std::string err;
       if (!server.start(serve_port, &err)) {
         std::cerr << "error: " << err << "\n";
         return 1;
       }
       std::cout << "serving on http://127.0.0.1:" << server.port()
-                << " (GET /metrics /metrics.json /runs /healthz; Ctrl-C to "
-                   "stop)\n"
+                << " (GET /metrics /metrics.json /runs /runs/<trace_id> "
+                   "/healthz; Ctrl-C to stop)\n"
                 << std::flush;
       server.wait();
     }
