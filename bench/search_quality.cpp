@@ -1,0 +1,165 @@
+// Search-quality benchmark: predicted schedule cost of greedy rewriting
+// vs the cost-guided search strategies (beam, branch-and-bound,
+// exhaustive) over the Section-5 example programs plus a fuse-vs-balance
+// ordering stress case, on three machines:
+//
+//   * parsytec   — the configured paper machine (ts = 1500, tw = 25);
+//   * tuned      — mid-sized blocks with cheap transfer (ts = 800,
+//                  tw = 2), the regime where rewrite ORDER matters:
+//                  `bcast ; scan(+) ; scan(+) ; reduce(+)` is cheaper
+//                  balanced-then-fused (SR-Reduction ; BS-Comcast) than
+//                  greedily fused whole (BSS-Comcast);
+//   * calibrated — the simnet-fit of the tuned machine (the closed
+//                  measure-fit loop behind `colopt --machine=calibrated`),
+//                  checking the search's advantage survives calibration.
+//
+// Gate: beam never exceeds greedy (the greedy-seeded dominance
+// guarantee), exhaustive never exceeds beam, branch-and-bound matches
+// exhaustive exactly (the bound is admissible), and beam is STRICTLY
+// cheaper than greedy on at least one case.  Search wall times and node
+// counts are reported per case; only the deterministic predicted costs
+// and node totals are scalars (wall clock stays out of the regression
+// gates).
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "colop/apps/polyeval.h"
+#include "colop/ir/ir.h"
+#include "colop/obs/calibrate.h"
+#include "colop/rules/search.h"
+#include "colop/support/table.h"
+
+namespace {
+
+struct Case {
+  std::string name;
+  colop::ir::Program program;
+};
+
+struct Timed {
+  colop::rules::SearchResult result;
+  double wall_ms = 0;
+};
+
+Timed timed_search(const colop::model::Machine& mach,
+                   colop::rules::SearchStrategy strategy,
+                   const colop::ir::Program& prog) {
+  colop::rules::SearchOptions opts;
+  opts.strategy = strategy;
+  opts.beam_width = strategy == colop::rules::SearchStrategy::beam ? 8 : 0;
+  const colop::rules::SearchOptimizer searcher(mach, colop::rules::all_rules(),
+                                               opts);
+  const auto start = std::chrono::steady_clock::now();
+  Timed t{searcher.search(prog), 0};
+  t.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  using namespace colop;
+
+  const std::vector<double> coeffs{1, 2, 3, 4, 5};
+  ir::Program gap;
+  gap.bcast().scan(ir::op_add()).scan(ir::op_add()).reduce(ir::op_add());
+  const std::vector<Case> cases = {
+      {"polyeval1", apps::polyeval_1(coeffs)},
+      {"polyeval2", apps::polyeval_2(coeffs)},
+      {"polyeval3", apps::polyeval_3(coeffs)},
+      {"fuse_vs_balance", gap},
+  };
+
+  const model::Machine tuned{.p = 64, .m = 256, .ts = 800, .tw = 2};
+  const std::vector<std::pair<std::string, model::Machine>> machines = {
+      {"parsytec", bench::parsytec(64, 256)},
+      {"tuned", tuned},
+      {"calibrated", obs::calibrated_machine(tuned)},
+  };
+
+  obs::MetricsRegistry reg;
+  bool ok = true;
+  int strict_wins = 0;
+  double cost_greedy_total = 0, cost_beam_total = 0, cost_exhaustive_total = 0;
+  std::size_t nodes_beam_total = 0, nodes_exhaustive_total = 0,
+              pruned_bound_total = 0;
+
+  for (const auto& [mname, mach] : machines) {
+    Table t("search quality on " + mname + " (p=" + std::to_string(mach.p) +
+                ", m=" + std::to_string(static_cast<int>(mach.m)) + ")",
+            {"program", "greedy", "beam(8)", "bnb", "exhaustive", "winner path",
+             "nodes b/x", "ms b/x"});
+    for (const auto& c : cases) {
+      const auto beam = timed_search(mach, rules::SearchStrategy::beam,
+                                     c.program);
+      const auto bnb = timed_search(mach, rules::SearchStrategy::branch_bound,
+                                    c.program);
+      const auto ex = timed_search(mach, rules::SearchStrategy::exhaustive,
+                                   c.program);
+      const double greedy = beam.result.greedy_cost;
+      const double cb = beam.result.best.cost_final;
+      const double cn = bnb.result.best.cost_final;
+      const double cx = ex.result.best.cost_final;
+
+      // The dominance contract, violated = red benchmark.
+      ok &= cb <= greedy + 1e-9;
+      ok &= cx <= cb + 1e-9;
+      ok &= std::abs(cn - cx) <= 1e-9;
+      if (cb < greedy - 1e-9) ++strict_wins;
+
+      cost_greedy_total += greedy;
+      cost_beam_total += cb;
+      cost_exhaustive_total += cx;
+      nodes_beam_total += beam.result.stats.nodes_expanded;
+      nodes_exhaustive_total += ex.result.stats.nodes_expanded;
+      pruned_bound_total += bnb.result.stats.pruned_by_bound;
+
+      const auto& winner = ex.result.ranked[ex.result.winner_index];
+      t.add(c.name, greedy, cb, cn, cx, winner.path_text(),
+            std::to_string(beam.result.stats.nodes_expanded) + "/" +
+                std::to_string(ex.result.stats.nodes_expanded),
+            std::to_string(beam.wall_ms) + "/" + std::to_string(ex.wall_ms));
+      reg.add_row("search_quality",
+                  {{"cost_greedy", greedy},
+                   {"cost_beam", cb},
+                   {"cost_bnb", cn},
+                   {"cost_exhaustive", cx},
+                   {"nodes_beam", static_cast<double>(
+                                      beam.result.stats.nodes_expanded)},
+                   {"nodes_exhaustive",
+                    static_cast<double>(ex.result.stats.nodes_expanded)},
+                   {"pruned_bound", static_cast<double>(
+                                        bnb.result.stats.pruned_by_bound)},
+                   {"wall_ms_beam", beam.wall_ms},
+                   {"wall_ms_exhaustive", ex.wall_ms}});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  ok &= strict_wins >= 1;  // order must actually matter somewhere
+
+  reg.set("cases", static_cast<double>(cases.size() * machines.size()));
+  reg.set("strict_wins", strict_wins);
+  reg.set("cost_greedy_total", cost_greedy_total);
+  reg.set("cost_beam_total", cost_beam_total);
+  reg.set("cost_exhaustive_total", cost_exhaustive_total);
+  reg.set("nodes_beam_total", static_cast<double>(nodes_beam_total));
+  reg.set("nodes_exhaustive_total",
+          static_cast<double>(nodes_exhaustive_total));
+  reg.set("pruned_bound_total", static_cast<double>(pruned_bound_total));
+  reg.set("ok", ok ? 1 : 0);
+  bench::write_bench_json("search_quality", reg);
+
+  std::cout << "beam <= greedy everywhere, bnb = exhaustive <= beam, "
+            << "strictly cheaper on " << strict_wins << " case(s): "
+            << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+#pragma once
+// Search-support costing: memoized program pricing and admissible lower
+// bounds, shared by the schedule-search layer (colop::rules search.h).
+//
+// The search optimizer prices every frontier state with the Section-4
+// cost calculus.  Distinct rule-application paths frequently converge on
+// the same program (fuse-then-balance vs balance-then-fuse meet in the
+// middle), so pricing is memoized by the program's canonical key — its
+// textual rendering, the same key the search uses to deduplicate states —
+// and shared subpaths are priced exactly once.
+//
+// The lower bound exploits a structural property of the rewrite system:
+// stages of some kinds are never consumed by any rule's left-hand side
+// (the caller supplies the predicate, since only the rule catalog knows
+// which kinds those are).  Such stages survive every rewrite with their
+// per-stage cost unchanged — stage costs are context-free in this
+// calculus — so their summed cost bounds every descendant program's cost
+// from below.  Branch-and-bound prunes a state when this floor already
+// meets the incumbent.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "colop/ir/program.h"
+#include "colop/model/cost.h"
+#include "colop/model/machine.h"
+
+namespace colop::model {
+
+/// Canonical state key: the program's textual rendering.  Two programs
+/// with equal keys are stage-for-stage identical, so the key is safe for
+/// both deduplication and cost memoization.
+[[nodiscard]] inline std::string canonical_key(const ir::Program& prog) {
+  return prog.show();
+}
+
+/// FNV-1a 64-bit hash of a canonical key — the compact state identity the
+/// search report and run manifest carry (the full key is the program text).
+[[nodiscard]] std::uint64_t canonical_hash(const std::string& key);
+
+/// Memoized program_time over one fixed machine.  Keys are canonical
+/// program keys; hit/miss counters feed the search telemetry (memo hit
+/// rate = the fraction of state pricings served from cache).
+class CostMemo {
+ public:
+  explicit CostMemo(Machine mach) : mach_(mach) {}
+
+  /// Price `prog`, computing its canonical key internally.
+  double time(const ir::Program& prog);
+  /// Price `prog` when the caller already computed its key (the search
+  /// always has it — the same string deduplicates the state).
+  double time(const std::string& key, const ir::Program& prog);
+
+  [[nodiscard]] const Machine& machine() const { return mach_; }
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return memo_.size(); }
+  [[nodiscard]] std::size_t entries() const { return memo_.size(); }
+  [[nodiscard]] double hit_rate() const {
+    const std::size_t total = hits_ + memo_.size();
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+ private:
+  Machine mach_;
+  std::unordered_map<std::string, double> memo_;
+  std::size_t hits_ = 0;
+};
+
+/// Predicate over stages: true when no rewrite rule can consume the stage
+/// (or every rule that touches it re-emits it with identical cost).
+using StagePredicate = std::function<bool(const ir::Stage&)>;
+
+/// Admissible lower bound on the cost of `prog` AND of every program
+/// reachable from it by rewrites that only consume non-`persistent`
+/// stages: the summed per-stage cost of the persistent ones.  Admissible
+/// because (a) per-stage costs are context-free, (b) persistent stages
+/// are never removed, and (c) rewrites only ever ADD further persistent
+/// stages — so the floor is monotone along every derivation.
+[[nodiscard]] double cost_floor(const ir::Program& prog, const Machine& mach,
+                                const StagePredicate& persistent);
+
+}  // namespace colop::model

@@ -1,0 +1,36 @@
+#include "colop/model/cost_memo.h"
+
+namespace colop::model {
+
+std::uint64_t canonical_hash(const std::string& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double CostMemo::time(const ir::Program& prog) {
+  return time(canonical_key(prog), prog);
+}
+
+double CostMemo::time(const std::string& key, const ir::Program& prog) {
+  if (const auto it = memo_.find(key); it != memo_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  const double t = program_time(prog, mach_);
+  memo_.emplace(key, t);
+  return t;
+}
+
+double cost_floor(const ir::Program& prog, const Machine& mach,
+                  const StagePredicate& persistent) {
+  double floor = 0;
+  for (const auto& stage : prog.stages())
+    if (persistent(*stage)) floor += stage_cost(*stage).eval(mach);
+  return floor;
+}
+
+}  // namespace colop::model

@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,18 @@ struct RunDiff {
   std::vector<std::string> rules_only_a;  ///< "rule@pos {note}" applied in A only
   std::vector<std::string> rules_only_b;
   std::vector<std::string> rules_common;
+
+  /// Search provenance of each side (nullopt = greedy rewriting or a
+  /// bundle from before the search layer).  Explains why the two runs
+  /// chose different schedules: strategy/width drift, different node
+  /// budgets hit, a certificate demotion on one side only.
+  std::optional<SearchRecord> search_a, search_b;
+  [[nodiscard]] bool search_changed() const {
+    if (search_a.has_value() != search_b.has_value()) return true;
+    if (!search_a) return false;
+    return search_a->strategy != search_b->strategy ||
+           search_a->beam_width != search_b->beam_width;
+  }
 
   /// Model-vs-simnet drift extracted from the archived "drift" artifacts
   /// (max |time_rel_err| over the optimized program's rows); NaN-free:

@@ -72,6 +72,35 @@ struct SimSummary {
   double words = 0;
 };
 
+/// Search provenance: which strategy chose the archived schedule and what
+/// the exploration looked like — enough for run_diff to explain why two
+/// runs picked different schedules.  Optional in the manifest (absent for
+/// plain greedy runs and bundles written before the search layer).
+struct SearchRecord {
+  std::string strategy;        ///< "greedy" | "beam" | "bnb" | "exhaustive"
+  std::size_t beam_width = 0;  ///< as searched; 0 = unbounded
+  std::size_t nodes_expanded = 0;
+  std::size_t nodes_generated = 0;
+  std::size_t pruned_bound = 0;
+  std::size_t pruned_beam = 0;
+  std::size_t pruned_budget = 0;
+  std::size_t memo_hits = 0;
+  std::size_t memo_entries = 0;
+  std::size_t frontier_peak = 0;
+  std::size_t depth = 0;
+  double greedy_cost = 0;
+  double winner_cost = 0;
+  bool winner_certified = false;
+
+  /// One ranked schedule of the top-K report.
+  struct Candidate {
+    double cost = 0;
+    std::string path;    ///< "SR-Reduction@2 ; BS-Comcast@0", "(source)"
+    int certified = -1;  ///< -1 unknown, 0 failed, 1 discharged
+  };
+  std::vector<Candidate> ranked;
+};
+
 /// Everything one run archived.  write_manifest/parse_manifest round-trip
 /// the whole struct except `artifacts`, whose entries live in their own
 /// files (the manifest lists their names).
@@ -97,6 +126,10 @@ struct RunBundle {
   SimSummary sim_before;
   SimSummary sim_after;
   double wall_ms = 0;  ///< threaded execution, 0 when none ran
+
+  /// Search provenance; nullopt when the run used plain greedy rewriting
+  /// (the manifest then has no "search" object, keeping old readers happy).
+  std::optional<SearchRecord> search;
 
   /// Artifact name -> JSON document text ("explain", "profile", ...).
   std::map<std::string, std::string> artifacts;

@@ -148,6 +148,36 @@ void write_ref_json(std::ostream& os, const RunRef& r) {
      << ",\"wall_ms\":" << json::number(r.wall_ms) << "}";
 }
 
+void write_search_json(std::ostream& os,
+                       const std::optional<SearchRecord>& s) {
+  if (!s) {
+    os << "null";
+    return;
+  }
+  os << "{\"strategy\":" << json::quote(s->strategy)
+     << ",\"beam_width\":" << s->beam_width
+     << ",\"nodes_expanded\":" << s->nodes_expanded
+     << ",\"nodes_generated\":" << s->nodes_generated
+     << ",\"pruned_bound\":" << s->pruned_bound
+     << ",\"pruned_beam\":" << s->pruned_beam
+     << ",\"pruned_budget\":" << s->pruned_budget
+     << ",\"memo_hits\":" << s->memo_hits
+     << ",\"memo_entries\":" << s->memo_entries
+     << ",\"frontier_peak\":" << s->frontier_peak
+     << ",\"depth\":" << s->depth
+     << ",\"greedy_cost\":" << json::number(s->greedy_cost)
+     << ",\"winner_cost\":" << json::number(s->winner_cost)
+     << ",\"winner_certified\":" << (s->winner_certified ? "true" : "false")
+     << ",\"ranked\":[";
+  for (std::size_t i = 0; i < s->ranked.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "{\"cost\":" << json::number(s->ranked[i].cost)
+       << ",\"path\":" << json::quote(s->ranked[i].path)
+       << ",\"certified\":" << s->ranked[i].certified << "}";
+  }
+  os << "]}";
+}
+
 void write_total_json(std::ostream& os, const char* name, double a, double b) {
   os << json::quote(name) << ":{\"a\":" << json::number(a)
      << ",\"b\":" << json::number(b) << ",\"delta\":" << json::number(b - a);
@@ -220,6 +250,9 @@ RunDiff diff_runs(const RunBundle& a, const RunBundle& b) {
     const std::string key = rule_key(r);
     if (!contains(a.rules, key)) d.rules_only_b.push_back(key);
   }
+
+  d.search_a = a.search;
+  d.search_b = b.search;
 
   double err_a = 0, err_b = 0;
   if (drift_max_rel_err(a, &err_a) && drift_max_rel_err(b, &err_b)) {
@@ -306,6 +339,37 @@ std::string RunDiff::render_text() const {
     for (const std::string& r : rules_only_b) os << "  B only: " << r << "\n";
     for (const std::string& r : rules_common) os << "  both  : " << r << "\n";
   }
+  os << "\n";
+
+  os << "search provenance: "
+     << (search_changed() ? "CHANGED" : "unchanged") << "\n";
+  auto side = [&](const char* name, const std::optional<SearchRecord>& s) {
+    if (!s) {
+      os << "  " << name << ": greedy rewriting (no search record)\n";
+      return;
+    }
+    os << "  " << name << ": " << s->strategy;
+    if (s->strategy == "beam")
+      os << " width="
+         << (s->beam_width == 0 ? std::string("unbounded")
+                                : std::to_string(s->beam_width));
+    os << "  expanded " << s->nodes_expanded << "  generated "
+       << s->nodes_generated << "  pruned bound/beam/budget "
+       << s->pruned_bound << "/" << s->pruned_beam << "/" << s->pruned_budget
+       << "  memo hits " << s->memo_hits << "/"
+       << s->memo_hits + s->memo_entries << "  greedy "
+       << fmt_g(s->greedy_cost) << " -> winner " << fmt_g(s->winner_cost)
+       << (s->winner_certified ? "  [certified]" : "") << "\n";
+    for (std::size_t i = 0; i < s->ranked.size(); ++i)
+      os << "     #" << i + 1 << " " << fmt_g(s->ranked[i].cost) << "  "
+         << s->ranked[i].path
+         << (s->ranked[i].certified == 1   ? "  [certified]"
+             : s->ranked[i].certified == 0 ? "  [NOT certified]"
+                                           : "")
+         << "\n";
+  };
+  side("A", search_a);
+  side("B", search_b);
   return os.str();
 }
 
@@ -365,7 +429,12 @@ void RunDiff::write_json(std::ostream& os) const {
   os << "],\"common\":[";
   for (std::size_t i = 0; i < rules_common.size(); ++i)
     os << (i ? "," : "") << json::quote(rules_common[i]);
-  os << "]},\"drift\":{\"present\":" << (drift_present ? "true" : "false");
+  os << "]},\"search\":{\"changed\":" << (search_changed() ? "true" : "false")
+     << ",\"a\":";
+  write_search_json(os, search_a);
+  os << ",\"b\":";
+  write_search_json(os, search_b);
+  os << "},\"drift\":{\"present\":" << (drift_present ? "true" : "false");
   if (drift_present)
     os << ",\"max_rel_err_a\":" << json::number(drift_max_rel_err_a)
        << ",\"max_rel_err_b\":" << json::number(drift_max_rel_err_b)
@@ -512,6 +581,55 @@ void RunDiff::write_html(std::ostream& os) const {
          << "</td><td class=\"up\">+" << fmt_g(s.delta) << "</td><td>"
          << fmt(s.share * 100, 1) << "%</td></tr>\n";
     }
+    os << "</table>\n";
+  }
+
+  // --- search provenance --------------------------------------------------
+  if (search_a || search_b) {
+    os << "<h2>search provenance"
+       << (search_changed() ? " <span class=\"up\">(changed)</span>" : "")
+       << "</h2>\n<table><tr><th></th><th>run A</th><th>run B</th></tr>\n";
+    auto cell = [&](const std::optional<SearchRecord>& s,
+                    auto&& field) -> std::string {
+      return s ? field(*s) : std::string("—");
+    };
+    const struct {
+      const char* name;
+      std::string (*field)(const SearchRecord&);
+    } rows[] = {
+        {"strategy", +[](const SearchRecord& s) { return s.strategy; }},
+        {"beam width",
+         +[](const SearchRecord& s) {
+           return s.beam_width == 0 ? std::string("unbounded")
+                                    : std::to_string(s.beam_width);
+         }},
+        {"nodes expanded / generated",
+         +[](const SearchRecord& s) {
+           return std::to_string(s.nodes_expanded) + " / " +
+                  std::to_string(s.nodes_generated);
+         }},
+        {"pruned bound / beam / budget",
+         +[](const SearchRecord& s) {
+           return std::to_string(s.pruned_bound) + " / " +
+                  std::to_string(s.pruned_beam) + " / " +
+                  std::to_string(s.pruned_budget);
+         }},
+        {"memo hits / states",
+         +[](const SearchRecord& s) {
+           return std::to_string(s.memo_hits) + " / " +
+                  std::to_string(s.memo_hits + s.memo_entries);
+         }},
+        {"greedy cost", +[](const SearchRecord& s) { return fmt_g(s.greedy_cost); }},
+        {"winner cost", +[](const SearchRecord& s) { return fmt_g(s.winner_cost); }},
+        {"winner certified",
+         +[](const SearchRecord& s) {
+           return std::string(s.winner_certified ? "yes" : "no");
+         }},
+    };
+    for (const auto& row : rows)
+      os << "<tr><td>" << row.name << "</td><td>"
+         << esc_html(cell(search_a, row.field)) << "</td><td>"
+         << esc_html(cell(search_b, row.field)) << "</td></tr>\n";
     os << "</table>\n";
   }
 

@@ -199,7 +199,33 @@ void RunBundle::write_manifest(std::ostream& os) const {
   write_sim(os, sim_before);
   os << ",\"sim_after\":";
   write_sim(os, sim_after);
-  os << ",\"wall_ms\":" << json::number(wall_ms) << "},\"artifacts\":[";
+  os << ",\"wall_ms\":" << json::number(wall_ms) << "}";
+  if (search) {
+    const SearchRecord& s = *search;
+    os << ",\"search\":{\"strategy\":" << json::quote(s.strategy)
+       << ",\"beam_width\":" << s.beam_width
+       << ",\"nodes_expanded\":" << s.nodes_expanded
+       << ",\"nodes_generated\":" << s.nodes_generated
+       << ",\"pruned_bound\":" << s.pruned_bound
+       << ",\"pruned_beam\":" << s.pruned_beam
+       << ",\"pruned_budget\":" << s.pruned_budget
+       << ",\"memo_hits\":" << s.memo_hits
+       << ",\"memo_entries\":" << s.memo_entries
+       << ",\"frontier_peak\":" << s.frontier_peak
+       << ",\"depth\":" << s.depth
+       << ",\"greedy_cost\":" << json::number(s.greedy_cost)
+       << ",\"winner_cost\":" << json::number(s.winner_cost)
+       << ",\"winner_certified\":" << (s.winner_certified ? "true" : "false")
+       << ",\"ranked\":[";
+    for (std::size_t i = 0; i < s.ranked.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "{\"cost\":" << json::number(s.ranked[i].cost)
+         << ",\"path\":" << json::quote(s.ranked[i].path)
+         << ",\"certified\":" << s.ranked[i].certified << "}";
+    }
+    os << "]}";
+  }
+  os << ",\"artifacts\":[";
   bool first = true;
   for (const auto& [name, text] : artifacts) {
     if (!first) os << ",";
@@ -252,6 +278,36 @@ RunBundle RunBundle::parse_manifest(const std::string& text) {
   b.sim_before = parse_sim(need(cost, "sim_before"));
   b.sim_after = parse_sim(need(cost, "sim_after"));
   b.wall_ms = need_number(cost, "wall_ms");
+  if (const json::Value* sv = doc.get("search")) {
+    SearchRecord s;
+    s.strategy = need_string(*sv, "strategy");
+    s.beam_width = static_cast<std::size_t>(need_number(*sv, "beam_width"));
+    s.nodes_expanded =
+        static_cast<std::size_t>(need_number(*sv, "nodes_expanded"));
+    s.nodes_generated =
+        static_cast<std::size_t>(need_number(*sv, "nodes_generated"));
+    s.pruned_bound = static_cast<std::size_t>(need_number(*sv, "pruned_bound"));
+    s.pruned_beam = static_cast<std::size_t>(need_number(*sv, "pruned_beam"));
+    s.pruned_budget =
+        static_cast<std::size_t>(need_number(*sv, "pruned_budget"));
+    s.memo_hits = static_cast<std::size_t>(need_number(*sv, "memo_hits"));
+    s.memo_entries = static_cast<std::size_t>(need_number(*sv, "memo_entries"));
+    s.frontier_peak =
+        static_cast<std::size_t>(need_number(*sv, "frontier_peak"));
+    s.depth = static_cast<std::size_t>(need_number(*sv, "depth"));
+    s.greedy_cost = need_number(*sv, "greedy_cost");
+    s.winner_cost = need_number(*sv, "winner_cost");
+    if (const json::Value* b2 = sv->get("winner_certified"))
+      s.winner_certified = b2->b;
+    for (const auto& item : need(*sv, "ranked").items) {
+      SearchRecord::Candidate c;
+      c.cost = need_number(*item, "cost");
+      c.path = need_string(*item, "path");
+      c.certified = static_cast<int>(need_number(*item, "certified"));
+      s.ranked.push_back(std::move(c));
+    }
+    b.search = std::move(s);
+  }
   for (const auto& item : need(doc, "artifacts").items)
     if (item->is(json::Value::Type::string)) b.artifacts[item->str] = "";
   return b;

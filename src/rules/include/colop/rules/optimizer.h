@@ -141,8 +141,16 @@ class Optimizer {
   /// Greedy cost-directed rewriting to a fixpoint.
   [[nodiscard]] OptimizeResult optimize(const ir::Program& prog) const;
 
-  /// Exhaustive search for the cheapest reachable program.
+  /// Exhaustive search for the cheapest reachable program.  Delegates to
+  /// the search layer (search.h) as the width-unbounded beam special case,
+  /// seeded with the greedy result.
   [[nodiscard]] OptimizeResult optimize_exhaustive(const ir::Program& prog) const;
+
+  /// Search-expansion gate: equivalence policy + memory budget, but NOT
+  /// profitability — the search layer explores locally worse intermediates
+  /// itself and only prices the endpoints.
+  [[nodiscard]] bool expansion_ok(const ir::Program& prog,
+                                  const RuleMatch& m) const;
 
   [[nodiscard]] const model::Machine& machine() const { return machine_; }
 

@@ -1,15 +1,14 @@
 #include "colop/rules/optimizer.h"
 
 #include "colop/model/memory.h"
+#include "colop/rules/search.h"
 #include "colop/obs/json.h"
 #include "colop/obs/metrics.h"
 #include "colop/obs/trace_context.h"
 
 #include <algorithm>
 #include <cstddef>
-#include <deque>
 #include <ostream>
-#include <set>
 #include <sstream>
 
 namespace colop::rules {
@@ -253,53 +252,27 @@ OptimizeResult Optimizer::optimize(const ir::Program& prog) const {
   return result;
 }
 
-OptimizeResult Optimizer::optimize_exhaustive(const ir::Program& prog) const {
-  struct Node {
-    ir::Program program;
-    std::vector<AppliedRule> log;
-  };
-
-  OptimizeResult best;
-  best.program = prog;
-  best.cost_initial = model::program_time(prog, machine_);
-  best.cost_final = best.cost_initial;
-
-  std::set<std::string> seen{prog.show()};
-  std::deque<Node> queue;
-  queue.push_back({prog, {}});
-  std::size_t visited = 0;
-
-  while (!queue.empty() && visited < options_.max_search_nodes) {
-    Node node = std::move(queue.front());
-    queue.pop_front();
-    ++visited;
-
-    for (const auto& rule : rules_) {
-      for (auto& m : rule->matches(node.program)) {
-        // Exhaustive search explores even locally non-improving steps (a
-        // worse intermediate can enable a better final program), but still
-        // respects the equivalence gate.
-        if (!equivalence_ok(node.program, m)) continue;
-        ir::Program next = m.apply(node.program);
-        const std::string key = next.show();
-        if (!seen.insert(key).second) continue;
-
-        const double t = model::program_time(next, machine_);
-        Node child{next, node.log};
-        child.log.push_back(
-            AppliedRule{m.rule_name, m.first, m.count, m.replacement.size(),
-                        m.note, model::program_time(node.program, machine_), t,
-                        key});
-        if (t < best.cost_final) {
-          best.cost_final = t;
-          best.program = next;
-          best.log = child.log;
-        }
-        queue.push_back(std::move(child));
-      }
+bool Optimizer::expansion_ok(const ir::Program& prog,
+                             const RuleMatch& m) const {
+  if (!equivalence_ok(prog, m)) return false;
+  if (options_.max_elem_words > 0) {
+    try {
+      if (model::peak_elem_words(m.apply(prog)) > options_.max_elem_words)
+        return false;
+    } catch (const Error&) {
+      return false;  // shape-inconsistent rewrite
     }
   }
-  return best;
+  return true;
+}
+
+OptimizeResult Optimizer::optimize_exhaustive(const ir::Program& prog) const {
+  SearchOptions sopts;
+  sopts.strategy = SearchStrategy::exhaustive;
+  sopts.beam_width = 0;
+  sopts.top_k = 1;
+  sopts.base = options_;
+  return SearchOptimizer(machine_, rules_, sopts).search(prog).best;
 }
 
 }  // namespace colop::rules

@@ -31,6 +31,7 @@
 
 #include "colop/ir/program.h"
 #include "colop/rules/optimizer.h"
+#include "colop/rules/search.h"
 #include "colop/verify/diagnostics.h"
 
 namespace colop::verify {
@@ -81,5 +82,56 @@ struct DerivationCertificates {
 [[nodiscard]] DerivationCertificates certify_derivation(
     const ir::Program& source, const std::vector<rules::AppliedRule>& log,
     const CertifyOptions& opts = {});
+
+/// Batch discharge for several candidate derivations from one source —
+/// the ranked schedules of a cost-guided search overlap heavily, both in
+/// shared path prefixes and in rule-order permutations that pass through
+/// the same intermediate program.  Per-step obligation chains are cached
+/// by (intermediate program, rule application) identity, so each shared
+/// step is discharged exactly once across the whole batch.
+struct SequenceCertification {
+  std::vector<DerivationCertificates> paths;  ///< certificates, input order
+  std::size_t discharged_steps = 0;  ///< obligation chains actually replayed
+  std::size_t reused_steps = 0;      ///< served from the shared-step cache
+
+  [[nodiscard]] bool all_ok() const {
+    for (const auto& p : paths)
+      if (!p.ok()) return false;
+    return true;
+  }
+};
+
+[[nodiscard]] SequenceCertification certify_sequences(
+    const ir::Program& source,
+    const std::vector<std::vector<rules::AppliedRule>>& paths,
+    const CertifyOptions& opts = {});
+
+/// The search soundness gate: every winning sequence is re-discharged
+/// before being returned (search can be aggressive because soundness is
+/// checked, not assumed).  Certifies every ranked schedule of `result`
+/// (batched, shared steps discharged once), stamps each entry's
+/// `certified` flag, and installs the cheapest CERTIFIED schedule as the
+/// winner.  When even the top-K holds no certified schedule, the source
+/// program itself — whose empty derivation is trivially sound — is
+/// appended as the winner, so the returned schedule is always certified.
+struct CertifiedSearch {
+  rules::SearchResult search;           ///< winner = cheapest certified
+  SequenceCertification certification;  ///< per original ranked entry
+  /// A cheaper-ranked schedule failed its certificates and was skipped.
+  bool demoted = false;
+  /// No searched schedule certified; the winner is the unrewritten source.
+  bool fell_back_to_source = false;
+
+  /// Certificates of the winning schedule; null for the source fallback.
+  [[nodiscard]] const DerivationCertificates* winner_certificates() const {
+    return search.winner_index < certification.paths.size()
+               ? &certification.paths[search.winner_index]
+               : nullptr;
+  }
+};
+
+[[nodiscard]] CertifiedSearch certify_search(const ir::Program& source,
+                                             rules::SearchResult result,
+                                             const CertifyOptions& opts = {});
 
 }  // namespace colop::verify

@@ -1,8 +1,10 @@
 #include "colop/verify/certify.h"
 
+#include <optional>
 #include <ostream>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 #include "colop/obs/json.h"
 #include "colop/rules/selfcheck.h"
@@ -124,184 +126,288 @@ std::string side_condition_of(const std::string& rule_name) {
   return "associativity of the collective operators";
 }
 
+namespace {
+
+/// One replayed step: its certificate, the diagnostics it raised, and the
+/// program after the rewrite — absent when re-derivation failed (V303),
+/// which aborts the replay.
+struct StepOutcome {
+  Certificate cert;
+  Report report;
+  std::optional<Program> next;
+};
+
+StepOutcome certify_step(const Program& prog, const rules::AppliedRule& step,
+                         const std::vector<rules::RulePtr>& rules,
+                         const PropertyCheckOptions& popts,
+                         const CertifyOptions& opts) {
+  StepOutcome out;
+  Certificate& cert = out.cert;
+  cert.rule = step.rule;
+  cert.position = step.position;
+  cert.side_condition = side_condition_of(step.rule);
+  bool ok = true;
+
+  // Obligation 1: re-derivability.
+  rules::RulePtr rule;
+  for (const auto& r : rules)
+    if (r->name() == step.rule) rule = r;
+  std::optional<rules::RuleMatch> match;
+  if (rule) match = rule->match(prog, step.position);
+  if (!rule || !match || match->count != step.count ||
+      match->replacement.size() != step.replaced_by) {
+    std::string reject = rules::Rule::take_reject();
+    if (reject.empty()) reject = "window shape mismatch";
+    std::string why =
+        !rule ? "no rule of this name exists"
+        : !match
+            ? "the rule no longer matches there (" + reject + ")"
+            : "the re-derived match consumes " +
+                  std::to_string(match->count) + "->" +
+                  std::to_string(match->replacement.size()) +
+                  " stages, the log recorded " + std::to_string(step.count) +
+                  "->" + std::to_string(step.replaced_by);
+    cert.obligations.push_back("re-derivation: FAILED — " + why);
+    cert.discharged = false;
+    out.report.add(cert_diag(
+        Severity::error, "V303", prog, step,
+        "derivation step cannot be replayed: " + why +
+            " — the recorded derivation does not prove this program",
+        "re-run the optimizer; a stale or hand-edited derivation log "
+        "certifies nothing"));
+    return out;  // later steps would replay against an unknown program
+  }
+  cert.note = match->note;
+  cert.obligations.push_back(
+      "re-derivation: ok (window of " + std::to_string(match->count) +
+      " stage(s) -> " + std::to_string(match->replacement.size()) + ")");
+
+  // Obligation 2: the algebraic side condition, re-established on the
+  // matched operators by checking, not by trusting declarations.
+  const auto ops = window_ops(prog, match->first, match->count);
+  for (const auto& op : ops) {
+    const ValueDomain dom = domain_for(*op);
+    if (auto cx = find_assoc_counterexample(*op, dom, popts)) {
+      ok = false;
+      cert.obligations.push_back("side condition: FAILED — `" + op->name() +
+                                 "` is not associative: " + *cx);
+      out.report.add(cert_diag(
+          Severity::error, "V301", prog, step,
+          "side condition violated: operator `" + op->name() +
+              "` (declared associative) is not: " + *cx,
+          "fix the operator declaration; every collective schedule of it "
+          "is unsound, not just this rewrite"));
+    }
+  }
+  if (commutativity_rules().contains(step.rule)) {
+    for (const auto& op : ops) {
+      const ValueDomain dom = domain_for(*op);
+      if (auto cx = find_comm_counterexample(*op, dom, popts)) {
+        ok = false;
+        cert.obligations.push_back("side condition: FAILED — `" +
+                                   op->name() +
+                                   "` is not commutative: " + *cx);
+        out.report.add(cert_diag(
+            Severity::error, "V301", prog, step,
+            "side condition violated: `" + op->name() +
+                "` is declared commutative but is not: " + *cx,
+            "remove `commutative` from the declaration and re-optimize; "
+            "this rewrite reorders operands and changes the result"));
+      }
+    }
+  }
+  if (distributivity_rules().contains(step.rule)) {
+    if (ops.size() < 2) {
+      ok = false;
+      out.report.add(cert_diag(
+          Severity::warning, "V304", prog, step,
+          "cannot identify the (x, +) operator pair in the matched window "
+          "to re-check distributivity",
+          ""));
+      cert.obligations.push_back(
+          "side condition: NOT EVALUABLE — operator pair not identified");
+    } else {
+      const ir::BinOp& times = *ops.front();
+      const ir::BinOp& plus = *ops.back();
+      if (const auto dom = joint_domain(times, plus)) {
+        if (auto cx = find_distrib_counterexample(times, plus, *dom, popts)) {
+          ok = false;
+          cert.obligations.push_back("side condition: FAILED — `" +
+                                     times.name() +
+                                     "` does not distribute over `" +
+                                     plus.name() + "`: " + *cx);
+          out.report.add(cert_diag(
+              Severity::error, "V301", prog, step,
+              "side condition violated: `" + times.name() +
+                  "` is declared to distribute over `" + plus.name() +
+                  "` but does not: " + *cx,
+              "remove the `distributes_over` declaration and re-optimize; "
+              "the fused operator computes a different function"));
+        } else {
+          cert.obligations.push_back(
+              "side condition: ok (`" + times.name() +
+              "` distributes over `" + plus.name() + "`, " + dom->name +
+              " domain, exhaustive + " +
+              std::to_string(popts.random_trials) + " random probes)");
+        }
+      } else {
+        out.report.add(cert_diag(
+            Severity::warning, "V304", prog, step,
+            "operators `" + times.name() + "` and `" + plus.name() +
+                "` have incompatible value domains; the distributivity "
+                "side condition was not re-checked",
+            ""));
+        cert.obligations.push_back(
+            "side condition: NOT EVALUABLE — incompatible value domains");
+      }
+    }
+  } else if (ok) {
+    cert.obligations.push_back("side condition: ok (" + cert.side_condition +
+                               ")");
+  }
+
+  // Obligation 3: extensional LHS == RHS under the match's own
+  // equivalence level, differentially through eval_reference.
+  const GenChoice gen = choose_generator(prog);
+  try {
+    const auto res = rules::selfcheck_match(
+        prog, *match, gen.gen, opts.max_p, opts.trials_per_p, opts.block,
+        opts.seed, gen.rel_tol);
+    if (res.ok) {
+      cert.obligations.push_back(
+          "equivalence: ok (p=1.." + std::to_string(opts.max_p) + ", " +
+          std::to_string(opts.trials_per_p) + " trial(s)/p, " + gen.name +
+          " inputs)");
+    } else {
+      ok = false;
+      cert.obligations.push_back("equivalence: FAILED — " +
+                                 res.counterexample);
+      out.report.add(cert_diag(
+          Severity::error, "V302", prog, step,
+          "LHS and RHS disagree under differential evaluation: " +
+              res.counterexample,
+          "the rewrite is unsound for these operators even though its "
+          "side condition passed the checker's probes — treat as a rule "
+          "implementation bug"));
+    }
+  } catch (const Error& e) {
+    out.report.add(cert_diag(
+        Severity::warning, "V304", prog, step,
+        std::string("equivalence obligation not evaluable with ") +
+            gen.name + " inputs: " + e.what(),
+        "the program needs a custom input generator to be certified"));
+    cert.obligations.push_back(std::string("equivalence: NOT EVALUABLE — ") +
+                               e.what());
+  }
+
+  cert.discharged = ok;
+  out.next = match->apply(prog);
+  return out;
+}
+
+/// Cache identity of one replay step: the intermediate program it applies
+/// to plus the recorded rule application.  Replays are deterministic in
+/// these, so two paths sharing a step (same prefix, or rule-order
+/// permutations converging on one program) share its obligation chain.
+std::string step_cache_key(const Program& prog,
+                           const rules::AppliedRule& step) {
+  return prog.show() + '\x1f' + step.rule + '@' +
+         std::to_string(step.position) + '#' + std::to_string(step.count) +
+         '>' + std::to_string(step.replaced_by);
+}
+
+}  // namespace
+
 DerivationCertificates certify_derivation(
     const Program& source, const std::vector<rules::AppliedRule>& log,
     const CertifyOptions& opts) {
   DerivationCertificates out;
   const auto rules = rules::all_rules();
-  const auto rule_by_name = [&](const std::string& name) -> rules::RulePtr {
-    for (const auto& r : rules)
-      if (r->name() == name) return r;
-    return nullptr;
-  };
-
   PropertyCheckOptions popts;
   popts.random_trials = opts.property_trials;
   popts.seed = opts.seed;
 
   Program prog = source;
   for (const auto& step : log) {
-    Certificate cert;
-    cert.rule = step.rule;
-    cert.position = step.position;
-    cert.side_condition = side_condition_of(step.rule);
-    bool ok = true;
-
-    // Obligation 1: re-derivability.
-    const auto rule = rule_by_name(step.rule);
-    std::optional<rules::RuleMatch> match;
-    if (rule) match = rule->match(prog, step.position);
-    if (!rule || !match || match->count != step.count ||
-        match->replacement.size() != step.replaced_by) {
-      std::string reject = rules::Rule::take_reject();
-      if (reject.empty()) reject = "window shape mismatch";
-      std::string why =
-          !rule ? "no rule of this name exists"
-          : !match
-              ? "the rule no longer matches there (" + reject + ")"
-              : "the re-derived match consumes " +
-                    std::to_string(match->count) + "->" +
-                    std::to_string(match->replacement.size()) +
-                    " stages, the log recorded " + std::to_string(step.count) +
-                    "->" + std::to_string(step.replaced_by);
-      cert.obligations.push_back("re-derivation: FAILED — " + why);
-      cert.discharged = false;
-      out.certificates.push_back(std::move(cert));
-      out.report.add(cert_diag(
-          Severity::error, "V303", prog, step,
-          "derivation step cannot be replayed: " + why +
-              " — the recorded derivation does not prove this program",
-          "re-run the optimizer; a stale or hand-edited derivation log "
-          "certifies nothing"));
-      break;  // later steps would replay against an unknown program
-    }
-    cert.note = match->note;
-    cert.obligations.push_back(
-        "re-derivation: ok (window of " + std::to_string(match->count) +
-        " stage(s) -> " + std::to_string(match->replacement.size()) + ")");
-
-    // Obligation 2: the algebraic side condition, re-established on the
-    // matched operators by checking, not by trusting declarations.
-    const auto ops = window_ops(prog, match->first, match->count);
-    for (const auto& op : ops) {
-      const ValueDomain dom = domain_for(*op);
-      if (auto cx = find_assoc_counterexample(*op, dom, popts)) {
-        ok = false;
-        cert.obligations.push_back("side condition: FAILED — `" + op->name() +
-                                   "` is not associative: " + *cx);
-        out.report.add(cert_diag(
-            Severity::error, "V301", prog, step,
-            "side condition violated: operator `" + op->name() +
-                "` (declared associative) is not: " + *cx,
-            "fix the operator declaration; every collective schedule of it "
-            "is unsound, not just this rewrite"));
-      }
-    }
-    if (commutativity_rules().contains(step.rule)) {
-      for (const auto& op : ops) {
-        const ValueDomain dom = domain_for(*op);
-        if (auto cx = find_comm_counterexample(*op, dom, popts)) {
-          ok = false;
-          cert.obligations.push_back("side condition: FAILED — `" +
-                                     op->name() +
-                                     "` is not commutative: " + *cx);
-          out.report.add(cert_diag(
-              Severity::error, "V301", prog, step,
-              "side condition violated: `" + op->name() +
-                  "` is declared commutative but is not: " + *cx,
-              "remove `commutative` from the declaration and re-optimize; "
-              "this rewrite reorders operands and changes the result"));
-        }
-      }
-    }
-    if (distributivity_rules().contains(step.rule)) {
-      if (ops.size() < 2) {
-        ok = false;
-        out.report.add(cert_diag(
-            Severity::warning, "V304", prog, step,
-            "cannot identify the (x, +) operator pair in the matched window "
-            "to re-check distributivity",
-            ""));
-        cert.obligations.push_back(
-            "side condition: NOT EVALUABLE — operator pair not identified");
-      } else {
-        const ir::BinOp& times = *ops.front();
-        const ir::BinOp& plus = *ops.back();
-        if (const auto dom = joint_domain(times, plus)) {
-          if (auto cx = find_distrib_counterexample(times, plus, *dom, popts)) {
-            ok = false;
-            cert.obligations.push_back("side condition: FAILED — `" +
-                                       times.name() +
-                                       "` does not distribute over `" +
-                                       plus.name() + "`: " + *cx);
-            out.report.add(cert_diag(
-                Severity::error, "V301", prog, step,
-                "side condition violated: `" + times.name() +
-                    "` is declared to distribute over `" + plus.name() +
-                    "` but does not: " + *cx,
-                "remove the `distributes_over` declaration and re-optimize; "
-                "the fused operator computes a different function"));
-          } else {
-            cert.obligations.push_back(
-                "side condition: ok (`" + times.name() +
-                "` distributes over `" + plus.name() + "`, " + dom->name +
-                " domain, exhaustive + " +
-                std::to_string(popts.random_trials) + " random probes)");
-          }
-        } else {
-          out.report.add(cert_diag(
-              Severity::warning, "V304", prog, step,
-              "operators `" + times.name() + "` and `" + plus.name() +
-                  "` have incompatible value domains; the distributivity "
-                  "side condition was not re-checked",
-              ""));
-          cert.obligations.push_back(
-              "side condition: NOT EVALUABLE — incompatible value domains");
-        }
-      }
-    } else if (ok) {
-      cert.obligations.push_back("side condition: ok (" + cert.side_condition +
-                                 ")");
-    }
-
-    // Obligation 3: extensional LHS == RHS under the match's own
-    // equivalence level, differentially through eval_reference.
-    const GenChoice gen = choose_generator(prog);
-    try {
-      const auto res = rules::selfcheck_match(
-          prog, *match, gen.gen, opts.max_p, opts.trials_per_p, opts.block,
-          opts.seed, gen.rel_tol);
-      if (res.ok) {
-        cert.obligations.push_back(
-            "equivalence: ok (p=1.." + std::to_string(opts.max_p) + ", " +
-            std::to_string(opts.trials_per_p) + " trial(s)/p, " + gen.name +
-            " inputs)");
-      } else {
-        ok = false;
-        cert.obligations.push_back("equivalence: FAILED — " +
-                                   res.counterexample);
-        out.report.add(cert_diag(
-            Severity::error, "V302", prog, step,
-            "LHS and RHS disagree under differential evaluation: " +
-                res.counterexample,
-            "the rewrite is unsound for these operators even though its "
-            "side condition passed the checker's probes — treat as a rule "
-            "implementation bug"));
-      }
-    } catch (const Error& e) {
-      out.report.add(cert_diag(
-          Severity::warning, "V304", prog, step,
-          std::string("equivalence obligation not evaluable with ") +
-              gen.name + " inputs: " + e.what(),
-          "the program needs a custom input generator to be certified"));
-      cert.obligations.push_back(std::string("equivalence: NOT EVALUABLE — ") +
-                                 e.what());
-    }
-
-    cert.discharged = ok;
-    out.certificates.push_back(std::move(cert));
-    prog = match->apply(prog);
+    StepOutcome o = certify_step(prog, step, rules, popts, opts);
+    out.certificates.push_back(std::move(o.cert));
+    out.report.merge(std::move(o.report));
+    if (!o.next) break;
+    prog = std::move(*o.next);
   }
+  return out;
+}
+
+SequenceCertification certify_sequences(
+    const Program& source,
+    const std::vector<std::vector<rules::AppliedRule>>& paths,
+    const CertifyOptions& opts) {
+  SequenceCertification out;
+  const auto rules = rules::all_rules();
+  PropertyCheckOptions popts;
+  popts.random_trials = opts.property_trials;
+  popts.seed = opts.seed;
+
+  std::unordered_map<std::string, StepOutcome> cache;
+  for (const auto& log : paths) {
+    DerivationCertificates certs;
+    Program prog = source;
+    for (const auto& step : log) {
+      auto it = cache.find(step_cache_key(prog, step));
+      if (it == cache.end()) {
+        it = cache.emplace(step_cache_key(prog, step),
+                           certify_step(prog, step, rules, popts, opts))
+                 .first;
+        ++out.discharged_steps;
+      } else {
+        ++out.reused_steps;
+      }
+      const StepOutcome& o = it->second;
+      certs.certificates.push_back(o.cert);
+      certs.report.merge(o.report);
+      if (!o.next) break;
+      prog = *o.next;
+    }
+    out.paths.push_back(std::move(certs));
+  }
+  return out;
+}
+
+CertifiedSearch certify_search(const Program& source,
+                               rules::SearchResult result,
+                               const CertifyOptions& opts) {
+  CertifiedSearch out;
+  std::vector<std::vector<rules::AppliedRule>> paths;
+  paths.reserve(result.ranked.size());
+  for (const auto& r : result.ranked) paths.push_back(r.path);
+  out.certification = certify_sequences(source, paths, opts);
+
+  std::optional<std::size_t> winner;
+  for (std::size_t i = 0; i < result.ranked.size(); ++i) {
+    const bool certified = out.certification.paths[i].ok();
+    result.ranked[i].certified = certified ? 1 : 0;
+    if (!winner && certified) winner = i;
+  }
+  if (!winner) {
+    // Nothing in the top-K certified.  The unrewritten source — whose
+    // empty derivation is trivially sound — can only have been pushed out
+    // of the ranked list by cheaper schedules, so appending it keeps the
+    // cheapest-first order.
+    rules::RankedSchedule src;
+    src.program = source;
+    src.cost = result.best.cost_initial;
+    src.certified = 1;
+    result.ranked.push_back(std::move(src));
+    winner = result.ranked.size() - 1;
+    out.fell_back_to_source = true;
+  }
+  out.demoted = *winner != 0;
+  result.winner_index = *winner;
+  const rules::RankedSchedule& w = result.ranked[*winner];
+  result.best.program = w.program;
+  result.best.log = w.path;
+  result.best.cost_final = w.cost;
+  out.search = std::move(result);
   return out;
 }
 

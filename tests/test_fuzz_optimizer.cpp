@@ -9,7 +9,9 @@
 #include "colop/exec/thread_executor.h"
 #include "colop/ir/ir.h"
 #include "colop/rules/optimizer.h"
+#include "colop/rules/search.h"
 #include "colop/support/rng.h"
+#include "colop/verify/certify.h"
 
 namespace colop::rules {
 namespace {
@@ -127,6 +129,51 @@ TEST_P(FuzzP, StrictGreedyPreservesSemanticsOnThreads) {
     EXPECT_EQ(exec::run_on_threads(prog, in),
               exec::run_on_threads(res.program, in))
         << prog.show() << "\n  -> " << res.program.show();
+  }
+}
+
+TEST_P(FuzzP, SearchDominatesGreedyAndWinnersCertify) {
+  // The search layer's dominance contract on random programs: a narrow
+  // beam never does worse than greedy, exhaustive never does worse than
+  // the beam, and every searched winner's rewrite sequence re-discharges
+  // its certificates (V304 not-evaluable warnings are allowed; V301-V303
+  // failures are not).
+  const int p = GetParam();
+  Rng rng(0x5EA7C4 + static_cast<std::uint64_t>(p));
+  OptimizerOptions strict;
+  strict.policy = EquivalencePolicy::strict;
+  const model::Machine mach{.p = p, .m = 2, .ts = 5000, .tw = 2};
+
+  SearchOptions beam_opts;
+  beam_opts.strategy = SearchStrategy::beam;
+  beam_opts.beam_width = 4;
+  beam_opts.base = strict;
+  const SearchOptimizer beam(mach, all_rules(), beam_opts);
+
+  SearchOptions ex_opts;
+  ex_opts.strategy = SearchStrategy::exhaustive;
+  ex_opts.beam_width = 0;
+  ex_opts.base = strict;
+  ex_opts.base.max_search_nodes = 50000;
+  const SearchOptimizer exhaustive(mach, all_rules(), ex_opts);
+
+  verify::CertifyOptions cheap;
+  cheap.max_p = 5;
+  cheap.trials_per_p = 1;
+  cheap.property_trials = 20;
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const Program prog = random_program(rng);
+    const auto b = beam.search(prog);
+    const auto e = exhaustive.search(prog);
+    EXPECT_LE(b.best.cost_final, b.greedy_cost) << prog.show();
+    EXPECT_LE(e.best.cost_final, b.best.cost_final) << prog.show();
+
+    const auto cert = verify::certify_search(prog, b, cheap);
+    EXPECT_FALSE(cert.fell_back_to_source) << prog.show();
+    const auto& winner = cert.search.ranked[cert.search.winner_index];
+    EXPECT_EQ(winner.certified, 1)
+        << prog.show() << "\n  -> " << winner.program.show();
   }
 }
 

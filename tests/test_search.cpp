@@ -1,0 +1,265 @@
+// Cost-guided schedule search (rules/search.h): beam and branch-and-bound
+// exploration over rule-application sequences, the dominance guarantees
+// (beam <= greedy, exhaustive <= beam), state memoization, the admissible
+// branch-and-bound lower bound, and the verify::certify_search soundness
+// gate that re-discharges every winning sequence.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "colop/ir/ir.h"
+#include "colop/model/cost_memo.h"
+#include "colop/obs/metrics.h"
+#include "colop/rules/search.h"
+#include "colop/verify/certify.h"
+
+namespace colop::rules {
+namespace {
+
+using ir::Program;
+
+// The fuse-vs-balance ordering stress case: greedy fuses the whole suffix
+// with BSS-Comcast in one step, but first balancing the tail reduction
+// (SR-Reduction) and then fusing the bcast;scan prefix (BS-Comcast) is
+// cheaper on machines with mid-sized blocks and expensive message startup.
+Program ordering_gap_program() {
+  Program p;
+  p.bcast();
+  p.scan(ir::op_add());
+  p.scan(ir::op_add());
+  p.reduce(ir::op_add());
+  return p;
+}
+
+// (p, m, ts, tw) where the orderings split: greedy 29568, optimum 28032.
+constexpr model::Machine kGapMachine{.p = 64, .m = 256, .ts = 800, .tw = 2};
+
+SearchResult run(SearchStrategy strategy, const Program& prog,
+                 const model::Machine& mach, std::size_t width = 8,
+                 SearchOptions opts = {}) {
+  opts.strategy = strategy;
+  opts.beam_width = strategy == SearchStrategy::beam ? width : 0;
+  return SearchOptimizer(mach, all_rules(), opts).search(prog);
+}
+
+TEST(SearchStrategyNames, ParseAndRenderRoundTrip) {
+  EXPECT_EQ(parse_strategy("greedy"), SearchStrategy::greedy);
+  EXPECT_EQ(parse_strategy("beam"), SearchStrategy::beam);
+  EXPECT_EQ(parse_strategy("bnb"), SearchStrategy::branch_bound);
+  EXPECT_EQ(parse_strategy("exhaustive"), SearchStrategy::exhaustive);
+  EXPECT_FALSE(parse_strategy("notastrategy").has_value());
+  EXPECT_FALSE(parse_strategy("").has_value());
+  EXPECT_FALSE(parse_strategy("BEAM").has_value());
+  EXPECT_EQ(strategy_name(SearchStrategy::branch_bound), "bnb");
+}
+
+TEST(SearchOptimizerTest, BeamStrictlyBeatsGreedyOnOrderingGap) {
+  const Program prog = ordering_gap_program();
+  const auto beam = run(SearchStrategy::beam, prog, kGapMachine);
+  EXPECT_LT(beam.best.cost_final, beam.greedy_cost);
+  // The winner is the balance-then-fuse order greedy never considers.
+  ASSERT_EQ(beam.best.log.size(), 2u);
+  EXPECT_EQ(beam.best.log[0].rule, "SR-Reduction");
+  EXPECT_EQ(beam.best.log[1].rule, "BS-Comcast");
+}
+
+TEST(SearchOptimizerTest, DominanceChainGreedyBeamExhaustive) {
+  const Program prog = ordering_gap_program();
+  for (const model::Machine mach :
+       {kGapMachine, model::Machine{.p = 8, .m = 4, .ts = 50, .tw = 1},
+        model::Machine{.p = 64, .m = 2048, .ts = 12800, .tw = 2}}) {
+    const auto narrow = run(SearchStrategy::beam, prog, mach, 1);
+    const auto wide = run(SearchStrategy::beam, prog, mach, 8);
+    const auto ex = run(SearchStrategy::exhaustive, prog, mach);
+    // The greedy seed makes even a width-1 beam no worse than greedy, and
+    // a superset exploration can only improve the winner.
+    EXPECT_LE(narrow.best.cost_final, narrow.greedy_cost);
+    EXPECT_LE(wide.best.cost_final, narrow.best.cost_final);
+    EXPECT_LE(ex.best.cost_final, wide.best.cost_final);
+  }
+}
+
+TEST(SearchOptimizerTest, BranchBoundMatchesExhaustiveAndPrunes) {
+  const Program prog = ordering_gap_program();
+  // Large blocks + cheap startup: the balanced-reduction subtree's
+  // persistent stages alone already exceed the fused incumbent, so the
+  // admissible bound prunes it without expansion.
+  const model::Machine mach{.p = 64, .m = 2048, .ts = 800, .tw = 2};
+  const auto bnb = run(SearchStrategy::branch_bound, prog, mach);
+  const auto ex = run(SearchStrategy::exhaustive, prog, mach);
+  EXPECT_DOUBLE_EQ(bnb.best.cost_final, ex.best.cost_final);
+  EXPECT_EQ(bnb.best.program.show(), ex.best.program.show());
+  EXPECT_GT(bnb.stats.pruned_by_bound, 0u);
+  EXPECT_LT(bnb.stats.nodes_expanded, ex.stats.nodes_expanded);
+}
+
+TEST(SearchOptimizerTest, GreedyStrategyWrapsLegacyOptimizer) {
+  const Program prog = ordering_gap_program();
+  const auto wrapped = run(SearchStrategy::greedy, prog, kGapMachine);
+  const auto legacy = Optimizer(kGapMachine).optimize(prog);
+  EXPECT_DOUBLE_EQ(wrapped.best.cost_final, legacy.cost_final);
+  EXPECT_EQ(wrapped.best.program.show(), legacy.program.show());
+  EXPECT_DOUBLE_EQ(wrapped.greedy_cost, legacy.cost_final);
+}
+
+TEST(SearchOptimizerTest, ExhaustiveMatchesLegacyOptimizeExhaustive) {
+  const Program prog = ordering_gap_program();
+  const auto searched = run(SearchStrategy::exhaustive, prog, kGapMachine);
+  const auto legacy = Optimizer(kGapMachine).optimize_exhaustive(prog);
+  EXPECT_DOUBLE_EQ(searched.best.cost_final, legacy.cost_final);
+  EXPECT_EQ(searched.best.program.show(), legacy.program.show());
+}
+
+TEST(SearchOptimizerTest, MemoCountsConvergingRuleOrders) {
+  // Rule-order permutations that reach the same program must be priced
+  // once: the canonical-key memo reports them as hits.
+  const auto ex =
+      run(SearchStrategy::exhaustive, ordering_gap_program(), kGapMachine);
+  EXPECT_GT(ex.stats.memo_hits, 0u);
+  EXPECT_GT(ex.stats.memo_entries, ex.stats.memo_hits);
+  EXPECT_GT(ex.stats.memo_hit_rate(), 0.0);
+  EXPECT_LT(ex.stats.memo_hit_rate(), 1.0);
+}
+
+TEST(SearchOptimizerTest, RankedIsCheapestFirstAndBoundedByTopK) {
+  SearchOptions opts;
+  opts.top_k = 3;
+  const auto res = run(SearchStrategy::exhaustive, ordering_gap_program(),
+                       kGapMachine, 0, opts);
+  ASSERT_LE(res.ranked.size(), 3u);
+  ASSERT_FALSE(res.ranked.empty());
+  for (std::size_t i = 1; i < res.ranked.size(); ++i)
+    EXPECT_LE(res.ranked[i - 1].cost, res.ranked[i].cost);
+  EXPECT_EQ(res.winner_index, 0u);
+  EXPECT_DOUBLE_EQ(res.ranked.front().cost, res.best.cost_final);
+}
+
+TEST(SearchOptimizerTest, NodeBudgetStillDominatesGreedy) {
+  SearchOptions opts;
+  opts.base.max_search_nodes = 1;  // starve the search
+  const auto res = run(SearchStrategy::exhaustive, ordering_gap_program(),
+                       kGapMachine, 0, opts);
+  EXPECT_LE(res.best.cost_final, res.greedy_cost);
+}
+
+TEST(SearchOptimizerTest, ReportAndJsonCarryTheRanking) {
+  const auto res =
+      run(SearchStrategy::beam, ordering_gap_program(), kGapMachine);
+  const std::string report = res.render_report();
+  EXPECT_NE(report.find("beam"), std::string::npos);
+  EXPECT_NE(report.find("SR-Reduction@2"), std::string::npos);
+  EXPECT_NE(report.find("greedy cost"), std::string::npos);
+  std::ostringstream os;
+  res.write_json(os);
+  EXPECT_NE(os.str().find("\"kind\":\"colop_search_report\""),
+            std::string::npos);
+  EXPECT_NE(os.str().find("\"ranked\":["), std::string::npos);
+}
+
+TEST(SearchMetrics, PublishesCountersAndGauges) {
+  const auto res =
+      run(SearchStrategy::beam, ordering_gap_program(), kGapMachine);
+  obs::Registry reg;
+  publish_search_metrics(res, reg);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("colop_search_nodes_total"), std::string::npos);
+  EXPECT_NE(text.find("colop_search_memo_total"), std::string::npos);
+  EXPECT_NE(text.find("colop_search_cost_units"), std::string::npos);
+}
+
+TEST(CostMemoTest, PricesOnceAndCountsHits) {
+  const Program prog = ordering_gap_program();
+  model::CostMemo memo(kGapMachine);
+  const double t1 = memo.time(prog);
+  const double t2 = memo.time(prog);
+  EXPECT_DOUBLE_EQ(t1, t2);
+  EXPECT_EQ(memo.entries(), 1u);
+  EXPECT_EQ(memo.hits(), 1u);
+  EXPECT_NE(model::canonical_hash(prog.show()),
+            model::canonical_hash(prog.show() + "x"));
+}
+
+TEST(CostMemoTest, CostFloorIsAdmissible) {
+  // The floor (persistent-stage cost sum) must never exceed the true
+  // program time, on the source and on everything the search reaches.
+  const Program prog = ordering_gap_program();
+  const auto ex = run(SearchStrategy::exhaustive, prog, kGapMachine);
+  for (const auto& r : ex.ranked) {
+    const double floor =
+        model::cost_floor(r.program, kGapMachine, search_persistent_stage);
+    EXPECT_LE(floor, model::program_time(r.program, kGapMachine) + 1e-9)
+        << r.program.show();
+  }
+}
+
+TEST(SearchPersistentStageTest, ConsumableKindsAreNotPersistent) {
+  Program p;
+  p.map(ir::fn_id());
+  p.bcast();
+  p.scan(ir::op_add());
+  p.reduce(ir::op_add());
+  p.allreduce(ir::op_add());
+  EXPECT_TRUE(search_persistent_stage(p.stage(0)));   // map
+  EXPECT_FALSE(search_persistent_stage(p.stage(1)));  // bcast
+  EXPECT_FALSE(search_persistent_stage(p.stage(2)));  // scan
+  EXPECT_FALSE(search_persistent_stage(p.stage(3)));  // reduce
+  EXPECT_FALSE(search_persistent_stage(p.stage(4)));  // allreduce
+}
+
+TEST(CertifySearchTest, WinnerAndNearMissesAllDischarge) {
+  const Program prog = ordering_gap_program();
+  auto res = run(SearchStrategy::beam, prog, kGapMachine);
+  const auto cert = verify::certify_search(prog, std::move(res));
+  EXPECT_FALSE(cert.demoted);
+  EXPECT_FALSE(cert.fell_back_to_source);
+  EXPECT_EQ(cert.search.winner_index, 0u);
+  for (const auto& r : cert.search.ranked) EXPECT_EQ(r.certified, 1);
+  ASSERT_NE(cert.winner_certificates(), nullptr);
+  EXPECT_TRUE(cert.winner_certificates()->ok());
+  // Ranked paths share their SR-Reduction@2 prefix: the batched discharge
+  // must replay that step once and reuse it.
+  EXPECT_GT(cert.certification.reused_steps, 0u);
+}
+
+TEST(CertifySearchTest, UnreplayableWinnerFallsBackToSource) {
+  const Program prog = ordering_gap_program();
+  SearchResult res;
+  res.best.program = prog;
+  res.best.cost_initial = model::program_time(prog, kGapMachine);
+  res.best.cost_final = 1.0;
+  RankedSchedule bogus;
+  bogus.program = prog;
+  bogus.cost = 1.0;
+  bogus.path.push_back(AppliedRule{"NoSuchRule", 0, 2, 1, "", 0, 1, ""});
+  res.ranked.push_back(std::move(bogus));
+  const auto cert = verify::certify_search(prog, std::move(res));
+  EXPECT_TRUE(cert.fell_back_to_source);
+  EXPECT_TRUE(cert.demoted);
+  EXPECT_EQ(cert.search.ranked.front().certified, 0);
+  const auto& winner = cert.search.ranked[cert.search.winner_index];
+  EXPECT_EQ(winner.certified, 1);
+  EXPECT_TRUE(winner.path.empty());
+  EXPECT_EQ(cert.search.best.program.show(), prog.show());
+  EXPECT_TRUE(cert.search.best.log.empty());
+}
+
+TEST(CertifySequencesTest, SharedPrefixDischargedOnce) {
+  const Program prog = ordering_gap_program();
+  const auto ex = run(SearchStrategy::exhaustive, prog, kGapMachine);
+  std::vector<std::vector<AppliedRule>> paths;
+  for (const auto& r : ex.ranked) paths.push_back(r.path);
+  // Duplicate the whole batch: the second copy must be served entirely
+  // from the step cache.
+  const std::size_t n = paths.size();
+  for (std::size_t i = 0; i < n; ++i) paths.push_back(paths[i]);
+  const auto seq = verify::certify_sequences(prog, paths);
+  EXPECT_TRUE(seq.all_ok());
+  EXPECT_EQ(seq.paths.size(), paths.size());
+  EXPECT_GE(seq.reused_steps, seq.discharged_steps);
+}
+
+}  // namespace
+}  // namespace colop::rules

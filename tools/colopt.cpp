@@ -43,7 +43,9 @@
 #include "colop/rt/flight_recorder.h"
 #include "colop/rt/report.h"
 #include "colop/rules/optimizer.h"
+#include "colop/rules/search.h"
 #include "colop/support/error.h"
+#include "colop/verify/certify.h"
 #include "colop/support/rng.h"
 #include "colop/support/table.h"
 #include "colop/verify/verify.h"
@@ -95,7 +97,20 @@ void usage() {
       "  --m N          block size in elements (default 1024)\n"
       "  --ts X         message start-up time in op units (default 400)\n"
       "  --tw X         per-word transfer time in op units (default 2)\n"
-      "  --exhaustive   search all rule-application sequences\n"
+      "  --opt=S        schedule-search strategy: greedy (one-step greedy\n"
+      "                 rewriting, default), beam (cost-guided beam search),\n"
+      "                 bnb (branch-and-bound with an admissible lower\n"
+      "                 bound), or exhaustive (breadth-first over all rule\n"
+      "                 sequences).  Search strategies explore rule-order\n"
+      "                 permutations the greedy optimizer never sees, seed\n"
+      "                 their incumbent with the greedy result (never worse),\n"
+      "                 and re-discharge the winning sequence's rewrite\n"
+      "                 certificates before returning it\n"
+      "  --beam-width=N beam frontier width (default 8; --opt=beam only)\n"
+      "  --search-report        print the ranked top-K schedule report with\n"
+      "                 rule paths, cost gaps and search statistics\n"
+      "  --search-report-json F write the search report as JSON to file F\n"
+      "  --exhaustive   alias for --opt=exhaustive\n"
       "  --strict       require full equivalence (reject root-only rewrites\n"
       "                 unless masked by a later bcast)\n"
       "  --max-mem N    memory budget: reject rewrites whose peak element\n"
@@ -187,7 +202,12 @@ int main(int argc, char** argv) {
   using namespace colop;
 
   model::Machine machine{.p = 64, .m = 1024, .ts = 400, .tw = 2};
-  bool exhaustive = false;
+  bool exhaustive_flag = false;
+  std::optional<rules::SearchStrategy> opt_strategy;
+  std::size_t beam_width = 8;
+  bool beam_width_set = false;
+  bool search_report = false;
+  std::string search_report_json;
   bool timeline = false;
   bool explain = false;
   bool drift = false;
@@ -235,7 +255,28 @@ int main(int argc, char** argv) {
       machine.tw = parse_double(arg, next());
       if (machine.tw < 0) bad_value(arg, argv[i], "a non-negative number");
     } else if (arg == "--exhaustive") {
-      exhaustive = true;
+      exhaustive_flag = true;
+    } else if (arg == "--opt" || arg.rfind("--opt=", 0) == 0) {
+      const std::string which = arg == "--opt" ? next() : arg.substr(6);
+      const auto strategy = rules::parse_strategy(which);
+      if (!strategy)
+        bad_value("--opt", which.c_str(), "greedy, beam, bnb or exhaustive");
+      opt_strategy = *strategy;
+    } else if (arg == "--beam-width" || arg.rfind("--beam-width=", 0) == 0) {
+      const std::string text =
+          arg == "--beam-width" ? next() : arg.substr(13);
+      const int w = parse_int("--beam-width", text.c_str());
+      if (w < 1) bad_value("--beam-width", text.c_str(), "a positive integer");
+      beam_width = static_cast<std::size_t>(w);
+      beam_width_set = true;
+    } else if (arg == "--search-report") {
+      search_report = true;
+    } else if (arg == "--search-report-json") {
+      search_report_json = next();
+    } else if (arg.rfind("--search-report-json=", 0) == 0) {
+      search_report_json = arg.substr(21);
+      if (search_report_json.empty())
+        bad_value("--search-report-json", "", "a file name");
     } else if (arg == "--strict") {
       options.policy = rules::EquivalencePolicy::strict;
     } else if (arg == "--max-mem") {
@@ -342,6 +383,34 @@ int main(int argc, char** argv) {
       program_text = arg;
     }
   }
+  // Search-flag consistency (exit 2 like any other usage error: a flag
+  // combination that cannot mean what the user intended must not be
+  // silently reinterpreted).
+  if (exhaustive_flag) {
+    if (opt_strategy &&
+        *opt_strategy != rules::SearchStrategy::exhaustive) {
+      std::cerr << "--exhaustive conflicts with --opt="
+                << rules::strategy_name(*opt_strategy) << "\n\n";
+      usage();
+      return 2;
+    }
+    opt_strategy = rules::SearchStrategy::exhaustive;
+  }
+  const bool searching =
+      opt_strategy && *opt_strategy != rules::SearchStrategy::greedy;
+  if (beam_width_set &&
+      (!opt_strategy || *opt_strategy != rules::SearchStrategy::beam)) {
+    std::cerr << "--beam-width is only meaningful with --opt=beam\n\n";
+    usage();
+    return 2;
+  }
+  if ((search_report || !search_report_json.empty()) && !searching) {
+    std::cerr << "--search-report requires a search strategy "
+                 "(--opt=beam, --opt=bnb or --opt=exhaustive)\n\n";
+    usage();
+    return 2;
+  }
+
   // Store root: --record=DIR wins (what we write is what we read), then
   // --store, then the environment/default.
   const std::string store_root = !record_dir.empty() ? record_dir
@@ -444,11 +513,32 @@ int main(int argc, char** argv) {
         serve_port >= 0 || !metrics_file.empty() || record;
     if (explain || hub_wanted) options.explain = &explain_log;
     const rules::Optimizer optimizer(machine, rules::all_rules(), options);
-    const auto result = exhaustive ? optimizer.optimize_exhaustive(program)
-                                   : optimizer.optimize(program);
+    std::optional<rules::SearchResult> search_res;
+    bool winner_fell_back = false;
+    bool winner_demoted = false;
+    rules::OptimizeResult result;
+    if (searching) {
+      rules::SearchOptions sopts;
+      sopts.strategy = *opt_strategy;
+      sopts.beam_width =
+          *opt_strategy == rules::SearchStrategy::beam ? beam_width : 0;
+      sopts.base = options;
+      const rules::SearchOptimizer searcher(machine, rules::all_rules(),
+                                            sopts);
+      // The soundness gate: re-discharge every ranked schedule's rewrite
+      // certificates (shared steps once) and install the cheapest CERTIFIED
+      // schedule as the winner before anything downstream consumes it.
+      auto cert = verify::certify_search(program, searcher.search(program));
+      winner_fell_back = cert.fell_back_to_source;
+      winner_demoted = cert.demoted;
+      search_res = std::move(cert.search);
+      result = search_res->best;
+    } else {
+      result = optimizer.optimize(program);
+    }
 
     if (explain) {
-      if (exhaustive) {
+      if (searching) {
         std::cout << "(--explain records the greedy strategy only)\n";
       } else {
         std::cout << "rule attempts (every rule x position, per step):\n"
@@ -461,18 +551,55 @@ int main(int argc, char** argv) {
       }
     }
 
+    std::string strategy_label = "greedy";
+    if (searching) {
+      switch (*opt_strategy) {
+        case rules::SearchStrategy::beam:
+          strategy_label =
+              "beam search, width " + (search_res->beam_width == 0
+                                           ? std::string("unbounded")
+                                           : std::to_string(
+                                                 search_res->beam_width));
+          break;
+        case rules::SearchStrategy::branch_bound:
+          strategy_label = "branch-and-bound search";
+          break;
+        default:
+          strategy_label = "exhaustive search";
+          break;
+      }
+    }
     if (result.log.empty()) {
       std::cout << "no profitable rewrite on this machine.\n";
     } else {
-      std::cout << "derivation"
-                << (exhaustive ? " (exhaustive search)" : " (greedy)") << ":\n";
+      std::cout << "derivation (" << strategy_label << "):\n";
       for (const auto& step : result.log) {
         std::cout << "  " << step.rule << " @" << step.position;
         if (!step.note.empty()) std::cout << " {" << step.note << "}";
         std::cout << "\n    = " << step.program_after << "\n";
       }
     }
+    if (searching) {
+      std::cout << "schedule : cost " << result.cost_final << " (greedy "
+                << search_res->greedy_cost << "), certificates ";
+      if (winner_fell_back)
+        std::cout << "rejected every searched schedule — kept the source "
+                     "program";
+      else if (winner_demoted)
+        std::cout << "demoted cheaper uncertified schedule(s); winner "
+                     "discharged";
+      else
+        std::cout << "discharged";
+      std::cout << "\n";
+    }
     std::cout << "\n";
+
+    if (search_report) std::cout << search_res->render_report() << "\n";
+    if (!search_report_json.empty()) {
+      auto f = open_output(search_report_json);
+      search_res->write_json(f);
+      std::cout << "search report written to " << search_report_json << "\n\n";
+    }
 
     int verify_exit = 0;
     std::optional<verify::VerifyResult> vres;
@@ -651,6 +778,7 @@ int main(int argc, char** argv) {
                   "Simulated original/optimized time ratio")
             .set(before.time / after.time);
       rules::publish_metrics(result, options.explain, hub);
+      if (search_res) rules::publish_search_metrics(*search_res, hub);
       if (vres) verify::publish_metrics(*vres, hub);
       if (rt_rep) rt::publish_registry(*rt_rep, hub);
     }
@@ -764,13 +892,40 @@ int main(int argc, char** argv) {
       bundle.sim_before = {before.time, before.messages, before.words};
       bundle.sim_after = {after.time, after.messages, after.words};
       if (rt_rep) bundle.wall_ms = rt_rep->wall_ms;
+      if (search_res) {
+        obs::SearchRecord s;
+        s.strategy = rules::strategy_name(search_res->strategy);
+        s.beam_width = search_res->beam_width;
+        s.nodes_expanded = search_res->stats.nodes_expanded;
+        s.nodes_generated = search_res->stats.nodes_generated;
+        s.pruned_bound = search_res->stats.pruned_by_bound;
+        s.pruned_beam = search_res->stats.pruned_by_beam;
+        s.pruned_budget = search_res->stats.pruned_by_budget;
+        s.memo_hits = search_res->stats.memo_hits;
+        s.memo_entries = search_res->stats.memo_entries;
+        s.frontier_peak = search_res->stats.frontier_peak;
+        s.depth = search_res->stats.depth_reached;
+        s.greedy_cost = search_res->greedy_cost;
+        s.winner_cost = search_res->best.cost_final;
+        s.winner_certified =
+            search_res->winner_index < search_res->ranked.size() &&
+            search_res->ranked[search_res->winner_index].certified == 1;
+        for (const auto& r : search_res->ranked)
+          s.ranked.push_back({r.cost, r.path_text(), r.certified});
+        bundle.search = std::move(s);
+      }
 
       // Artifacts: everything this run computed, plus the explain log,
       // profile and hub snapshot --record implies.
-      if (!exhaustive) {
+      if (!searching) {
         std::ostringstream ss;
         explain_log.write_json(ss);
         bundle.artifacts["explain"] = ss.str();
+      }
+      if (search_res) {
+        std::ostringstream ss;
+        search_res->write_json(ss);
+        bundle.artifacts["search"] = ss.str();
       }
       {
         obs::ProfileOptions popts;
