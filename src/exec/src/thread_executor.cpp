@@ -1,8 +1,11 @@
 #include "colop/exec/thread_executor.h"
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 
+#include "colop/obs/live.h"
 #include "colop/obs/sink.h"
 #include "colop/obs/trace_context.h"
 #include "colop/rt/flight_recorder.h"
@@ -46,11 +49,22 @@ B run_rank(const ir::Program& prog, mpsim::Comm& comm, B block, bool packed,
            ExecStage exec) {
   rt::Recorder* rec = comm.flight_recorder();
   if (rec != nullptr) rec->log(rt::Ev::plane, -1, 0, packed ? 1 : 0);
+  // Pin a live-bus lane for this rank thread so mid-run publishes (stages
+  // here, sends/recvs/queue depths inside mpsim) hit a private SPSC ring.
+  const bool live = obs::live_enabled();
+  std::optional<obs::LiveLaneScope> live_lane;
+  if (live) live_lane.emplace(obs::LiveBus::global());
   for (std::size_t i = 0; i < prog.stages().size(); ++i) {
     const auto& stage = prog.stages()[i];
     if (rec != nullptr) {
       rec->set_stage(static_cast<std::uint16_t>(i));
       rec->log(rt::Ev::stage_begin);
+    }
+    std::uint64_t live_t0 = 0;
+    if (live) {
+      live_t0 = obs::LiveBus::global().now_ns();
+      obs::LiveBus::global().publish(obs::LiveEv::stage_begin, comm.rank(),
+                                     static_cast<std::uint16_t>(i));
     }
     try {
       if (obs::enabled()) {
@@ -76,6 +90,10 @@ B run_rank(const ir::Program& prog, mpsim::Comm& comm, B block, bool packed,
                   " failed in stage " + std::to_string(i) + " (" +
                   stage->show() + "): " + e.what());
     }
+    if (live)
+      obs::LiveBus::global().publish(
+          obs::LiveEv::stage_end, comm.rank(), static_cast<std::uint16_t>(i),
+          obs::LiveBus::global().now_ns() - live_t0);
     if (rec != nullptr) {
       rec->log(rt::Ev::stage_end);
       rec->set_stage(rt::Record::kNoStage);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "colop/mpsim/group.h"
+#include "colop/obs/live.h"
 #include "colop/obs/sink.h"
 #include "colop/rt/flight_recorder.h"
 #include "colop/support/error.h"
@@ -78,6 +79,8 @@ class Comm {
   }
 
   void barrier() const {
+    const bool live = obs::live_enabled();
+    const std::uint64_t lt0 = live ? obs::LiveBus::global().now_ns() : 0;
     if (rec_ != nullptr) {
       rec_->log(rt::Ev::barrier_begin);
       rt_stats_->blocked.store(1, std::memory_order_relaxed);
@@ -91,6 +94,10 @@ class Comm {
     } else {
       group_->barrier();
     }
+    if (live)
+      obs::LiveBus::global().publish(obs::LiveEv::barrier, rank_,
+                                     obs::LiveEvent::kNoStage,
+                                     obs::LiveBus::global().now_ns() - lt0);
   }
 
   /// This rank's flight recorder; nullptr when telemetry is disabled.
@@ -137,6 +144,10 @@ class Comm {
       ev.args.emplace_back("tag", std::to_string(tag));
       obs::record(ev);
     }
+    if (obs::live_enabled())
+      obs::LiveBus::global().publish(
+          obs::LiveEv::send, rank_, obs::LiveEvent::kNoStage, bytes,
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(dest)));
     group_->mailbox(dest).put(
         Message{std::any(std::move(value)), bytes, rank_, tag});
   }
@@ -147,7 +158,13 @@ class Comm {
                   "mpsim: recv from invalid rank");
     if (rec_ != nullptr)
       rec_->log(rt::Ev::recv_begin, source, 0, static_cast<std::uint64_t>(tag));
+    const bool live = obs::live_enabled();
+    const std::uint64_t lt0 = live ? obs::LiveBus::global().now_ns() : 0;
     Message msg = group_->mailbox(rank_).take(source, tag);
+    if (live)
+      obs::LiveBus::global().publish(obs::LiveEv::recv, rank_,
+                                     obs::LiveEvent::kNoStage, msg.bytes,
+                                     obs::LiveBus::global().now_ns() - lt0);
     if (rec_ != nullptr) {
       rec_->log(rt::Ev::recv_end, source, msg.bytes,
                 static_cast<std::uint64_t>(tag));

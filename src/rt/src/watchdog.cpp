@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "colop/obs/chrome_trace.h"
+#include "colop/obs/live.h"
 
 namespace colop::rt {
 
@@ -94,6 +95,11 @@ void Watchdog::run() {
 
     stalls_ = std::move(stalls);
     stalled_.store(true, std::memory_order_release);
+    if (obs::live_enabled())
+      for (const StallInfo& s : stalls_)
+        obs::LiveBus::global().publish(obs::LiveEv::stall, s.rank,
+                                       obs::LiveEvent::kNoStage,
+                                       s.idle_ns);
     std::ostringstream reason;
     reason << describe() << " (deadline " << options_.deadline_ms << " ms)";
     dump_post_mortem(fleet_, reason.str(), options_.dump_path);

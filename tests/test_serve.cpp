@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "colop/obs/json.h"
+#include "colop/obs/live.h"
 #include "colop/obs/metrics.h"
 #include "colop/obs/run_store.h"
 #include "colop/obs/serve.h"
@@ -37,7 +38,7 @@ obs::Registry& demo_registry() {
 TEST(Serve, RoutesWithoutSockets) {
   obs::StatsServer server(demo_registry());
   EXPECT_EQ(server.handle("GET", "/healthz").status, 200);
-  EXPECT_EQ(server.handle("GET", "/healthz").body, "ok\n");
+  EXPECT_EQ(server.handle("GET", "/healthz").body, "ok state=idle\n");
 
   const auto metrics = server.handle("GET", "/metrics");
   EXPECT_EQ(metrics.status, 200);
@@ -156,7 +157,7 @@ TEST(Serve, LoopbackRoundTrip) {
 
   const std::string health = http_get(server.port(), "/healthz");
   EXPECT_NE(health.find("HTTP/1.0 200 OK"), std::string::npos) << health;
-  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos) << health;
+  EXPECT_NE(health.find("\r\n\r\nok state=idle\n"), std::string::npos) << health;
 
   const std::string metrics = http_get(server.port(), "/metrics?scrape=1");
   EXPECT_NE(metrics.find("# TYPE colop_mpsim_messages_total counter"),
@@ -168,6 +169,143 @@ TEST(Serve, LoopbackRoundTrip) {
   EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos) << missing;
 
   server.stop();  // idempotent with the destructor's stop()
+}
+
+TEST(Serve, LiveEndpointsFourOhFourWithoutSampler) {
+  obs::StatsServer server(demo_registry());
+  const auto live = server.handle("GET", "/live");
+  EXPECT_EQ(live.status, 404);
+  EXPECT_NE(live.body.find("--live"), std::string::npos);
+  const auto live_json = server.handle("GET", "/live.json");
+  EXPECT_EQ(live_json.status, 404);
+  EXPECT_NE(live_json.body.find("--live"), std::string::npos);
+}
+
+TEST(Serve, LiveEndpointsServeSamplerSnapshots) {
+  obs::LiveBus bus(4, 64);
+  bus.set_enabled(true);
+  obs::Registry reg;
+  obs::LiveSampler sampler(bus, reg);
+  obs::LiveRunInfo info;
+  info.trace_id = "feedc0defeedc0de";
+  info.program = "scan(+) ; bcast";
+  info.stage_labels = {"scan(+)", "bcast"};
+  info.ranks = 1;
+  bus.begin_run(info);
+  bus.publish(obs::LiveEv::stage_end, 0, 0, 1'000'000);
+  sampler.sample_once();
+
+  obs::StatsServer server(demo_registry());
+  server.set_live(&sampler);
+
+  // /healthz reflects the sampler's run state.
+  EXPECT_EQ(server.handle("GET", "/healthz").body, "ok state=running\n");
+
+  // /live.json: one parseable snapshot; since/wait_ms long-poll times out
+  // to the current snapshot when nothing changes.
+  const auto live_json = server.handle("GET", "/live.json");
+  EXPECT_EQ(live_json.status, 200);
+  EXPECT_EQ(live_json.content_type, "application/json");
+  const auto doc = obs::json::parse(live_json.body);
+  EXPECT_EQ(doc.get("trace_id")->str, "feedc0defeedc0de");
+  EXPECT_EQ(doc.get("state")->str, "running");
+  const std::uint64_t seq = static_cast<std::uint64_t>(doc.get("seq")->num);
+  const auto polled = server.handle(
+      "GET", "/live.json?since=" + std::to_string(seq) + "&wait_ms=30");
+  EXPECT_EQ(polled.status, 200);
+  EXPECT_NO_THROW(obs::json::parse(polled.body));
+
+  // /live (socket-free fallback): one snapshot frame plus an end frame,
+  // framed exactly as the SSE golden demands.
+  const auto sse = server.handle("GET", "/live");
+  EXPECT_EQ(sse.status, 200);
+  EXPECT_EQ(sse.content_type, "text/event-stream");
+  const obs::LiveSnapshot snap = sampler.snapshot();
+  EXPECT_EQ(sse.body,
+            obs::sse_frame(snap.seq, "snapshot", snap.to_json()) +
+                obs::sse_frame(snap.seq, "end",
+                               "{\"state\":\"" + snap.state + "\"}"));
+
+  bus.end_run();
+  sampler.sample_once();
+  EXPECT_EQ(server.handle("GET", "/healthz").body, "ok state=idle\n");
+}
+
+TEST(Serve, RunsDocumentEmbedsLiveProgress) {
+  obs::LiveBus bus(4, 64);
+  bus.set_enabled(true);
+  obs::Registry reg;
+  obs::LiveSampler sampler(bus, reg);
+  obs::LiveRunInfo info;
+  info.trace_id = "beefbeefbeefbeef";
+  info.stage_labels = {"bcast"};
+  info.ranks = 1;
+  bus.begin_run(info);
+  bus.publish(obs::LiveEv::stage_end, 0, 0, 500'000);
+  sampler.sample_once();
+
+  obs::StatsServer server(demo_registry());
+  server.set_live(&sampler);
+  obs::RunSummary run;
+  run.trace_id = "beefbeefbeefbeef";
+  run.program = "bcast";
+  run.state = "live";
+  server.add_run(run);
+
+  const auto resp = server.handle("GET", "/runs");
+  const auto doc = obs::json::parse(resp.body);
+  const auto* entry = doc.get("runs")->items[0].get();
+  EXPECT_EQ(entry->get("state")->str, "live");
+  const auto* live = entry->get("live");
+  ASSERT_TRUE(live != nullptr);
+  EXPECT_EQ(live->get("progress")->get("stages_done")->num, 1);
+
+  // finish_run flips the state and drops the progress embedding.
+  server.finish_run("beefbeefbeefbeef", 12.5);
+  const auto after = obs::json::parse(server.handle("GET", "/runs").body);
+  const auto* done = after.get("runs")->items[0].get();
+  EXPECT_EQ(done->get("state")->str, "done");
+  EXPECT_EQ(done->get("wall_ms")->num, 12.5);
+  EXPECT_TRUE(done->get("live") == nullptr);
+  bus.end_run();
+}
+
+/// Open a TCP connection that sends nothing — a stuck client.
+int open_idle_connection(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Slow-client regression: clients that connect and never send a byte must
+// not starve other requests.  Workers shed them via the receive timeout,
+// so a normal scrape completes while eight of them sit idle.
+TEST(Serve, SlowClientsCannotStarveTheServer) {
+  obs::StatsServer server(demo_registry());
+  server.set_io_timeout_ms(200);
+  std::string error;
+  ASSERT_TRUE(server.start(0, &error)) << error;
+
+  std::vector<int> idle;
+  for (int i = 0; i < 8; ++i) {
+    const int fd = open_idle_connection(server.port());
+    ASSERT_GE(fd, 0);
+    idle.push_back(fd);
+  }
+
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200 OK"), std::string::npos) << health;
+
+  for (const int fd : idle) ::close(fd);
+  server.stop();
 }
 
 }  // namespace

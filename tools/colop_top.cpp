@@ -1,0 +1,400 @@
+// colop_top: terminal watcher for a live colopt run.
+//
+// Connects to the stats server started by `colopt --serve --live`, tails
+// the /live Server-Sent Events stream, and renders a refreshing per-rank
+// dashboard: current stage, busy/comm/idle split, queue depth, stall flag,
+// progress bar and ETA.  Doubles as a scriptable tailer:
+//
+//   colop_top --port 8123                live dashboard (ANSI refresh)
+//   colop_top --port 8123 --json         one JSON snapshot line per frame
+//   colop_top --port 8123 --once         single snapshot (GET /live.json)
+//   colop_top --port 8123 --max-frames 5 exit after 5 frames (scripting)
+//
+// Exit codes: 0 stream ended (run finished) or frame budget reached,
+// 1 connection/protocol error, 2 usage error.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "colop/obs/json.h"
+#include "colop/support/error.h"
+
+namespace {
+
+using colop::obs::json::Value;
+
+void usage() {
+  std::cerr <<
+      "usage: colop_top [--host H] --port P [--json] [--once]\n"
+      "                 [--max-frames N] [--no-ansi]\n"
+      "\n"
+      "Watch a live colopt run (colopt --serve --live) as a refreshing\n"
+      "per-rank dashboard, or tail raw snapshots with --json.\n"
+      "\n"
+      "  --host H        server host (default 127.0.0.1)\n"
+      "  --port P        server port (required; colopt prints it)\n"
+      "  --json          print one JSON snapshot line per frame\n"
+      "  --once          fetch a single snapshot from /live.json and exit\n"
+      "  --max-frames N  exit 0 after N frames (useful in scripts/tests)\n"
+      "  --no-ansi       never emit ANSI control sequences\n";
+}
+
+int connect_to(const std::string& host, int port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host address: " + host;
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    *error = "connect " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking GET returning the whole body (Connection: close servers).
+bool http_get(const std::string& host, int port, const std::string& path,
+              std::string* body, std::string* error) {
+  const int fd = connect_to(host, port, error);
+  if (fd < 0) return false;
+  if (!send_all(fd, "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                        "\r\nConnection: close\r\n\r\n")) {
+    *error = "send failed";
+    ::close(fd);
+    return false;
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    *error = "malformed HTTP response";
+    return false;
+  }
+  if (response.find("200") == std::string::npos ||
+      response.find("200") > response.find("\r\n")) {
+    *error = "server answered: " + response.substr(0, response.find("\r\n"));
+    return false;
+  }
+  *body = response.substr(head_end + 4);
+  return true;
+}
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  if (ms < 0) return "-";
+  if (ms >= 60000)
+    std::snprintf(buf, sizeof buf, "%.1fm", ms / 60000);
+  else if (ms >= 1000)
+    std::snprintf(buf, sizeof buf, "%.1fs", ms / 1000);
+  else
+    std::snprintf(buf, sizeof buf, "%.0fms", ms);
+  return buf;
+}
+
+std::string fmt_bytes(double b) {
+  char buf[32];
+  if (b >= 1 << 20)
+    std::snprintf(buf, sizeof buf, "%.1fMB", b / (1 << 20));
+  else if (b >= 1 << 10)
+    std::snprintf(buf, sizeof buf, "%.1fKB", b / (1 << 10));
+  else
+    std::snprintf(buf, sizeof buf, "%.0fB", b);
+  return buf;
+}
+
+double num_or(const Value* v, double fallback) {
+  return v != nullptr && v->is(Value::Type::number) ? v->num : fallback;
+}
+
+std::string str_or(const Value* v, const std::string& fallback) {
+  return v != nullptr && v->is(Value::Type::string) ? v->str : fallback;
+}
+
+/// 10-char share bar: '#' busy, '~' comm, '.' idle.
+std::string share_bar(double busy, double comm, double idle) {
+  const double total = busy + comm + idle;
+  std::string bar;
+  if (total <= 0) return std::string(10, '.');
+  const int nb = static_cast<int>(busy / total * 10 + 0.5);
+  const int nc = static_cast<int>(comm / total * 10 + 0.5);
+  for (int i = 0; i < nb && bar.size() < 10; ++i) bar += '#';
+  for (int i = 0; i < nc && bar.size() < 10; ++i) bar += '~';
+  while (bar.size() < 10) bar += '.';
+  return bar;
+}
+
+/// Render one snapshot as the dashboard screen.
+std::string render(const Value& snap, bool ansi) {
+  std::ostringstream os;
+  if (ansi) os << "\x1b[H\x1b[2J";  // home + clear
+  const std::string state = str_or(snap.get("state"), "?");
+  os << "colop_top — trace " << str_or(snap.get("trace_id"), "?") << "  state "
+     << state;
+  const Value* progress = snap.get("progress");
+  if (progress != nullptr) {
+    const double repeat = num_or(progress->get("repeat"), 0);
+    const double repeats = num_or(progress->get("repeats"), 0);
+    if (repeats > 1)
+      os << "  repeat " << static_cast<long>(repeat + 1) << "/"
+         << static_cast<long>(repeats);
+  }
+  os << "\n" << "program: " << str_or(snap.get("program"), "?") << "\n";
+  if (progress != nullptr) {
+    const double done = num_or(progress->get("stages_done"), 0);
+    const double total = num_or(progress->get("stages_total"), 0);
+    const int fill =
+        total > 0 ? static_cast<int>(done / total * 20 + 0.5) : 0;
+    os << "progress [";
+    for (int i = 0; i < 20; ++i) os << (i < fill ? '=' : ' ');
+    os << "] " << static_cast<long>(done) << "/" << static_cast<long>(total)
+       << " stages   elapsed " << fmt_ms(num_or(snap.get("elapsed_ms"), -1))
+       << "  eta " << fmt_ms(num_or(progress->get("eta_ms"), -1))
+       << "  heartbeat " << fmt_ms(num_or(snap.get("heartbeat_ms"), -1))
+       << "\n";
+  }
+  os << "events " << static_cast<long>(num_or(snap.get("events_total"), 0))
+     << "  dropped "
+     << static_cast<long>(num_or(snap.get("dropped_total"), 0)) << "\n\n";
+  os << "rank  b/c/i       stage             done    queue  sends   bytes"
+        "    last-ev  flags\n";
+  const Value* ranks = snap.get("ranks");
+  if (ranks != nullptr && ranks->is(Value::Type::array)) {
+    for (const auto& rp : ranks->items) {
+      const Value& r = *rp;
+      const double busy = num_or(r.get("busy_ms"), 0);
+      const double comm = num_or(r.get("comm_ms"), 0);
+      const double idle = num_or(r.get("idle_ms"), 0);
+      std::string stage = str_or(r.get("stage_label"), "");
+      if (stage.empty())
+        stage = num_or(r.get("stage"), -1) < 0 ? "-" : "?";
+      if (stage.size() > 16) stage = stage.substr(0, 15) + "…";
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "%4ld  %s  %-16s %6ld  %5ld  %5ld  %7s  %8s  %s\n",
+                    static_cast<long>(num_or(r.get("rank"), -1)),
+                    share_bar(busy, comm, idle).c_str(), stage.c_str(),
+                    static_cast<long>(num_or(r.get("stages_done"), 0)),
+                    static_cast<long>(num_or(r.get("queue_depth"), 0)),
+                    static_cast<long>(num_or(r.get("sends"), 0)),
+                    fmt_bytes(num_or(r.get("send_bytes"), 0)).c_str(),
+                    fmt_ms(num_or(r.get("last_event_ms"), -1)).c_str(),
+                    r.get("stalled") != nullptr && r.get("stalled")->b
+                        ? "STALL"
+                        : "");
+      os << line;
+    }
+  }
+  os << "\n(b/c/i: # busy, ~ comm, . idle)\n";
+  return os.str();
+}
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  bool json = false;
+  bool once = false;
+  bool ansi = true;
+  long max_frames = 0;  // 0 = unlimited
+};
+
+/// Handle one SSE frame; returns false when the stream announced its end.
+bool dispatch(const std::string& event, const std::string& data,
+              const Options& opt, long* frames) {
+  if (event == "end") return false;
+  if (event != "snapshot" || data.empty()) return true;
+  if (opt.json) {
+    std::cout << data << "\n" << std::flush;
+  } else {
+    try {
+      const Value snap = colop::obs::json::parse(data);
+      std::cout << render(snap, opt.ansi) << std::flush;
+    } catch (const colop::Error& e) {
+      std::cerr << "warning: unparsable snapshot: " << e.what() << "\n";
+    }
+  }
+  ++*frames;
+  return opt.max_frames == 0 || *frames < opt.max_frames;
+}
+
+int tail_stream(const Options& opt) {
+  std::string error;
+  const int fd = connect_to(opt.host, opt.port, &error);
+  if (fd < 0) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  if (!send_all(fd, "GET /live HTTP/1.0\r\nHost: " + opt.host +
+                        "\r\nAccept: text/event-stream\r\n"
+                        "Connection: close\r\n\r\n")) {
+    std::cerr << "error: send failed\n";
+    ::close(fd);
+    return 1;
+  }
+  std::string buffer;
+  bool headers_done = false;
+  std::string event, data;
+  long frames = 0;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;  // run over, server stopped, or connection lost
+    buffer.append(buf, static_cast<std::size_t>(n));
+    if (!headers_done) {
+      const std::size_t head_end = buffer.find("\r\n\r\n");
+      if (head_end == std::string::npos) continue;
+      const std::string head = buffer.substr(0, head_end);
+      if (head.find("200") == std::string::npos) {
+        std::cerr << "error: server answered: "
+                  << head.substr(0, head.find("\r\n")) << "\n";
+        ::close(fd);
+        return 1;
+      }
+      buffer.erase(0, head_end + 4);
+      headers_done = true;
+    }
+    // SSE framing: "field: value" lines, blank line terminates a frame.
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) {
+        const bool keep = dispatch(event, data, opt, &frames);
+        event.clear();
+        data.clear();
+        if (!keep) {
+          ::close(fd);
+          return 0;
+        }
+      } else if (line.rfind("event: ", 0) == 0) {
+        event = line.substr(7);
+      } else if (line.rfind("data: ", 0) == 0) {
+        if (!data.empty()) data += '\n';
+        data += line.substr(6);
+      }  // id: and comment lines are ignored
+    }
+  }
+  ::close(fd);
+  if (!headers_done) {
+    std::cerr << "error: connection closed before headers\n";
+    return 1;
+  }
+  return 0;
+}
+
+int fetch_once(const Options& opt) {
+  std::string body, error;
+  if (!http_get(opt.host, opt.port, "/live.json", &body, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  if (opt.json) {
+    std::cout << body;
+    if (body.empty() || body.back() != '\n') std::cout << "\n";
+    return 0;
+  }
+  try {
+    const Value snap = colop::obs::json::parse(body);
+    std::cout << render(snap, false);
+  } catch (const colop::Error& e) {
+    std::cerr << "error: unparsable snapshot: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.ansi = ::isatty(STDOUT_FILENO) != 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n\n";
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--host") {
+      opt.host = next();
+    } else if (arg == "--port") {
+      char* end = nullptr;
+      const char* s = next();
+      opt.port = static_cast<int>(std::strtol(s, &end, 10));
+      if (end == s || *end != '\0' || opt.port < 1 || opt.port > 65535) {
+        std::cerr << "--port wants a port in 1..65535, got '" << s << "'\n\n";
+        usage();
+        return 2;
+      }
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--once") {
+      opt.once = true;
+    } else if (arg == "--max-frames") {
+      char* end = nullptr;
+      const char* s = next();
+      opt.max_frames = std::strtol(s, &end, 10);
+      if (end == s || *end != '\0' || opt.max_frames < 1) {
+        std::cerr << "--max-frames wants a positive integer, got '" << s
+                  << "'\n\n";
+        usage();
+        return 2;
+      }
+    } else if (arg == "--no-ansi") {
+      opt.ansi = false;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n\n";
+      usage();
+      return 2;
+    }
+  }
+  if (opt.port < 0) {
+    std::cerr << "--port is required (colopt --serve --live prints it)\n\n";
+    usage();
+    return 2;
+  }
+  return opt.once ? fetch_once(opt) : tail_stream(opt);
+}

@@ -38,6 +38,7 @@
 #include "colop/obs/profile.h"
 #include "colop/obs/run_diff.h"
 #include "colop/obs/run_store.h"
+#include "colop/obs/live.h"
 #include "colop/obs/serve.h"
 #include "colop/obs/trace_context.h"
 #include "colop/rt/flight_recorder.h"
@@ -142,7 +143,13 @@ void usage() {
       "                 the telemetry registry over HTTP on 127.0.0.1:PORT\n"
       "                 (default: a kernel-assigned ephemeral port, printed\n"
       "                 on stdout): /metrics /metrics.json /runs\n"
-      "                 /runs/<trace_id> /healthz\n"
+      "                 /runs/<trace_id> /live /live.json /healthz\n"
+      "  --live         with --serve: start the server *before* execution\n"
+      "                 and stream in-flight telemetry — /metrics moves\n"
+      "                 mid-run, /live streams snapshots as Server-Sent\n"
+      "                 Events (watch with tools/colop_top), /healthz\n"
+      "                 reports idle|running|stalled; pair with --repeat N\n"
+      "                 to make the run long enough to watch\n"
       "  --record[=DIR] archive this run as a forensics bundle — manifest\n"
       "                 (identity, machine, schedule IR, applied rules, cost\n"
       "                 summary) plus every JSON artifact the run emits —\n"
@@ -221,6 +228,7 @@ int main(int argc, char** argv) {
   int repeat = 1;
   int warmup = 0;
   int serve_port = -1;  // -1 = no --serve; 0 = ephemeral
+  bool live = false;    // --live: serve in-flight telemetry mid-run
   std::string calibrate_from = "simnet";
   std::string explain_json, trace_file, metrics_file, drift_json, example;
   std::string profile_json, profile_trace, calibrate_json;
@@ -360,6 +368,8 @@ int main(int argc, char** argv) {
       serve_port = parse_int("--serve", arg.c_str() + 8);
       if (serve_port < 0 || serve_port > 65535)
         bad_value("--serve", arg.c_str() + 8, "a port in 0..65535");
+    } else if (arg == "--live") {
+      live = true;
     } else if (arg == "--machine") {
       const std::string which = next();
       if (which == "calibrated")
@@ -407,6 +417,12 @@ int main(int argc, char** argv) {
   if ((search_report || !search_report_json.empty()) && !searching) {
     std::cerr << "--search-report requires a search strategy "
                  "(--opt=beam, --opt=bnb or --opt=exhaustive)\n\n";
+    usage();
+    return 2;
+  }
+  if (live && serve_port < 0) {
+    std::cerr << "--live requires --serve (it streams through the stats "
+                 "server)\n\n";
     usage();
     return 2;
   }
@@ -692,6 +708,15 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Telemetry hub: the typed registry behind --metrics and --serve.
+    // Declared before the execution block so --live can fold in-flight
+    // samples into the same registry the server exports.  Destruction
+    // order matters: the server (workers may read the sampler) goes down
+    // first, then the sampler (its thread writes the hub), then the hub.
+    obs::Registry hub;
+    std::optional<obs::LiveSampler> live_sampler;
+    std::optional<obs::StatsServer> server;
+
     std::optional<rt::RtReport> rt_rep;
     if (rt_report || serve_port >= 0) {
       // Run the optimized program for real on the thread executor and merge
@@ -707,14 +732,59 @@ int main(int argc, char** argv) {
         for (auto& v : b) v = ir::Value(rng.uniform(-1, 1));
       }
 
+      if (live) {
+        // Live mode flips the ordering: enable the bus, start the sampler
+        // and the server *before* execution so scrapes and /live streams
+        // observe the run in flight.
+        auto& bus = obs::LiveBus::global();
+        obs::LiveRunInfo info;
+        info.trace_id = obs::trace_id();
+        info.program = result.program.show();
+        for (const auto& stage : result.program.stages())
+          info.stage_labels.push_back(stage->show());
+        info.ranks = static_cast<int>(machine.p);
+        info.repeats = warmup + repeat;
+        bus.set_enabled(true);
+        bus.begin_run(std::move(info));
+        live_sampler.emplace(bus, hub);
+        live_sampler->start();
+
+        obs::RunSummary run_summary;
+        run_summary.trace_id = obs::trace_id();
+        run_summary.program = program.show();
+        run_summary.optimized = result.program.show();
+        run_summary.started_at = obs::utc_timestamp();
+        run_summary.state = "live";
+        run_summary.rewrites = static_cast<int>(result.log.size());
+        run_summary.model_cost_before = model::program_time(program, machine);
+        run_summary.model_cost_after =
+            model::program_time(result.program, machine);
+        server.emplace(hub);
+        server->add_run(run_summary);
+        server->set_run_store(store_root);
+        server->set_live(&*live_sampler);
+        std::string err;
+        if (!server->start(serve_port, &err)) {
+          std::cerr << "error: " << err << "\n";
+          return 1;
+        }
+        server->install_signal_stop();
+        std::cout << "serving on http://127.0.0.1:" << server->port()
+                  << " (live; GET /metrics /metrics.json /runs /live "
+                     "/live.json /healthz; Ctrl-C to stop)\n"
+                  << std::flush;
+      }
+
       std::vector<double> samples_ms;
       samples_ms.reserve(static_cast<std::size_t>(repeat));
       std::optional<exec::ThreadRunResult> run;
       for (int it = 0; it < warmup + repeat; ++it) {
+        if (live) obs::LiveBus::global().note_repeat(it);
         auto r = exec::run_on_threads_instrumented(result.program, input);
         if (it >= warmup) samples_ms.push_back(r.wall_seconds * 1e3);
         run = std::move(r);
       }
+      if (live) obs::LiveBus::global().end_run();
 
       rt::RtReportOptions ropts;
       ropts.model_stage_times.reserve(result.program.size());
@@ -725,6 +795,7 @@ int main(int argc, char** argv) {
       ropts.used_packed = run->used_packed;
       ropts.timing = rt::RepeatStats::of(samples_ms, warmup);
       rt_rep = rt::build_report(run->rt, ropts);
+      if (server) server->finish_run(obs::trace_id(), rt_rep->wall_ms);
       const auto& rep = *rt_rep;
 
       if (rt_report) std::cout << "\n" << rep.render_text();
@@ -748,9 +819,7 @@ int main(int argc, char** argv) {
       }
     }
 
-    // Telemetry hub: the typed registry behind --metrics and --serve.
-    // Every subsystem that ran publishes its snapshot by name.
-    obs::Registry hub;
+    // Every subsystem that ran publishes its snapshot into the hub by name.
     if (hub_wanted) {
       hub.gauge("colop_machine_p", "Configured processor count")
           .set(static_cast<double>(machine.p));
@@ -968,30 +1037,33 @@ int main(int argc, char** argv) {
     }
 
     if (serve_port >= 0) {
-      obs::RunSummary run_summary;
-      run_summary.trace_id = obs::trace_id();
-      run_summary.program = program.show();
-      run_summary.optimized = result.program.show();
-      run_summary.started_at = obs::utc_timestamp();
-      run_summary.rewrites = static_cast<int>(result.log.size());
-      run_summary.model_cost_before = model::program_time(program, machine);
-      run_summary.model_cost_after =
-          model::program_time(result.program, machine);
-      if (rt_rep) run_summary.wall_ms = rt_rep->wall_ms;
+      if (!server) {
+        obs::RunSummary run_summary;
+        run_summary.trace_id = obs::trace_id();
+        run_summary.program = program.show();
+        run_summary.optimized = result.program.show();
+        run_summary.started_at = obs::utc_timestamp();
+        run_summary.rewrites = static_cast<int>(result.log.size());
+        run_summary.model_cost_before = model::program_time(program, machine);
+        run_summary.model_cost_after =
+            model::program_time(result.program, machine);
+        if (rt_rep) run_summary.wall_ms = rt_rep->wall_ms;
 
-      obs::StatsServer server(hub);
-      server.add_run(run_summary);
-      server.set_run_store(store_root);
-      std::string err;
-      if (!server.start(serve_port, &err)) {
-        std::cerr << "error: " << err << "\n";
-        return 1;
+        server.emplace(hub);
+        server->add_run(run_summary);
+        server->set_run_store(store_root);
+        std::string err;
+        if (!server->start(serve_port, &err)) {
+          std::cerr << "error: " << err << "\n";
+          return 1;
+        }
+        server->install_signal_stop();
+        std::cout << "serving on http://127.0.0.1:" << server->port()
+                  << " (GET /metrics /metrics.json /runs /runs/<trace_id> "
+                     "/healthz; Ctrl-C to stop)\n"
+                  << std::flush;
       }
-      std::cout << "serving on http://127.0.0.1:" << server.port()
-                << " (GET /metrics /metrics.json /runs /runs/<trace_id> "
-                   "/healthz; Ctrl-C to stop)\n"
-                << std::flush;
-      server.wait();
+      server->wait();
     }
     return verify_exit;  // 0, or 3 when --verify found the run unsound
   } catch (const Error& e) {
