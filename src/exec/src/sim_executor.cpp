@@ -1,103 +1,173 @@
 #include "colop/exec/sim_executor.h"
 
+#include "colop/ir/overlap.h"
 #include "colop/simnet/schedules.h"
 #include "colop/support/bits.h"
 
 namespace colop::exec {
+namespace {
+
+using Kind = ir::Stage::Kind;
+
+// Simulate one stage's schedule on the virtual clocks.  Split-phase stages
+// run their blocking twin here; run_on_simnet's window loop then discounts
+// eligible windows by raising interior local work into the istart's span.
+void sim_stage(const ir::Stage& stage, simnet::SimMachine& mach, double m,
+               SimSchedules sched) {
+  const int p = mach.size();
+  switch (stage.kind()) {
+    case Kind::Map: {
+      const auto& s = static_cast<const ir::MapStage&>(stage);
+      simnet::local_map(mach, m, s.fn.ops_cost);
+      break;
+    }
+    case Kind::MapIndexed: {
+      const auto& s = static_cast<const ir::MapIndexedStage&>(stage);
+      for (int r = 0; r < p; ++r) {
+        const double levels =
+            static_cast<double>(binary_digits(static_cast<std::uint64_t>(r)));
+        const double ops = s.fn.ops_cost + s.fn.ops_per_logp * levels;
+        if (ops > 0) mach.compute(r, m * ops);
+      }
+      break;
+    }
+    case Kind::Scan: {
+      const auto& s = static_cast<const ir::ScanStage&>(stage);
+      simnet::scan_butterfly(mach, m, s.words, s.op->ops_cost());
+      break;
+    }
+    case Kind::Reduce:
+    case Kind::IStartReduce: {
+      const int words = stage.kind() == Kind::Reduce
+                            ? static_cast<const ir::ReduceStage&>(stage).words
+                            : static_cast<const ir::IStartReduceStage&>(stage).words;
+      const double ops =
+          stage.kind() == Kind::Reduce
+              ? static_cast<const ir::ReduceStage&>(stage).op->ops_cost()
+              : static_cast<const ir::IStartReduceStage&>(stage).op->ops_cost();
+      if (sched.reduce == SimSchedules::Reduce::binomial)
+        simnet::reduce_binomial(mach, m, words, ops);
+      else if (sched.reduce == SimSchedules::Reduce::vdg)
+        simnet::allreduce_vdg(mach, m, words, ops);
+      else
+        simnet::allreduce_butterfly(mach, m, words, ops);
+      break;
+    }
+    case Kind::AllReduce:
+    case Kind::IStartAllReduce: {
+      const int words =
+          stage.kind() == Kind::AllReduce
+              ? static_cast<const ir::AllReduceStage&>(stage).words
+              : static_cast<const ir::IStartAllReduceStage&>(stage).words;
+      const double ops =
+          stage.kind() == Kind::AllReduce
+              ? static_cast<const ir::AllReduceStage&>(stage).op->ops_cost()
+              : static_cast<const ir::IStartAllReduceStage&>(stage).op->ops_cost();
+      if (sched.reduce == SimSchedules::Reduce::vdg)
+        simnet::allreduce_vdg(mach, m, words, ops);
+      else
+        simnet::allreduce_butterfly(mach, m, words, ops);
+      break;
+    }
+    case Kind::Bcast:
+    case Kind::IStartBcast: {
+      const int words = stage.kind() == Kind::Bcast
+                            ? static_cast<const ir::BcastStage&>(stage).words
+                            : static_cast<const ir::IStartBcastStage&>(stage).words;
+      const int root = stage.kind() == Kind::Bcast
+                           ? static_cast<const ir::BcastStage&>(stage).root
+                           : static_cast<const ir::IStartBcastStage&>(stage).root;
+      switch (sched.bcast) {
+        case SimSchedules::Bcast::butterfly:
+          simnet::bcast_butterfly(mach, m, words, root);
+          break;
+        case SimSchedules::Bcast::binomial:
+          simnet::bcast_binomial(mach, m, words, root);
+          break;
+        case SimSchedules::Bcast::vdg:
+          simnet::bcast_vdg(mach, m, words);
+          break;
+        case SimSchedules::Bcast::pipelined:
+          simnet::bcast_pipelined(
+              mach, m, words,
+              simnet::optimal_segments(p, m * words, mach.net().ts,
+                                       mach.net().tw));
+          break;
+      }
+      break;
+    }
+    case Kind::ScanBalanced: {
+      const auto& s = static_cast<const ir::ScanBalancedStage&>(stage);
+      simnet::scan_balanced(mach, m, s.op2.words, s.op2.ops_cost);
+      break;
+    }
+    case Kind::ReduceBalanced: {
+      const auto& s = static_cast<const ir::ReduceBalancedStage&>(stage);
+      simnet::reduce_balanced(mach, m, s.op.words, s.op.ops_cost);
+      break;
+    }
+    case Kind::AllReduceBalanced: {
+      const auto& s = static_cast<const ir::AllReduceBalancedStage&>(stage);
+      simnet::allreduce_balanced(mach, m, s.op.words, s.op.ops_cost);
+      break;
+    }
+    case Kind::Iter: {
+      const auto& s = static_cast<const ir::IterStage&>(stage);
+      // 2^k processors: exactly log2(p) doubling steps.  Otherwise the
+      // generalized square-and-multiply costs at most 2 applications per
+      // binary digit of p.
+      const double levels =
+          is_pow2(static_cast<std::uint64_t>(p))
+              ? static_cast<double>(log2_floor(static_cast<std::uint64_t>(p)))
+              : 2.0 * static_cast<double>(
+                          binary_digits(static_cast<std::uint64_t>(p)));
+      simnet::local_iter(mach, m, s.step.ops_cost, levels);
+      break;
+    }
+    case Kind::Wait:
+      break;  // completion: no traffic, no compute of its own
+  }
+}
+
+// Per-rank op count of one interior (elementwise-local) window stage.
+double local_ops(const ir::Stage& stage, int rank) {
+  if (stage.kind() == Kind::Map)
+    return static_cast<const ir::MapStage&>(stage).fn.ops_cost;
+  const auto& s = static_cast<const ir::MapIndexedStage&>(stage);
+  const double levels =
+      static_cast<double>(binary_digits(static_cast<std::uint64_t>(rank)));
+  return s.fn.ops_cost + s.fn.ops_per_logp * levels;
+}
+
+}  // namespace
 
 void run_on_simnet(const ir::Program& prog, simnet::SimMachine& mach, double m,
                    SimSchedules sched) {
-  using Kind = ir::Stage::Kind;
   const int p = mach.size();
-  for (const auto& stage : prog.stages()) {
-    switch (stage->kind()) {
-      case Kind::Map: {
-        const auto& s = static_cast<const ir::MapStage&>(*stage);
-        simnet::local_map(mach, m, s.fn.ops_cost);
-        break;
+  const auto windows = ir::overlap_windows(prog);
+  auto w = windows.begin();
+  std::size_t i = 0;
+  std::vector<double> issue(static_cast<std::size_t>(p));
+  while (i < prog.size()) {
+    if (w != windows.end() && i == w->istart) {
+      // Overlap window: simulate the collective, then raise every rank's
+      // clock to at least issue-time + its interior local work.  The
+      // window's span per rank becomes max(comm, local) — the pipelined
+      // executor's behaviour — instead of the synchronous sum.
+      for (int r = 0; r < p; ++r)
+        issue[static_cast<std::size_t>(r)] = mach.clock(r);
+      sim_stage(prog.stage(w->istart), mach, m, sched);
+      for (int r = 0; r < p; ++r) {
+        double ops = 0;
+        for (std::size_t j = w->istart + 1; j < w->wait; ++j)
+          ops += local_ops(prog.stage(j), r);
+        mach.advance_to(r, issue[static_cast<std::size_t>(r)] + m * ops);
       }
-      case Kind::MapIndexed: {
-        const auto& s = static_cast<const ir::MapIndexedStage&>(*stage);
-        for (int r = 0; r < p; ++r) {
-          const double levels =
-              static_cast<double>(binary_digits(static_cast<std::uint64_t>(r)));
-          const double ops = s.fn.ops_cost + s.fn.ops_per_logp * levels;
-          if (ops > 0) mach.compute(r, m * ops);
-        }
-        break;
-      }
-      case Kind::Scan: {
-        const auto& s = static_cast<const ir::ScanStage&>(*stage);
-        simnet::scan_butterfly(mach, m, s.words, s.op->ops_cost());
-        break;
-      }
-      case Kind::Reduce: {
-        const auto& s = static_cast<const ir::ReduceStage&>(*stage);
-        if (sched.reduce == SimSchedules::Reduce::binomial)
-          simnet::reduce_binomial(mach, m, s.words, s.op->ops_cost());
-        else if (sched.reduce == SimSchedules::Reduce::vdg)
-          simnet::allreduce_vdg(mach, m, s.words, s.op->ops_cost());
-        else
-          simnet::allreduce_butterfly(mach, m, s.words, s.op->ops_cost());
-        break;
-      }
-      case Kind::AllReduce: {
-        const auto& s = static_cast<const ir::AllReduceStage&>(*stage);
-        if (sched.reduce == SimSchedules::Reduce::vdg)
-          simnet::allreduce_vdg(mach, m, s.words, s.op->ops_cost());
-        else
-          simnet::allreduce_butterfly(mach, m, s.words, s.op->ops_cost());
-        break;
-      }
-      case Kind::Bcast: {
-        const auto& s = static_cast<const ir::BcastStage&>(*stage);
-        switch (sched.bcast) {
-          case SimSchedules::Bcast::butterfly:
-            simnet::bcast_butterfly(mach, m, s.words, s.root);
-            break;
-          case SimSchedules::Bcast::binomial:
-            simnet::bcast_binomial(mach, m, s.words, s.root);
-            break;
-          case SimSchedules::Bcast::vdg:
-            simnet::bcast_vdg(mach, m, s.words);
-            break;
-          case SimSchedules::Bcast::pipelined:
-            simnet::bcast_pipelined(
-                mach, m, s.words,
-                simnet::optimal_segments(p, m * s.words, mach.net().ts,
-                                         mach.net().tw));
-            break;
-        }
-        break;
-      }
-      case Kind::ScanBalanced: {
-        const auto& s = static_cast<const ir::ScanBalancedStage&>(*stage);
-        simnet::scan_balanced(mach, m, s.op2.words, s.op2.ops_cost);
-        break;
-      }
-      case Kind::ReduceBalanced: {
-        const auto& s = static_cast<const ir::ReduceBalancedStage&>(*stage);
-        simnet::reduce_balanced(mach, m, s.op.words, s.op.ops_cost);
-        break;
-      }
-      case Kind::AllReduceBalanced: {
-        const auto& s = static_cast<const ir::AllReduceBalancedStage&>(*stage);
-        simnet::allreduce_balanced(mach, m, s.op.words, s.op.ops_cost);
-        break;
-      }
-      case Kind::Iter: {
-        const auto& s = static_cast<const ir::IterStage&>(*stage);
-        // 2^k processors: exactly log2(p) doubling steps.  Otherwise the
-        // generalized square-and-multiply costs at most 2 applications per
-        // binary digit of p.
-        const double levels =
-            is_pow2(static_cast<std::uint64_t>(p))
-                ? static_cast<double>(log2_floor(static_cast<std::uint64_t>(p)))
-                : 2.0 * static_cast<double>(
-                            binary_digits(static_cast<std::uint64_t>(p)));
-        simnet::local_iter(mach, m, s.step.ops_cost, levels);
-        break;
-      }
+      i = w->wait + 1;
+      ++w;
+    } else {
+      sim_stage(prog.stage(i), mach, m, sched);
+      ++i;
     }
   }
 }

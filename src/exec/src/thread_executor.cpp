@@ -1,9 +1,12 @@
 #include "colop/exec/thread_executor.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "colop/ir/overlap.h"
 
 #include "colop/obs/live.h"
 #include "colop/obs/sink.h"
@@ -102,6 +105,65 @@ B run_rank(const ir::Program& prog, mpsim::Comm& comm, B block, bool packed,
   return block;
 }
 
+// Execute an eligible overlap window [w.istart, w.wait] on this rank,
+// pipelined over up-to-`segments` sub-blocks: run the collective segment by
+// segment and apply the interior maps to each completed segment while later
+// segments are still in flight.  mpsim's sends are eager, so while this
+// rank computes maps on segment k its peers' sends for segment k+1 are
+// already queued — the collective's latency hides behind the local work.
+// The output is identical to the blocking twin followed by the maps.
+void run_window_boxed(const ir::Program& prog, const ir::OverlapWindow& w,
+                      int segments, mpsim::Comm& comm, Block& block) {
+  const ir::Stage& c = prog.stage(w.istart);
+  const std::size_t m = block.size();
+  const std::size_t want = segments > 0 ? static_cast<std::size_t>(segments) : 1;
+  const std::size_t K = std::max<std::size_t>(1, std::min(want, std::max<std::size_t>(m, 1)));
+  for (std::size_t k = 0; k < K; ++k) {
+    const std::size_t lo = m * k / K;
+    const std::size_t hi = m * (k + 1) / K;
+    Block seg(block.begin() + static_cast<std::ptrdiff_t>(lo),
+              block.begin() + static_cast<std::ptrdiff_t>(hi));
+    switch (c.kind()) {
+      case ir::Stage::Kind::IStartReduce: {
+        const auto& s = static_cast<const ir::IStartReduceStage&>(c);
+        seg = mpsim::reduce(comm, std::move(seg),
+                            lift2([op = s.op](const Value& a, const Value& b) {
+                              return (*op)(a, b);
+                            }),
+                            s.root);
+        break;
+      }
+      case ir::Stage::Kind::IStartAllReduce: {
+        const auto& s = static_cast<const ir::IStartAllReduceStage&>(c);
+        seg = mpsim::allreduce(comm, std::move(seg),
+                               lift2([op = s.op](const Value& a, const Value& b) {
+                                 return (*op)(a, b);
+                               }));
+        break;
+      }
+      case ir::Stage::Kind::IStartBcast: {
+        const auto& s = static_cast<const ir::IStartBcastStage&>(c);
+        seg = mpsim::bcast(comm, std::move(seg), s.root);
+        break;
+      }
+      default:
+        COLOP_ASSERT(false, "overlap window does not start at an istart");
+    }
+    for (std::size_t j = w.istart + 1; j < w.wait; ++j) {
+      const ir::Stage& interior = prog.stage(j);
+      if (interior.kind() == ir::Stage::Kind::Map) {
+        const auto& s = static_cast<const ir::MapStage&>(interior);
+        for (auto& v : seg) v = s.fn(v);
+      } else {
+        const auto& s = static_cast<const ir::MapIndexedStage&>(interior);
+        for (auto& v : seg) v = s.fn(comm.rank(), v);
+      }
+    }
+    std::move(seg.begin(), seg.end(),
+              block.begin() + static_cast<std::ptrdiff_t>(lo));
+  }
+}
+
 std::vector<std::string> stage_labels(const ir::Program& prog) {
   std::vector<std::string> labels;
   labels.reserve(prog.size());
@@ -193,6 +255,34 @@ void exec_stage(const ir::Stage& stage, mpsim::Comm& comm, Block& block) {
       }
       return;
     }
+    // Split-phase fallback: outside an eligible overlap window the istart
+    // degenerates to its blocking twin and wait completes nothing — always
+    // semantics-preserving.  Eligible windows never reach here: run_rank's
+    // overlap engine executes them whole (run_window_boxed).
+    case Kind::IStartReduce: {
+      const auto& s = static_cast<const ir::IStartReduceStage&>(stage);
+      block = mpsim::reduce(comm, std::move(block),
+                            lift2([op = s.op](const Value& a, const Value& b) {
+                              return (*op)(a, b);
+                            }),
+                            s.root);
+      return;
+    }
+    case Kind::IStartAllReduce: {
+      const auto& s = static_cast<const ir::IStartAllReduceStage&>(stage);
+      block = mpsim::allreduce(comm, std::move(block),
+                               lift2([op = s.op](const Value& a, const Value& b) {
+                                 return (*op)(a, b);
+                               }));
+      return;
+    }
+    case Kind::IStartBcast: {
+      const auto& s = static_cast<const ir::IStartBcastStage&>(stage);
+      block = mpsim::bcast(comm, std::move(block), s.root);
+      return;
+    }
+    case Kind::Wait:
+      return;
   }
   COLOP_ASSERT(false, "unhandled stage kind");
 }
@@ -265,6 +355,11 @@ void exec_stage_packed(const ir::Stage& stage, mpsim::Comm& comm,
       }
       return;
     }
+    case Kind::IStartReduce:
+    case Kind::IStartBcast:
+    case Kind::IStartAllReduce:
+    case Kind::Wait:
+      break;  // packable() keeps split-phase off the packed plane
   }
   COLOP_ASSERT(false, "unhandled stage kind");
 }
@@ -306,6 +401,11 @@ ThreadRunResult run_on_threads_instrumented(const ir::Program& prog,
 
   auto group = std::make_shared<mpsim::Group>(p);
   group->fleet().set_stage_labels(stage_labels(prog));
+  // Split-phase overlap: plan the windows once (shared, read-only) and give
+  // each rank a position-tracking executor.  The istart stage runs its
+  // whole window pipelined; the interior and wait stages then no-op.
+  const std::vector<ir::OverlapWindow> windows = ir::overlap_windows(prog);
+  const int segments = ir::overlap_segments_from_env();
   const auto t0 = std::chrono::steady_clock::now();
   auto [output, traffic] = mpsim::run_spmd_collect_traffic_on<Block>(
       group, [&](mpsim::Comm& comm) {
@@ -313,7 +413,16 @@ ThreadRunResult run_on_threads_instrumented(const ir::Program& prog,
         return run_rank(
             prog, comm,
             std::move(input[static_cast<std::size_t>(comm.rank())]), false,
-            [](const ir::Stage& st, mpsim::Comm& c, Block& b) {
+            [&prog, &windows, segments, idx = std::size_t{0}](
+                const ir::Stage& st, mpsim::Comm& c, Block& b) mutable {
+              const std::size_t i = idx++;
+              for (const auto& w : windows) {
+                if (i == w.istart) {
+                  run_window_boxed(prog, w, segments, c, b);
+                  return;
+                }
+                if (i > w.istart && i <= w.wait) return;  // done by the window
+              }
               exec_stage(st, c, b);
             });
       });

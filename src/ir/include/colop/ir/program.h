@@ -48,6 +48,21 @@ class Program {
   Program& allreduce_balanced(BalancedOp op) {
     return push(std::make_shared<AllReduceBalancedStage>(std::move(op)));
   }
+  Program& istart_reduce(BinOpPtr op, int root = 0, int words = 1,
+                         int handle = 0) {
+    return push(std::make_shared<IStartReduceStage>(std::move(op), root, words,
+                                                    handle));
+  }
+  Program& istart_bcast(int root = 0, int words = 1, int handle = 0) {
+    return push(std::make_shared<IStartBcastStage>(root, words, handle));
+  }
+  Program& istart_allreduce(BinOpPtr op, int words = 1, int handle = 0) {
+    return push(std::make_shared<IStartAllReduceStage>(std::move(op), words,
+                                                       handle));
+  }
+  Program& wait(int handle = 0) {
+    return push(std::make_shared<WaitStage>(handle));
+  }
   Program& iter(ElemFn step,
                 std::function<Value(int, const Value&)> general_fold = nullptr) {
     return push(std::make_shared<IterStage>(std::move(step), std::move(general_fold)));

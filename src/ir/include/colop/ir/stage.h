@@ -69,6 +69,19 @@ class Stage {
     ReduceBalanced, // reduce_balanced (op)
     AllReduceBalanced,
     Iter,           // iter (f): f^(log2 p) on the root block, rest undefined
+    // Split-phase (nonblocking) collectives — the MPI_I* family.  An
+    // istart_X issues the collective and names a request handle; the
+    // matching wait(h) completes it.  Denotationally the collective's
+    // result is available immediately (the stages between istart and wait
+    // operate on the continuation value), so istart_X ; L ; wait ≡ X ; L
+    // exactly; the executors exploit the window to overlap the collective's
+    // communication with the intervening elementwise map work.  The static
+    // verifier (verify/splitphase.h, V220-V223) enforces the nonblocking
+    // contracts: matching waits, no buffer reuse in flight, FIFO completion.
+    IStartReduce,   // istart_reduce (op) to root, handle h
+    IStartBcast,    // istart_bcast from root, handle h
+    IStartAllReduce,// istart_allreduce (op), handle h
+    Wait,           // wait (h): complete the outstanding collective h
   };
 
   virtual ~Stage() = default;
@@ -199,5 +212,89 @@ struct IterStage final : Stage {
   /// Shared by the reference evaluator and the executors.
   [[nodiscard]] Value apply_local(int p, const Value& x) const;
 };
+
+// --- split-phase (nonblocking) stages ------------------------------------
+//
+// Reference semantics follow the continuation-overlap reading: the istart
+// applies its blocking twin immediately (the collective's result is the
+// value the following stages see), and wait(h) is a value-level no-op.
+// This makes `istart_X(h) ; L ; wait(h)` extensionally equal to `X ; L`
+// for any local stages L, which is exactly the side condition the
+// Overlap-Split / Wait-Sink rules rely on.  The executors are free to
+// realise the window with genuine communication/computation overlap
+// (segmented pipelining) as long as they reproduce this semantics.
+
+namespace detail {
+inline std::string handle_suffix(int handle) {
+  return handle ? ",h=" + std::to_string(handle) : "";
+}
+}  // namespace detail
+
+struct IStartReduceStage final : Stage {
+  explicit IStartReduceStage(BinOpPtr o, int root_rank = 0, int elem_words = 1,
+                             int req_handle = 0)
+      : op(std::move(o)), root(root_rank), words(elem_words), handle(req_handle) {}
+  BinOpPtr op;
+  int root;
+  int words;   ///< transmitted words per element
+  int handle;  ///< request handle matched by the wait
+  [[nodiscard]] Kind kind() const override { return Kind::IStartReduce; }
+  [[nodiscard]] std::string show() const override {
+    return "istart_reduce(" + op->name() +
+           (root ? ",root=" + std::to_string(root) : "") +
+           detail::handle_suffix(handle) + ")";
+  }
+  void eval_reference(Dist& state) const override;
+};
+
+struct IStartBcastStage final : Stage {
+  explicit IStartBcastStage(int root_rank = 0, int elem_words = 1,
+                            int req_handle = 0)
+      : root(root_rank), words(elem_words), handle(req_handle) {}
+  int root;
+  int words;   ///< transmitted words per element
+  int handle;  ///< request handle matched by the wait
+  [[nodiscard]] Kind kind() const override { return Kind::IStartBcast; }
+  [[nodiscard]] std::string show() const override {
+    std::string args;
+    if (root) args = "root=" + std::to_string(root);
+    if (handle) args += (args.empty() ? "h=" : ",h=") + std::to_string(handle);
+    return args.empty() ? "istart_bcast" : "istart_bcast(" + args + ")";
+  }
+  void eval_reference(Dist& state) const override;
+};
+
+struct IStartAllReduceStage final : Stage {
+  explicit IStartAllReduceStage(BinOpPtr o, int elem_words = 1,
+                                int req_handle = 0)
+      : op(std::move(o)), words(elem_words), handle(req_handle) {}
+  BinOpPtr op;
+  int words;   ///< transmitted words per element
+  int handle;  ///< request handle matched by the wait
+  [[nodiscard]] Kind kind() const override { return Kind::IStartAllReduce; }
+  [[nodiscard]] std::string show() const override {
+    return "istart_allreduce(" + op->name() + detail::handle_suffix(handle) + ")";
+  }
+  void eval_reference(Dist& state) const override;
+};
+
+struct WaitStage final : Stage {
+  explicit WaitStage(int req_handle = 0) : handle(req_handle) {}
+  int handle;  ///< request handle of the istart this completes
+  [[nodiscard]] Kind kind() const override { return Kind::Wait; }
+  [[nodiscard]] std::string show() const override {
+    return handle ? "wait(h=" + std::to_string(handle) + ")" : "wait";
+  }
+  void eval_reference(Dist& state) const override;
+};
+
+/// True for the three istart kinds.
+inline bool is_istart(Stage::Kind k) {
+  return k == Stage::Kind::IStartReduce || k == Stage::Kind::IStartBcast ||
+         k == Stage::Kind::IStartAllReduce;
+}
+
+/// Request handle of an istart/wait stage; -1 for every other kind.
+int splitphase_handle(const Stage& s);
 
 }  // namespace colop::ir

@@ -100,6 +100,13 @@ bool packable(const Program& prog, const Shape& input, int p) {
           if (!(after == s)) return false;  // applied log2(p) times
           break;
         }
+        case Stage::Kind::IStartReduce:
+        case Stage::Kind::IStartBcast:
+        case Stage::Kind::IStartAllReduce:
+        case Stage::Kind::Wait:
+          // Split-phase stages stay on the boxed plane: the overlap window
+          // engine pipelines boxed segments and has no packed kernels.
+          return false;
       }
     }
   } catch (const Error&) {
@@ -261,6 +268,12 @@ void eval_reference_packed(const Program& prog, PackedDist& state) {
           state[r] = PackedBlock::wild(state[r].size());
         break;
       }
+      case Stage::Kind::IStartReduce:
+      case Stage::Kind::IStartBcast:
+      case Stage::Kind::IStartAllReduce:
+      case Stage::Kind::Wait:
+        // packable() rejects split-phase programs before this point.
+        throw_error("eval_reference_packed: split-phase stages are boxed-only");
     }
   }
 }

@@ -88,6 +88,22 @@ class Parser {
     return integer();
   }
 
+  // Parse a `,key=value` tail of root=/h= pairs (istart stages).  Entries
+  // already consumed by the caller keep their defaults.
+  void optional_root_handle(int& root, int& handle, bool allow_root) {
+    while (accept(',')) {
+      const std::string key = ident();
+      expect('=');
+      if (key == "root" && allow_root) {
+        root = integer();
+      } else if (key == "h") {
+        handle = integer();
+      } else {
+        fail("expected '" + std::string(allow_root ? "root' or 'h" : "h") + "'");
+      }
+    }
+  }
+
   void parse_stage(Program& prog) {
     const std::string kw = ident();
     if (kw == "map") {
@@ -132,6 +148,50 @@ class Parser {
         expect(')');
       }
       prog.bcast(root);
+    } else if (kw == "istart_reduce") {
+      expect('(');
+      auto op = parse_op(op_name());
+      int root = 0;
+      int handle = 0;
+      optional_root_handle(root, handle, /*allow_root=*/true);
+      expect(')');
+      prog.istart_reduce(std::move(op), root, 1, handle);
+    } else if (kw == "istart_allreduce") {
+      expect('(');
+      auto op = parse_op(op_name());
+      int root = 0;
+      int handle = 0;
+      optional_root_handle(root, handle, /*allow_root=*/false);
+      expect(')');
+      prog.istart_allreduce(std::move(op), 1, handle);
+    } else if (kw == "istart_bcast") {
+      int root = 0;
+      int handle = 0;
+      if (accept('(')) {
+        // First entry has no leading comma: back up to share the kv parser.
+        const std::string key = ident();
+        expect('=');
+        if (key == "root") {
+          root = integer();
+        } else if (key == "h") {
+          handle = integer();
+        } else {
+          fail("expected 'root' or 'h'");
+        }
+        optional_root_handle(root, handle, /*allow_root=*/true);
+        expect(')');
+      }
+      prog.istart_bcast(root, 1, handle);
+    } else if (kw == "wait") {
+      int handle = 0;
+      if (accept('(')) {
+        const std::string key = ident();
+        if (key != "h") fail("expected 'h'");
+        expect('=');
+        handle = integer();
+        expect(')');
+      }
+      prog.wait(handle);
     } else {
       fail("unknown stage '" + kw + "'");
     }

@@ -55,6 +55,23 @@ Shape step(const Stage& stage, const Shape& in) {
     }
     case Kind::Iter:
       return in;  // iter's step is shape-preserving by construction
+    case Kind::IStartReduce:
+      require_words(stage.show(),
+                    static_cast<const IStartReduceStage&>(stage).words,
+                    in.words());
+      return in;
+    case Kind::IStartBcast:
+      require_words(stage.show(),
+                    static_cast<const IStartBcastStage&>(stage).words,
+                    in.words());
+      return in;
+    case Kind::IStartAllReduce:
+      require_words(stage.show(),
+                    static_cast<const IStartAllReduceStage&>(stage).words,
+                    in.words());
+      return in;
+    case Kind::Wait:
+      return in;  // wait transmits nothing and preserves the shape
   }
   COLOP_ASSERT(false, "unhandled stage kind in shape inference");
 }

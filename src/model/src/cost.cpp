@@ -1,9 +1,11 @@
 #include "colop/model/cost.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
 
+#include "colop/ir/overlap.h"
 #include "colop/support/bits.h"
 #include "colop/support/error.h"
 
@@ -131,6 +133,31 @@ Cost stage_cost(const ir::Stage& stage) {
       c.logp_m = s.step.ops_cost;
       break;
     }
+    // Split-phase: the istart carries its blocking twin's full cost and
+    // the wait is free, so a window's SUM equals the blocking schedule —
+    // program_time then discounts eligible windows to max(comm, local).
+    case Kind::IStartReduce: {
+      const auto& s = static_cast<const ir::IStartReduceStage&>(stage);
+      c.logp_ts = 1;
+      c.logp_mtw = s.words;
+      c.logp_m = s.op->ops_cost();
+      break;
+    }
+    case Kind::IStartAllReduce: {
+      const auto& s = static_cast<const ir::IStartAllReduceStage&>(stage);
+      c.logp_ts = 1;
+      c.logp_mtw = s.words;
+      c.logp_m = s.op->ops_cost();
+      break;
+    }
+    case Kind::IStartBcast: {
+      const auto& s = static_cast<const ir::IStartBcastStage&>(stage);
+      c.logp_ts = 1;
+      c.logp_mtw = s.words;
+      break;
+    }
+    case Kind::Wait:
+      break;  // completion is free; the cost lives at the istart
   }
   return c;
 }
@@ -142,7 +169,33 @@ Cost program_cost(const ir::Program& prog) {
 }
 
 double program_time(const ir::Program& prog, const Machine& mach) {
-  return program_cost(prog).eval(mach);
+  // Overlap-aware pricing: inside an eligible istart ; maps ; wait window
+  // the executor hides the collective behind the interior local work, so
+  // the window contributes max(comm, local) instead of their sum.  Stages
+  // outside any window — including malformed split-phase spans, which fall
+  // back to blocking execution — keep the synchronous sum.
+  const auto windows = ir::overlap_windows(prog);
+  if (windows.empty()) return program_cost(prog).eval(mach);
+
+  double total = 0;
+  std::size_t i = 0;
+  auto w = windows.begin();
+  const auto n = prog.size();
+  while (i < n) {
+    if (w != windows.end() && i == w->istart) {
+      const double comm = stage_cost(prog.stage(w->istart)).eval(mach);
+      double local = 0;
+      for (std::size_t j = w->istart + 1; j < w->wait; ++j)
+        local += stage_cost(prog.stage(j)).eval(mach);
+      total += std::max(comm, local);
+      i = w->wait + 1;
+      ++w;
+    } else {
+      total += stage_cost(prog.stage(i)).eval(mach);
+      ++i;
+    }
+  }
+  return total;
 }
 
 double t_bcast(const Machine& mach) {

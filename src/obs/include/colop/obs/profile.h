@@ -64,12 +64,21 @@ struct StageProfile {
   double busy = 0;         ///< summed compute time across ranks
   double comm = 0;         ///< summed link time across ranks
   double model_time = 0;   ///< cost calculus' prediction for this stage
+  /// True when the stage sits inside an istart..wait overlap window.  The
+  /// whole window's time is attributed to the istart stage (interior maps
+  /// and the wait show zero: their work hides under the collective).
+  bool overlapped = false;
 };
 
 struct Profile {
   std::string program;
   int procs = 0;
   double makespan = 0;
+  /// Makespan of the same schedule replayed synchronously (every istart
+  /// priced as its blocking twin, no window discount); 0 when the program
+  /// has no overlap windows.  makespan <= blocking_makespan always holds —
+  /// the report prints the gap as "hidden by overlap".
+  double blocking_makespan = 0;
   std::vector<RankProfile> ranks;
   std::vector<CriticalSegment> critical_path;
   std::vector<StageProfile> stages;

@@ -144,44 +144,59 @@ PredictedTraffic predicted_traffic(const ir::Program& prog,
       case Kind::Map:
       case Kind::MapIndexed:
       case Kind::Iter:
-        break;  // local: no traffic
+      case Kind::Wait:
+        break;  // local: no traffic (wait only completes earlier traffic)
       case Kind::Scan: {
         const auto& s = static_cast<const ir::ScanStage&>(*stage);
         butterfly_exchanges(c, p, m * s.words);
         break;
       }
-      case Kind::Reduce: {
-        const auto& s = static_cast<const ir::ReduceStage&>(*stage);
+      case Kind::Reduce:
+      case Kind::IStartReduce: {
+        // An istart moves the same traffic as its blocking twin; only the
+        // clock accounting differs (overlap), which traffic counts ignore.
+        const int words =
+            stage->kind() == Kind::Reduce
+                ? static_cast<const ir::ReduceStage&>(*stage).words
+                : static_cast<const ir::IStartReduceStage&>(*stage).words;
         if (sched.reduce == exec::SimSchedules::Reduce::binomial)
-          reduce_binomial(c, p, m * s.words);
+          reduce_binomial(c, p, m * words);
         else if (sched.reduce == exec::SimSchedules::Reduce::vdg)
-          allreduce_vdg(c, p, m, s.words);
+          allreduce_vdg(c, p, m, words);
         else
-          allreduce_butterfly(c, p, m * s.words);
+          allreduce_butterfly(c, p, m * words);
         break;
       }
-      case Kind::AllReduce: {
-        const auto& s = static_cast<const ir::AllReduceStage&>(*stage);
+      case Kind::AllReduce:
+      case Kind::IStartAllReduce: {
+        const int words =
+            stage->kind() == Kind::AllReduce
+                ? static_cast<const ir::AllReduceStage&>(*stage).words
+                : static_cast<const ir::IStartAllReduceStage&>(*stage).words;
         if (sched.reduce == exec::SimSchedules::Reduce::vdg)
-          allreduce_vdg(c, p, m, s.words);
+          allreduce_vdg(c, p, m, words);
         else
-          allreduce_butterfly(c, p, m * s.words);
+          allreduce_butterfly(c, p, m * words);
         break;
       }
-      case Kind::Bcast: {
-        const auto& s = static_cast<const ir::BcastStage&>(*stage);
+      case Kind::Bcast:
+      case Kind::IStartBcast: {
+        const int words =
+            stage->kind() == Kind::Bcast
+                ? static_cast<const ir::BcastStage&>(*stage).words
+                : static_cast<const ir::IStartBcastStage&>(*stage).words;
         switch (sched.bcast) {
           case exec::SimSchedules::Bcast::butterfly:
-            butterfly_exchanges(c, p, m * s.words);
+            butterfly_exchanges(c, p, m * words);
             break;
           case exec::SimSchedules::Bcast::binomial:
-            bcast_binomial(c, p, m * s.words);
+            bcast_binomial(c, p, m * words);
             break;
           case exec::SimSchedules::Bcast::vdg:
-            bcast_vdg(c, p, m, s.words);
+            bcast_vdg(c, p, m, words);
             break;
           case exec::SimSchedules::Bcast::pipelined:
-            bcast_pipelined(c, p, m, s.words, mach.ts, mach.tw);
+            bcast_pipelined(c, p, m, words, mach.ts, mach.tw);
             break;
         }
         break;

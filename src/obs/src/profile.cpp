@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "colop/ir/overlap.h"
 #include "colop/model/cost.h"
 #include "colop/obs/chrome_trace.h"
 #include "colop/obs/json.h"
@@ -208,11 +209,20 @@ Profile profile_program(const ir::Program& prog, const model::Machine& mach,
   std::vector<Event> stage_spans;
   std::vector<double> before(static_cast<std::size_t>(mach.p), 0.0);
   const auto& stages = prog.stages();
-  for (std::size_t i = 0; i < stages.size(); ++i) {
-    ir::Program single;
-    single.push(stages[i]);
-    sim.set_trace_label(stages[i]->show());
-    exec::run_on_simnet(single, sim, mach.m, opts.sched);
+  // istart..wait windows replay as a unit so run_on_simnet's overlap
+  // discount applies; their machine ops and spans are attributed to the
+  // istart stage and labeled as overlapped.
+  const auto windows = ir::overlap_windows(prog);
+  auto w = windows.begin();
+  for (std::size_t i = 0; i < stages.size();) {
+    const bool in_window = w != windows.end() && i == w->istart;
+    const std::size_t last = in_window ? w->wait : i;
+    ir::Program piece;
+    for (std::size_t j = i; j <= last; ++j) piece.push(stages[j]);
+    std::string label = stages[i]->show();
+    if (in_window) label = "overlap{" + piece.show() + "}";
+    sim.set_trace_label(label);
+    exec::run_on_simnet(piece, sim, mach.m, opts.sched);
     for (Event e : sink.events()) {
       e.args.emplace_back("stage", std::to_string(i));
       machine_events.push_back(std::move(e));
@@ -223,16 +233,19 @@ Profile profile_program(const ir::Program& prog, const model::Machine& mach,
       if (end <= before[static_cast<std::size_t>(r)]) continue;
       Event span;
       span.phase = Phase::complete;
-      span.name = stages[i]->show();
+      span.name = label;
       span.cat = "exec";
       span.ts = before[static_cast<std::size_t>(r)];
       span.dur = end - before[static_cast<std::size_t>(r)];
       span.tid = r;
       span.args.emplace_back("stage", std::to_string(i));
+      if (in_window) span.args.emplace_back("overlapped", "1");
       stage_spans.push_back(std::move(span));
     }
     for (int r = 0; r < mach.p; ++r)
       before[static_cast<std::size_t>(r)] = sim.clock(r);
+    if (in_window) ++w;
+    i = last + 1;
   }
 
   Profile prof = profile_events(machine_events, mach.p, sim.makespan());
@@ -249,8 +262,21 @@ Profile profile_program(const ir::Program& prog, const model::Machine& mach,
     sp.index = static_cast<int>(i);
     sp.label = stages[i]->show();
     sp.model_time = model::stage_cost(*stages[i]).eval(mach);
+    sp.overlapped = ir::in_overlap_window(windows, i);
     if (i < opts.provenance.size()) sp.rule = opts.provenance[i];
     prof.stages.push_back(std::move(sp));
+  }
+
+  // Synchronous baseline: replay stage by stage (an istart alone prices as
+  // its blocking twin) so the report can say how much the windows hid.
+  if (!windows.empty()) {
+    simnet::SimMachine blocking(mach.p, simnet::NetParams{mach.ts, mach.tw});
+    for (const auto& stage : stages) {
+      ir::Program single;
+      single.push(stage);
+      exec::run_on_simnet(single, blocking, mach.m, opts.sched);
+    }
+    prof.blocking_makespan = blocking.makespan();
   }
 
   if (opts.keep_events) {
@@ -323,10 +349,17 @@ std::string Profile::render_text() const {
   double model_total = 0;
   for (const StageProfile& sp : stages) model_total += sp.model_time;
   for (const StageProfile& sp : stages)
-    st.add(sp.index, sp.label, sp.rule.empty() ? "-" : sp.rule, sp.critical,
+    st.add(sp.index, sp.overlapped ? sp.label + " [overlapped]" : sp.label,
+           sp.rule.empty() ? "-" : sp.rule, sp.critical,
            pct(sp.critical, makespan), sp.model_time,
            pct(sp.model_time, model_total));
   st.print(os);
+  if (blocking_makespan > 0) {
+    os << "overlap: makespan " << makespan << " vs blocking "
+       << blocking_makespan << " ("
+       << pct(blocking_makespan - makespan, blocking_makespan)
+       << " hidden by istart..wait windows)\n";
+  }
   if (const StageProfile* b = bottleneck()) {
     os << "bottleneck: stage " << b->index << " " << b->label << " ("
        << pct(b->critical, makespan) << " of the critical path)";
@@ -372,6 +405,7 @@ void Profile::write_json(std::ostream& os) const {
   os << "{\"program\":" << json::quote(program) << trace_id_json_field()
      << ",\"p\":" << procs
      << ",\"makespan\":" << json::number(makespan)
+     << ",\"blocking_makespan\":" << json::number(blocking_makespan)
      << ",\"balanced\":" << (balanced() ? "true" : "false")
      << ",\"path_complete\":" << (path_complete() ? "true" : "false")
      << ",\"ranks\":[";
@@ -393,7 +427,8 @@ void Profile::write_json(std::ostream& os) const {
        << ",\"critical\":" << json::number(s.critical)
        << ",\"busy\":" << json::number(s.busy)
        << ",\"comm\":" << json::number(s.comm)
-       << ",\"model_time\":" << json::number(s.model_time) << "}";
+       << ",\"model_time\":" << json::number(s.model_time)
+       << ",\"overlapped\":" << (s.overlapped ? "true" : "false") << "}";
   }
   os << "],\"critical_path\":[";
   first = true;

@@ -104,8 +104,26 @@ using RulePtr = std::shared_ptr<const Rule>;
 /// the fusion rules; used by the exhaustive optimizer.
 [[nodiscard]] RulePtr rule_mb_swap();
 
+// --- split-phase overlap rules -------------------------------------------
+// Beyond the paper's synchronous model: crack a blocking collective into an
+// istart/wait pair straddling independent elementwise work, so the executor
+// can hide the communication behind the map (the cost model prices the
+// window as max(comm, local) instead of their sum).  Both are FULL
+// equivalences under the continuation-overlap semantics (stage.h); their
+// legality side conditions (no request outstanding at the seam, interior
+// stages elementwise-local) are re-checked per application and then
+// discharged as V30x certificates plus the V22x split-phase contracts.
+[[nodiscard]] RulePtr rule_overlap_split();  ///< C ; map -> istart_C ; map ; wait
+[[nodiscard]] RulePtr rule_wait_sink();      ///< wait ; map -> map ; wait
+
 /// All rules above, in the paper's presentation order.
 [[nodiscard]] std::vector<RulePtr> all_rules();
+
+/// The split-phase overlap rules (Overlap-Split, Wait-Sink).  Kept out of
+/// all_rules(): the optimizer considers them only under `colopt --overlap`,
+/// but certificate replay always recognises them (all_rules() +
+/// overlap_rules()).
+[[nodiscard]] std::vector<RulePtr> overlap_rules();
 
 /// True iff, in `prog`, every stage after index `after` up to (and
 /// including) the first collective stage is rank-uniform and that first

@@ -674,6 +674,129 @@ class MbSwap final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------
+// Split-phase overlap rules
+// ---------------------------------------------------------------------
+
+// Request handles outstanding just before stage `at` (issue order kept).
+std::vector<int> outstanding_before(const Program& prog, std::size_t at) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < at && i < prog.size(); ++i) {
+    const Stage& s = prog.stage(i);
+    if (ir::is_istart(s.kind())) {
+      out.push_back(ir::splitphase_handle(s));
+    } else if (s.kind() == Stage::Kind::Wait) {
+      const int h = ir::splitphase_handle(s);
+      for (auto it = out.begin(); it != out.end(); ++it)
+        if (*it == h) {
+          out.erase(it);
+          break;
+        }
+    }
+  }
+  return out;
+}
+
+// Smallest handle no istart/wait anywhere in the program uses.
+int fresh_handle(const Program& prog) {
+  int max_used = 0;
+  for (const auto& s : prog.stages()) {
+    const int h = ir::splitphase_handle(*s);
+    if (h > max_used) max_used = h;
+  }
+  return max_used + 1;
+}
+
+class OverlapSplit final : public Rule {
+ public:
+  [[nodiscard]] std::string name() const override { return "Overlap-Split"; }
+  [[nodiscard]] std::string description() const override {
+    return "C ; map(f)  -->  istart_C(h) ; map(f) ; wait(h)   for C in "
+           "{reduce, allreduce, bcast} — the executor hides C's "
+           "communication behind the independent map; legal when no other "
+           "request is in flight at the seam";
+  }
+  [[nodiscard]] std::optional<RuleMatch> match(const Program& prog,
+                                               std::size_t at) const override {
+    if (at >= prog.size()) return std::nullopt;
+    const Stage& c = prog.stage(at);
+    const Stage::Kind ck = c.kind();
+    if (ck != Stage::Kind::Reduce && ck != Stage::Kind::AllReduce &&
+        ck != Stage::Kind::Bcast)
+      return std::nullopt;
+    if (at + 1 >= prog.size()) return std::nullopt;
+    const Stage::Kind mk = prog.stage(at + 1).kind();
+    if (mk != Stage::Kind::Map && mk != Stage::Kind::MapIndexed)
+      return std::nullopt;
+    if (!outstanding_before(prog, at).empty()) {
+      reject("another nonblocking request is already in flight here");
+      return std::nullopt;
+    }
+
+    const int h = fresh_handle(prog);
+    RuleMatch m;
+    m.rule_name = name();
+    m.first = at;
+    m.count = 2;
+    switch (ck) {
+      case Stage::Kind::Reduce: {
+        const auto& rd = static_cast<const ir::ReduceStage&>(c);
+        m.replacement.push_back(std::make_shared<ir::IStartReduceStage>(
+            rd.op, rd.root, rd.words, h));
+        m.note = "C=reduce(" + rd.op->name() + ")";
+        break;
+      }
+      case Stage::Kind::AllReduce: {
+        const auto& ar = static_cast<const ir::AllReduceStage&>(c);
+        m.replacement.push_back(std::make_shared<ir::IStartAllReduceStage>(
+            ar.op, ar.words, h));
+        m.note = "C=allreduce(" + ar.op->name() + ")";
+        break;
+      }
+      default: {
+        const auto& bc = static_cast<const ir::BcastStage&>(c);
+        m.replacement.push_back(
+            std::make_shared<ir::IStartBcastStage>(bc.root, bc.words, h));
+        m.note = "C=bcast";
+        break;
+      }
+    }
+    m.replacement.push_back(prog.stages()[at + 1]);
+    m.replacement.push_back(std::make_shared<ir::WaitStage>(h));
+    m.equivalence = Equivalence::full;
+    return m;
+  }
+};
+
+class WaitSink final : public Rule {
+ public:
+  [[nodiscard]] std::string name() const override { return "Wait-Sink"; }
+  [[nodiscard]] std::string description() const override {
+    return "wait(h) ; map(f)  -->  map(f) ; wait(h)   — widen an overlap "
+           "window past elementwise work that does not need the request's "
+           "completion";
+  }
+  [[nodiscard]] std::optional<RuleMatch> match(const Program& prog,
+                                               std::size_t at) const override {
+    if (at >= prog.size() || prog.stage(at).kind() != Stage::Kind::Wait)
+      return std::nullopt;
+    if (at + 1 >= prog.size()) return std::nullopt;
+    const Stage::Kind mk = prog.stage(at + 1).kind();
+    if (mk != Stage::Kind::Map && mk != Stage::Kind::MapIndexed)
+      return std::nullopt;
+
+    RuleMatch m;
+    m.rule_name = name();
+    m.first = at;
+    m.count = 2;
+    m.replacement.push_back(prog.stages()[at + 1]);
+    m.replacement.push_back(prog.stages()[at]);
+    m.equivalence = Equivalence::full;
+    m.note = "h=" + std::to_string(ir::splitphase_handle(prog.stage(at)));
+    return m;
+  }
+};
+
 }  // namespace
 
 namespace {
@@ -712,6 +835,8 @@ RulePtr rule_rb_allreduce() { return std::make_shared<RbAllreduce>(); }
 RulePtr rule_sb_elim() { return std::make_shared<SbElim>(); }
 RulePtr rule_bb_elim() { return std::make_shared<BbElim>(); }
 RulePtr rule_mb_swap() { return std::make_shared<MbSwap>(); }
+RulePtr rule_overlap_split() { return std::make_shared<OverlapSplit>(); }
+RulePtr rule_wait_sink() { return std::make_shared<WaitSink>(); }
 
 std::vector<RulePtr> all_rules() {
   return {rule_sr2_reduction(), rule_sr_reduction(),  rule_ss2_scan(),
@@ -720,6 +845,10 @@ std::vector<RulePtr> all_rules() {
           rule_bsr_local(),     rule_cr_alllocal(),   rule_bsr2_alllocal(),
           rule_bsr_alllocal(),  rule_rb_allreduce(),  rule_sb_elim(),
           rule_bb_elim(),       rule_mb_swap()};
+}
+
+std::vector<RulePtr> overlap_rules() {
+  return {rule_overlap_split(), rule_wait_sink()};
 }
 
 bool masked_by_bcast(const ir::Program& prog, std::size_t after, int root) {

@@ -100,7 +100,12 @@ bool search_persistent_stage(const ir::Stage& stage) {
     case ir::Stage::Kind::Reduce:
     case ir::Stage::Kind::AllReduce:
     case ir::Stage::Kind::Bcast:
+    case ir::Stage::Kind::IStartReduce:
+    case ir::Stage::Kind::IStartBcast:
+    case ir::Stage::Kind::IStartAllReduce:
+    case ir::Stage::Kind::Wait:
       return false;  // consumable: some rule's LHS eliminates these
+                     // (split-phase stages also price below their window)
     case ir::Stage::Kind::Map:          // MB-Swap re-emits it, cost unchanged
     case ir::Stage::Kind::MapIndexed:
     case ir::Stage::Kind::ScanBalanced:

@@ -73,6 +73,12 @@ class SimMachine {
   [[nodiscard]] double makespan() const;
   [[nodiscard]] double clock(int proc) const;
 
+  /// Advance proc's clock to at least `t` (no-op if already past).  Used by
+  /// the overlap window pricing: after simulating an istart's collective,
+  /// each rank's clock is raised to issue-time + local work, so the window
+  /// costs max(comm, local) instead of their sum.
+  void advance_to(int proc, double t);
+
   /// Align all clocks to the current makespan (models the implicit wait at
   /// the start of an experiment round; NOT used between collective stages,
   /// which the paper explicitly leaves unsynchronized).

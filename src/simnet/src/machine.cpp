@@ -115,6 +115,12 @@ double SimMachine::clock(int proc) const {
   return clock_[static_cast<std::size_t>(proc)];
 }
 
+void SimMachine::advance_to(int proc, double t) {
+  check(proc);
+  auto& c = clock_[static_cast<std::size_t>(proc)];
+  if (t > c) c = t;
+}
+
 void SimMachine::barrier() {
   const double t = makespan();
   std::fill(clock_.begin(), clock_.end(), t);

@@ -1,0 +1,38 @@
+#pragma once
+// Split-phase (nonblocking) contract analysis — the PARCOACH bug class for
+// the MPI_I* family, over colop's straight-line SPMD programs.
+//
+// The abstract state is the ordered list of OUTSTANDING request handles
+// (issue order preserved).  Because programs are straight-line, "on all
+// paths" collapses to "at this program point", and the rank-divergence
+// question PARCOACH answers on arbitrary control flow reduces to checking
+// that completions respect issue order: every rank executes the same stage
+// list, so the per-rank collective-tag sequences can only diverge if a wait
+// overtakes an older outstanding istart.
+//
+//   V220  istart whose request never reaches a wait (unmatched nonblocking
+//         collective: the communication is never completed)
+//   V221  wait with no outstanding matching istart (double wait, or a wait
+//         issued before its istart)
+//   V222  in-flight buffer hazard: a blocking collective/iter reads or
+//         writes the distributed value while a request is outstanding, or
+//         an istart re-issues a handle that is already in flight (buffer
+//         reuse before completion)
+//   V223  completion overtakes issue order: wait(h) fires while an istart
+//         issued BEFORE h's is still outstanding — under the
+//         rank-distribution abstraction the collective issue order is no
+//         longer consistent across ranks
+//
+// analyze_schedule() runs this pass automatically; it is exposed on its own
+// for tests and for the overlap rules' side-condition discharge.
+
+#include "colop/verify/schedule.h"
+
+namespace colop::verify {
+
+/// Walk the program's split-phase stages and report every V22x violation.
+/// Programs without istart/wait stages yield an empty report.
+[[nodiscard]] Report analyze_splitphase(const ir::Program& prog,
+                                        const ScheduleOptions& opts = {});
+
+}  // namespace colop::verify

@@ -123,6 +123,12 @@ std::string side_condition_of(const std::string& rule_name) {
   if (rule_name == "RB-Allreduce" || rule_name == "SB-Elim" ||
       rule_name == "BB-Elim" || rule_name == "MB-Swap")
     return "structural (no algebraic side condition)";
+  if (rule_name == "Overlap-Split")
+    return "no request in flight at the seam; interior elementwise-local "
+           "(V22x split-phase contracts hold)";
+  if (rule_name == "Wait-Sink")
+    return "sunk-past stage is elementwise-local and does not need the "
+           "request's completion";
   return "associativity of the collective operators";
 }
 
@@ -322,7 +328,10 @@ DerivationCertificates certify_derivation(
     const Program& source, const std::vector<rules::AppliedRule>& log,
     const CertifyOptions& opts) {
   DerivationCertificates out;
-  const auto rules = rules::all_rules();
+  // Replay recognises every rule the optimizer could have used, including
+  // the --overlap-gated split-phase rules.
+  auto rules = rules::all_rules();
+  for (auto& r : rules::overlap_rules()) rules.push_back(std::move(r));
   PropertyCheckOptions popts;
   popts.random_trials = opts.property_trials;
   popts.seed = opts.seed;
@@ -343,7 +352,8 @@ SequenceCertification certify_sequences(
     const std::vector<std::vector<rules::AppliedRule>>& paths,
     const CertifyOptions& opts) {
   SequenceCertification out;
-  const auto rules = rules::all_rules();
+  auto rules = rules::all_rules();
+  for (auto& r : rules::overlap_rules()) rules.push_back(std::move(r));
   PropertyCheckOptions popts;
   popts.random_trials = opts.property_trials;
   popts.seed = opts.seed;

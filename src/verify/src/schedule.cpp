@@ -5,6 +5,7 @@
 #include "colop/ir/shapes.h"
 #include "colop/support/bits.h"
 #include "colop/support/error.h"
+#include "colop/verify/splitphase.h"
 
 namespace colop::verify {
 namespace {
@@ -200,6 +201,55 @@ struct Walker {
           st = DistState::uniform();
           break;
         }
+        // Split-phase: the continuation semantics makes the collective's
+        // result visible immediately, so the istart carries its blocking
+        // twin's distribution contract and post-state; wait is a no-op.
+        // The V22x nonblocking contracts are analyze_splitphase's job.
+        case Stage::Kind::IStartReduce: {
+          const auto& rd = static_cast<const ir::IStartReduceStage&>(stage);
+          if (!rd.op->associative())
+            diag(Severity::error, "V207", i,
+                 "operator `" + rd.op->name() +
+                     "` is not declared associative; a tree schedule of this "
+                     "reduction regroups applications and would change the "
+                     "result",
+                 "use reduce_balanced or fix the operator declaration");
+          static_cast<void>(root_in_range(rd.root, i));
+          static_cast<void>(need_all_defined(st, i, "istart_reduce"));
+          st = DistState::root_only(rd.root);
+          break;
+        }
+        case Stage::Kind::IStartAllReduce: {
+          const auto& ar = static_cast<const ir::IStartAllReduceStage&>(stage);
+          if (!ar.op->associative())
+            diag(Severity::error, "V207", i,
+                 "operator `" + ar.op->name() +
+                     "` is not declared associative; a butterfly schedule of "
+                     "this collective regroups applications and would change "
+                     "the result",
+                 "use allreduce_balanced or fix the operator declaration");
+          static_cast<void>(need_all_defined(st, i, "istart_allreduce"));
+          st = DistState::uniform();
+          break;
+        }
+        case Stage::Kind::IStartBcast: {
+          const auto& bc = static_cast<const ir::IStartBcastStage&>(stage);
+          static_cast<void>(root_in_range(bc.root, i));
+          if (st.kind == DistState::Kind::root_only && st.root != bc.root)
+            diag(Severity::error, "V202", i,
+                 "istart_bcast roots at rank " + std::to_string(bc.root) +
+                     ", whose block is undefined — the defined data lives "
+                     "only at rank " +
+                     std::to_string(st.root) + " (state " + st.to_string() +
+                     "); every rank would receive `_`",
+                 "root the istart_bcast at " + std::to_string(st.root) +
+                     " (or root the producing reduce at " +
+                     std::to_string(bc.root) + ")");
+          st = DistState::uniform();
+          break;
+        }
+        case Stage::Kind::Wait:
+          break;  // completes communication; the value is unchanged
       }
       states.push_back(st);
     }
@@ -309,6 +359,13 @@ std::optional<Ineligibility> packed_ineligibility(const Program& prog,
                    "packed application cannot express"};
           break;
         }
+        case Stage::Kind::IStartReduce:
+        case Stage::Kind::IStartBcast:
+        case Stage::Kind::IStartAllReduce:
+        case Stage::Kind::Wait:
+          return Ineligibility{
+              i, "split-phase stages are boxed-only (the overlap window "
+                 "engine pipelines boxed segments)"};
       }
     }
   } catch (const Error& e) {
@@ -357,6 +414,10 @@ Report analyze_schedule(const Program& prog, const ScheduleOptions& opts) {
 
   Walker w{prog, opts, &report, {}};
   w.walk();
+
+  // The split-phase nonblocking contracts (V220-V223) ride along with every
+  // schedule analysis; programs without istart/wait add nothing.
+  report.merge(analyze_splitphase(prog, opts));
 
   if (opts.lints) {
     if (auto inel = packed_ineligibility(prog, opts.input, opts.p)) {

@@ -116,6 +116,12 @@ void usage() {
       "                 unless masked by a later bcast)\n"
       "  --max-mem N    memory budget: reject rewrites whose peak element\n"
       "                 width exceeds N words (Section 4.2's caveat)\n"
+      "  --overlap[=K]  enable the split-phase overlap rules (Overlap-Split,\n"
+      "                 Wait-Sink): collectives followed by elementwise maps\n"
+      "                 are rewritten to istart_C ; map... ; wait windows the\n"
+      "                 executor pipelines in K segments (default 4, K >= 2).\n"
+      "                 Works with every --opt strategy and with --verify,\n"
+      "                 whose V22x split-phase contracts gate the result\n"
       "  --timeline     render before/after per-processor timelines\n"
       "  --rules        list the rule catalog and exit\n"
       "  --verify       statically verify the run: operator property\n"
@@ -198,7 +204,9 @@ void usage() {
       "                 or the 'calibrated' one (measure + fit, then use\n"
       "                 the fitted ts/tw)\n"
       "program syntax:  map(pair|triple|quadruple|pi1|id) | scan(OP) |\n"
-      "                 reduce(OP[,root=K]) | allreduce(OP) | bcast[(root=K)]\n"
+      "                 reduce(OP[,root=K]) | allreduce(OP) | bcast[(root=K)] |\n"
+      "                 istart_reduce(OP[,root=K][,h=N]) | istart_allreduce(OP[,h=N]) |\n"
+      "                 istart_bcast[(root=K[,h=N])] | wait[(h=N)]\n"
       "                 stages separated by ';'; OP: + * max min band bor gcd\n"
       "                 +modN *modN f+ f* mat2 first\n";
 }
@@ -237,6 +245,8 @@ int main(int argc, char** argv) {
   std::string record_dir, store_dir;
   std::vector<std::string> diff_args;
   std::string diff_json, diff_html;
+  bool overlap = false;      // --overlap: enable the split-phase rules
+  int overlap_segments = 4;  // pipeline depth of each overlap window
   rules::OptimizerOptions options;
   rules::ExplainLog explain_log;
   std::string program_text;
@@ -285,6 +295,14 @@ int main(int argc, char** argv) {
       search_report_json = arg.substr(21);
       if (search_report_json.empty())
         bad_value("--search-report-json", "", "a file name");
+    } else if (arg == "--overlap") {
+      overlap = true;
+    } else if (arg.rfind("--overlap=", 0) == 0) {
+      overlap = true;
+      overlap_segments = parse_int("--overlap", arg.c_str() + 10);
+      if (overlap_segments < 2)
+        bad_value("--overlap", arg.c_str() + 10,
+                  "a pipeline depth >= 2 (K segments per window)");
     } else if (arg == "--strict") {
       options.policy = rules::EquivalencePolicy::strict;
     } else if (arg == "--max-mem") {
@@ -381,6 +399,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--rules") {
       for (const auto& r : rules::all_rules())
         std::cout << r->name() << ":\n    " << r->description() << "\n";
+      for (const auto& r : rules::overlap_rules())
+        std::cout << r->name() << " (--overlap only):\n    "
+                  << r->description() << "\n";
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       usage();
@@ -426,6 +447,13 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+
+  // --overlap works with every strategy (greedy just appends the overlap
+  // rules to its catalog); the segment count rides to the thread executor
+  // through the environment, read once before rank threads spawn.
+  if (overlap)
+    ::setenv("COLOP_OVERLAP_SEGMENTS",
+             std::to_string(overlap_segments).c_str(), 1);
 
   // Store root: --record=DIR wins (what we write is what we read), then
   // --store, then the environment/default.
@@ -528,7 +556,10 @@ int main(int argc, char** argv) {
     const bool hub_wanted =
         serve_port >= 0 || !metrics_file.empty() || record;
     if (explain || hub_wanted) options.explain = &explain_log;
-    const rules::Optimizer optimizer(machine, rules::all_rules(), options);
+    auto rule_set = rules::all_rules();
+    if (overlap)
+      for (auto& r : rules::overlap_rules()) rule_set.push_back(std::move(r));
+    const rules::Optimizer optimizer(machine, rule_set, options);
     std::optional<rules::SearchResult> search_res;
     bool winner_fell_back = false;
     bool winner_demoted = false;
@@ -539,8 +570,7 @@ int main(int argc, char** argv) {
       sopts.beam_width =
           *opt_strategy == rules::SearchStrategy::beam ? beam_width : 0;
       sopts.base = options;
-      const rules::SearchOptimizer searcher(machine, rules::all_rules(),
-                                            sopts);
+      const rules::SearchOptimizer searcher(machine, rule_set, sopts);
       // The soundness gate: re-discharge every ranked schedule's rewrite
       // certificates (shared steps once) and install the cheapest CERTIFIED
       // schedule as the winner before anything downstream consumes it.
@@ -916,6 +946,10 @@ int main(int argc, char** argv) {
           case ir::Stage::Kind::AllReduceBalanced:
             return "allreduce_balanced";
           case ir::Stage::Kind::Iter: return "iter";
+          case ir::Stage::Kind::IStartReduce: return "istart_reduce";
+          case ir::Stage::Kind::IStartAllReduce: return "istart_allreduce";
+          case ir::Stage::Kind::IStartBcast: return "istart_bcast";
+          case ir::Stage::Kind::Wait: return "wait";
         }
         return "?";
       };
